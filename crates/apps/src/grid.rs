@@ -1,0 +1,218 @@
+//! Cartesian decomposition helpers shared by the proxy apps.
+
+/// A 2D grid of sub-domains (chares or ranks), row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2D {
+    /// Columns.
+    pub x: u32,
+    /// Rows.
+    pub y: u32,
+}
+
+impl Grid2D {
+    /// Builds a grid; panics if either side is zero.
+    pub fn new(x: u32, y: u32) -> Grid2D {
+        assert!(x > 0 && y > 0, "grid sides must be positive");
+        Grid2D { x, y }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> u32 {
+        self.x * self.y
+    }
+
+    /// Always false (grids are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of cell (i, j) (column i, row j).
+    pub fn index(&self, i: u32, j: u32) -> u32 {
+        debug_assert!(i < self.x && j < self.y);
+        j * self.x + i
+    }
+
+    /// Coordinates of a linear index.
+    pub fn coords(&self, k: u32) -> (u32, u32) {
+        (k % self.x, k / self.x)
+    }
+
+    /// The 4-connected (von Neumann) neighbors of cell `k`, bounded.
+    pub fn neighbors4(&self, k: u32) -> Vec<u32> {
+        let (i, j) = self.coords(k);
+        let mut out = Vec::with_capacity(4);
+        if i > 0 {
+            out.push(self.index(i - 1, j));
+        }
+        if i + 1 < self.x {
+            out.push(self.index(i + 1, j));
+        }
+        if j > 0 {
+            out.push(self.index(i, j - 1));
+        }
+        if j + 1 < self.y {
+            out.push(self.index(i, j + 1));
+        }
+        out
+    }
+
+    /// The 8-connected (Moore) neighbors of cell `k`, bounded.
+    pub fn neighbors8(&self, k: u32) -> Vec<u32> {
+        let (i, j) = self.coords(k);
+        let mut out = Vec::with_capacity(8);
+        for dj in -1i64..=1 {
+            for di in -1i64..=1 {
+                if di == 0 && dj == 0 {
+                    continue;
+                }
+                let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                if ni >= 0 && nj >= 0 && (ni as u32) < self.x && (nj as u32) < self.y {
+                    out.push(self.index(ni as u32, nj as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// The 4-connected neighbors with periodic (torus) wrap-around.
+    pub fn neighbors4_periodic(&self, k: u32) -> Vec<u32> {
+        let (i, j) = self.coords(k);
+        let left = self.index((i + self.x - 1) % self.x, j);
+        let right = self.index((i + 1) % self.x, j);
+        let up = self.index(i, (j + self.y - 1) % self.y);
+        let down = self.index(i, (j + 1) % self.y);
+        let mut out = vec![left, right, up, down];
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&n| n != k);
+        out
+    }
+}
+
+/// A 3D grid of sub-domains, x-fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3D {
+    /// Extents.
+    pub x: u32,
+    /// Extents.
+    pub y: u32,
+    /// Extents.
+    pub z: u32,
+}
+
+impl Grid3D {
+    /// Builds a grid; panics if any side is zero.
+    pub fn new(x: u32, y: u32, z: u32) -> Grid3D {
+        assert!(x > 0 && y > 0 && z > 0, "grid sides must be positive");
+        Grid3D { x, y, z }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> u32 {
+        self.x * self.y * self.z
+    }
+
+    /// Always false (grids are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of (i, j, k).
+    pub fn index(&self, i: u32, j: u32, k: u32) -> u32 {
+        (k * self.y + j) * self.x + i
+    }
+
+    /// Coordinates of a linear index.
+    pub fn coords(&self, n: u32) -> (u32, u32, u32) {
+        (n % self.x, (n / self.x) % self.y, n / (self.x * self.y))
+    }
+
+    /// Face-connected (6-way) neighbors, bounded.
+    pub fn neighbors6(&self, n: u32) -> Vec<u32> {
+        let (i, j, k) = self.coords(n);
+        let mut out = Vec::with_capacity(6);
+        if i > 0 {
+            out.push(self.index(i - 1, j, k));
+        }
+        if i + 1 < self.x {
+            out.push(self.index(i + 1, j, k));
+        }
+        if j > 0 {
+            out.push(self.index(i, j - 1, k));
+        }
+        if j + 1 < self.y {
+            out.push(self.index(i, j + 1, k));
+        }
+        if k > 0 {
+            out.push(self.index(i, j, k - 1));
+        }
+        if k + 1 < self.z {
+            out.push(self.index(i, j, k + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip_2d() {
+        let g = Grid2D::new(4, 3);
+        for k in 0..g.len() {
+            let (i, j) = g.coords(k);
+            assert_eq!(g.index(i, j), k);
+        }
+    }
+
+    #[test]
+    fn corner_has_two_neighbors_center_has_four() {
+        let g = Grid2D::new(3, 3);
+        assert_eq!(g.neighbors4(0).len(), 2);
+        assert_eq!(g.neighbors4(4).len(), 4);
+        assert_eq!(g.neighbors8(4).len(), 8);
+        assert_eq!(g.neighbors8(0).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = Grid2D::new(4, 4);
+        for k in 0..g.len() {
+            for n in g.neighbors4(k) {
+                assert!(g.neighbors4(n).contains(&k));
+            }
+            for n in g.neighbors8(k) {
+                assert!(g.neighbors8(n).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let g = Grid2D::new(3, 3);
+        let n = g.neighbors4_periodic(0);
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&2), "wraps left to the row end");
+        assert!(n.contains(&6), "wraps up to the column end");
+    }
+
+    #[test]
+    fn periodic_on_degenerate_grid_dedups() {
+        let g = Grid2D::new(2, 1);
+        let n = g.neighbors4_periodic(0);
+        assert_eq!(n, vec![1], "tiny torus collapses duplicates and self");
+    }
+
+    #[test]
+    fn index_coords_roundtrip_3d_and_neighbors() {
+        let g = Grid3D::new(2, 2, 2);
+        for n in 0..g.len() {
+            let (i, j, k) = g.coords(n);
+            assert_eq!(g.index(i, j, k), n);
+            assert_eq!(g.neighbors6(n).len(), 3, "every corner of a 2x2x2 has 3 faces");
+        }
+        let g = Grid3D::new(3, 3, 3);
+        assert_eq!(g.neighbors6(g.index(1, 1, 1)).len(), 6);
+    }
+}

@@ -1,0 +1,184 @@
+//! Jacobi 2D — the paper's running example (§1, Figs. 8, 12, 14, 15).
+//!
+//! A 2D block decomposition computes heat diffusion by Jacobi
+//! iteration: every chare sends halos to its (up to) four neighbors,
+//! computes when all halos arrived, and contributes to an allreduce
+//! that gates the next iteration. An optional straggler injects a long
+//! computation into one chare at one iteration to reproduce the
+//! differential-duration and imbalance figures.
+
+use crate::grid::Grid2D;
+use lsr_charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+use lsr_trace::{Dur, EntryId, Time, Trace};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Parameters for a Jacobi 2D run.
+#[derive(Debug, Clone)]
+pub struct JacobiParams {
+    /// Chare grid width.
+    pub chares_x: u32,
+    /// Chare grid height.
+    pub chares_y: u32,
+    /// Number of PEs.
+    pub pes: u32,
+    /// Number of Jacobi iterations.
+    pub iters: u32,
+    /// RNG seed for the simulator.
+    pub seed: u64,
+    /// Per-iteration compute time of each chare.
+    pub compute: Dur,
+    /// Optional straggler: (chare index, iteration, extra time).
+    pub straggler: Option<(u32, u32, Dur)>,
+}
+
+impl JacobiParams {
+    /// The paper's Fig. 8 configuration: 64 chares on 8 processors.
+    pub fn fig8() -> JacobiParams {
+        JacobiParams {
+            chares_x: 8,
+            chares_y: 8,
+            pes: 8,
+            iters: 2,
+            seed: 0x0808,
+            compute: Dur::from_micros(30),
+            straggler: None,
+        }
+    }
+
+    /// The paper's Figs. 12/14/15 configuration: 16 chares with one
+    /// long event.
+    pub fn fig15() -> JacobiParams {
+        JacobiParams {
+            chares_x: 4,
+            chares_y: 4,
+            pes: 4,
+            iters: 3,
+            seed: 0x1515,
+            compute: Dur::from_micros(30),
+            straggler: Some((5, 2, Dur::from_micros(200))),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ChareState {
+    iter: u32,
+    got: u32,
+}
+
+/// Runs Jacobi 2D on the Charm++-like simulator and returns its trace.
+pub fn jacobi2d(p: &JacobiParams) -> Trace {
+    let grid = Grid2D::new(p.chares_x, p.chares_y);
+    let mut sim = Sim::new(SimConfig::new(p.pes).with_seed(p.seed));
+    let arr = sim.add_array("jacobi", grid.len(), Placement::Block, |_| ChareState::default());
+    let elems = sim.elements(arr).to_vec();
+
+    let e_halo: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+
+    // recvHalo: SDAG `when` handler counting neighbor halos.
+    let en = e_next.clone();
+    let g = grid;
+    let compute = p.compute;
+    let straggler = p.straggler;
+    let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut ChareState, _d| {
+        s.got += 1;
+        if s.got == g.neighbors4(ctx.my_index()).len() as u32 {
+            s.got = 0;
+            ctx.compute(compute);
+            if let Some((who, when, extra)) = straggler {
+                if ctx.my_index() == who && s.iter == when {
+                    ctx.compute_exact(extra);
+                }
+            }
+            ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+        }
+    });
+    e_halo.set(halo);
+
+    // nextIter: the reduction callback starting the next iteration.
+    let eh = e_halo.clone();
+    let elems2 = elems.clone();
+    let iters = p.iters;
+    let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut ChareState, _d| {
+        s.iter += 1;
+        if s.iter > iters {
+            return;
+        }
+        ctx.compute(Dur::from_micros(2));
+        for nb in g.neighbors4(ctx.my_index()) {
+            ctx.send(elems2[nb as usize], eh.get(), vec![s.iter as i64]);
+        }
+    });
+    e_next.set(next);
+
+    for &c in &elems {
+        sim.inject(c, next, vec![], Time::ZERO);
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::{extract, Config};
+
+    #[test]
+    fn structure_verifies_and_iterates() {
+        let p = JacobiParams {
+            chares_x: 4,
+            chares_y: 2,
+            pes: 2,
+            iters: 2,
+            seed: 9,
+            compute: Dur::from_micros(10),
+            straggler: None,
+        };
+        let tr = jacobi2d(&p);
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("jacobi invariants");
+        // One halo phase + one runtime reduction phase per iteration
+        // (plus possible tail): at least 2 app + 2 runtime phases.
+        assert!(ls.app_phase_count() >= 2, "{}", ls.summary(&tr));
+        assert!(ls.phases.iter().filter(|ph| ph.is_runtime).count() >= 2);
+    }
+
+    #[test]
+    fn message_count_matches_halo_pattern() {
+        let p = JacobiParams {
+            chares_x: 3,
+            chares_y: 3,
+            pes: 3,
+            iters: 1,
+            seed: 5,
+            compute: Dur::from_micros(5),
+            straggler: None,
+        };
+        let tr = jacobi2d(&p);
+        // Halo messages in iteration 1: sum over cells of deg4 = 24 for
+        // 3x3. Plus reduction traffic (contribute/tree/broadcast).
+        let halo_entry = tr.entries.iter().find(|e| e.name == "recvHalo").unwrap().id;
+        let halos =
+            tr.msgs.iter().filter(|m| m.dst_entry == halo_entry).count();
+        assert_eq!(halos, 24);
+    }
+
+    #[test]
+    fn straggler_makes_its_chare_late() {
+        let tr = jacobi2d(&JacobiParams::fig15());
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).unwrap();
+        let dd = lsr_metrics::DifferentialDuration::compute(&tr, &ls);
+        let (worst, d) = dd.max().unwrap();
+        let chare = tr.event_chare(worst);
+        assert_eq!(tr.chare(chare).index, 5, "straggler chare holds the max differential");
+        assert!(d >= Dur::from_micros(150), "injected 200us dominates: got {d}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = JacobiParams::fig8();
+        assert_eq!(jacobi2d(&p), jacobi2d(&p));
+    }
+}

@@ -1,0 +1,305 @@
+//! LASSEN-like wavefront-propagation proxy (paper §6.2, Figs. 20–23).
+//!
+//! LASSEN models a wavefront moving through a regular Cartesian grid.
+//! Per iteration every sub-domain exchanges facet data with its (up to
+//! eight) neighbors — looping over *alternating* data structures, so
+//! the send order flips between iterations — then a short pure-control
+//! phase advances the computation (each chare invokes itself), and an
+//! allreduce synchronizes the timestep. Sub-domains containing the
+//! wavefront do significantly more work: early on a single chare owns
+//! the whole front (the repeated long events of Figs. 21–22); as the
+//! front grows it spreads over more, smaller pieces (Fig. 23).
+
+use crate::grid::Grid2D;
+use lsr_charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+use lsr_mpi::{MpiConfig, Program};
+use lsr_trace::{Dur, EntryId, Time, Trace};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Parameters for a LASSEN-like run.
+#[derive(Debug, Clone)]
+pub struct LassenParams {
+    /// Sub-domain grid extents.
+    pub gx: u32,
+    /// Sub-domain grid extents.
+    pub gy: u32,
+    /// Number of PEs (Charm++ runs; MPI uses one rank per cell).
+    pub pes: u32,
+    /// Number of iterations.
+    pub iters: u32,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Baseline per-iteration compute for every sub-domain.
+    pub base: Dur,
+    /// Total front work per unit of arc length (shared by the chares
+    /// the front crosses).
+    pub front_work: Dur,
+    /// Radius growth of the front per iteration, in domain units.
+    pub front_speed: f64,
+    /// Chare-to-PE placement. One chare per PE for the 8-chare run;
+    /// scattered for the over-decomposed 64-chare run (standing in for
+    /// the load balancer).
+    pub placement: Placement,
+}
+
+impl LassenParams {
+    /// The paper's 8-chare decomposition on 8 processors.
+    pub fn chares8() -> LassenParams {
+        LassenParams {
+            gx: 4,
+            gy: 2,
+            pes: 8,
+            iters: 4,
+            seed: 0x20,
+            base: Dur::from_micros(10),
+            front_work: Dur::from_micros(160),
+            front_speed: 0.08,
+            placement: Placement::RoundRobin,
+        }
+    }
+
+    /// The paper's 64-chare decomposition on 8 processors.
+    pub fn chares64() -> LassenParams {
+        LassenParams { gx: 8, gy: 8, placement: Placement::Scatter, ..LassenParams::chares8() }
+    }
+
+    /// The MPI comparison runs (one rank per sub-domain).
+    pub fn mpi(ranks_side_x: u32, ranks_side_y: u32) -> LassenParams {
+        LassenParams {
+            gx: ranks_side_x,
+            gy: ranks_side_y,
+            pes: ranks_side_x * ranks_side_y,
+            ..LassenParams::chares8()
+        }
+    }
+}
+
+/// Fraction of the wavefront's arc owned by each grid cell at an
+/// iteration, estimated by sampling the quarter-circle of radius
+/// `(iter+1) * front_speed` centered at the domain origin. Returns
+/// (per-cell share of total arc length inside the domain, arc length in
+/// domain units).
+pub fn front_shares(grid: Grid2D, iter: u32, front_speed: f64) -> (Vec<f64>, f64) {
+    const SAMPLES: usize = 512;
+    let r = (iter as f64 + 1.0) * front_speed;
+    let mut counts = vec![0usize; grid.len() as usize];
+    let mut inside = 0usize;
+    for s in 0..SAMPLES {
+        let theta = (s as f64 + 0.5) / SAMPLES as f64 * std::f64::consts::FRAC_PI_2;
+        let (x, y) = (r * theta.cos(), r * theta.sin());
+        if x < 1.0 && y < 1.0 {
+            let i = ((x * grid.x as f64) as u32).min(grid.x - 1);
+            let j = ((y * grid.y as f64) as u32).min(grid.y - 1);
+            counts[grid.index(i, j) as usize] += 1;
+            inside += 1;
+        }
+    }
+    let arc_len = r * std::f64::consts::FRAC_PI_2 * inside as f64 / SAMPLES as f64;
+    let shares = counts
+        .iter()
+        .map(|&c| if inside == 0 { 0.0 } else { c as f64 / SAMPLES as f64 })
+        .collect();
+    (shares, arc_len)
+}
+
+/// The extra compute a cell owes at an iteration: front work scaled by
+/// the absolute arc length crossing the cell.
+fn front_extra(p: &LassenParams, grid: Grid2D, cell: u32, iter: u32) -> Dur {
+    let (shares, _) = front_shares(grid, iter, p.front_speed);
+    let r = (iter as f64 + 1.0) * p.front_speed;
+    let arc_in_cell = shares[cell as usize] * r * std::f64::consts::FRAC_PI_2;
+    Dur((p.front_work.nanos() as f64 * arc_in_cell * 10.0) as u64)
+}
+
+#[derive(Default)]
+struct LassenState {
+    iter: u32,
+    got: u32,
+}
+
+/// Runs the Charm++-flavored LASSEN skeleton.
+pub fn lassen_charm(p: &LassenParams) -> Trace {
+    let grid = Grid2D::new(p.gx, p.gy);
+    let mut sim = Sim::new(SimConfig::new(p.pes).with_seed(p.seed));
+    // Over-decomposed runs scatter chares across PEs (standing in for
+    // the load balancer) — the §6.2 mechanism behind the 64-chare run's
+    // lower imbalance.
+    let arr =
+        sim.add_array("lassen", grid.len(), p.placement, |_| LassenState::default());
+    let elems = sim.elements(arr).to_vec();
+
+    let e_facet: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_advance: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+
+    // The SDAG serial after the facet `when`s: invokes self with a pure
+    // control message — the paper's "additional two-step phases" in
+    // which "each chare invokes itself". The continuation from
+    // recvFacet into this serial is runtime-internal and untraced.
+    let ea = e_advance.clone();
+    let control =
+        sim.add_entry("_sdag_cycleControl", Some(2), move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
+            ctx.compute(Dur::from_micros(1));
+            let me = ctx.my_chare();
+            ctx.send(me, ea.get(), vec![]);
+        });
+
+    // recvFacet: count neighbor facet messages, then continue into the
+    // control serial.
+    let g = grid;
+    let facet = sim.add_entry("recvFacet", Some(1), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
+        s.got += 1;
+        if s.got == g.neighbors8(ctx.my_index()).len() as u32 {
+            s.got = 0;
+            let me = ctx.my_chare();
+            ctx.send_untraced(me, control, vec![]);
+        }
+    });
+    e_facet.set(facet);
+
+    // advance: short control step ending in the timestep allreduce.
+    let en = e_next.clone();
+    let advance = sim.add_entry("advance", Some(3), move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
+        ctx.compute(Dur::from_micros(2));
+        ctx.contribute(1, RedOp::Min, RedTarget::Broadcast(en.get()));
+    });
+    e_advance.set(advance);
+
+    // nextCycle: main computation (front-dependent) then facet sends in
+    // alternating neighbor order.
+    let (ef, g2, el) = (e_facet.clone(), grid, elems.clone());
+    let pp = p.clone();
+    let iters = p.iters;
+    let next = sim.add_entry("nextCycle", Some(4), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
+        s.iter += 1;
+        if s.iter > iters {
+            return;
+        }
+        ctx.compute(pp.base);
+        let extra = front_extra(&pp, g2, ctx.my_index(), s.iter - 1);
+        if extra > Dur::ZERO {
+            ctx.compute_exact(extra);
+        }
+        let mut nbs = g2.neighbors8(ctx.my_index());
+        if s.iter.is_multiple_of(2) {
+            nbs.reverse(); // the alternating data-structure order
+        }
+        for nb in nbs {
+            ctx.send(el[nb as usize], ef.get(), vec![s.iter as i64]);
+        }
+    });
+    e_next.set(next);
+
+    for &c in &elems {
+        sim.inject(c, next, vec![], Time::ZERO);
+    }
+    sim.run()
+}
+
+/// Runs the MPI-flavored LASSEN skeleton: per iteration one
+/// point-to-point facet exchange (no control phase) and an allreduce.
+pub fn lassen_mpi(p: &LassenParams) -> Trace {
+    let grid = Grid2D::new(p.gx, p.gy);
+    let n = grid.len();
+    let mut prog = Program::new(n);
+    for iter in 0..p.iters {
+        let tag = 3_000 + iter as i64 * 10;
+        for r in 0..n {
+            prog.compute(r, p.base);
+            let extra = front_extra(p, grid, r, iter);
+            if extra > Dur::ZERO {
+                prog.compute(r, extra);
+            }
+            let mut nbs = grid.neighbors8(r);
+            if iter % 2 == 1 {
+                nbs.reverse();
+            }
+            for nb in nbs.iter().copied() {
+                prog.send(r, nb, tag);
+            }
+            for nb in nbs {
+                prog.recv(r, nb, tag);
+            }
+        }
+        prog.allreduce(tag + 5);
+    }
+    lsr_mpi::run(&MpiConfig::new().with_seed(p.seed), &prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::{extract, Config};
+    use lsr_metrics::DifferentialDuration;
+
+    #[test]
+    fn front_shares_sum_to_in_domain_fraction() {
+        let g = Grid2D::new(8, 8);
+        for iter in [0, 3, 8] {
+            let (shares, arc) = front_shares(g, iter, 0.08);
+            let total: f64 = shares.iter().sum();
+            assert!(total <= 1.0 + 1e-9);
+            assert!(arc >= 0.0);
+        }
+        // Early front sits wholly in the origin cell.
+        let (shares, _) = front_shares(g, 0, 0.05);
+        assert!(shares[0] > 0.99);
+    }
+
+    #[test]
+    fn charm_structure_verifies_with_control_phases() {
+        let mut p = LassenParams::chares8();
+        p.iters = 2;
+        let tr = lassen_charm(&p);
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("lassen charm invariants");
+        // Per iteration: facet phase + control phase (+ runtime
+        // reduction phase).
+        assert!(ls.app_phase_count() >= 3, "{}", ls.summary(&tr));
+        assert!(ls.phases.iter().any(|ph| ph.is_runtime));
+    }
+
+    #[test]
+    fn mpi_structure_verifies() {
+        let p = LassenParams::mpi(4, 2);
+        let tr = lassen_mpi(&p);
+        let ls = extract(&tr, &Config::mpi());
+        ls.verify(&tr).expect("lassen mpi invariants");
+        assert!(ls.num_phases() >= 4, "{}", ls.summary(&tr));
+    }
+
+    #[test]
+    fn early_front_work_lands_on_origin_chare_every_iteration() {
+        let mut p = LassenParams::chares8();
+        p.iters = 3;
+        let tr = lassen_charm(&p);
+        let ls = extract(&tr, &Config::charm());
+        let dd = DifferentialDuration::compute(&tr, &ls);
+        let outliers = dd.outlier_chares(&tr, Dur::from_micros(50));
+        assert!(!outliers.is_empty(), "front chare must stand out");
+        // All big outliers early in the run belong to the origin chare.
+        assert!(outliers.iter().all(|&c| tr.chare(c).index == 0), "{outliers:?}");
+    }
+
+    #[test]
+    fn finer_decomposition_reduces_max_differential() {
+        // Fig. 23 / §6.2: with 64 chares the front splits into smaller
+        // pieces, so the maximum differential duration drops (paper
+        // reports ~4x) and the total imbalance shrinks.
+        let mut p8 = LassenParams::chares8();
+        p8.iters = 8;
+        let mut p64 = LassenParams::chares64();
+        p64.iters = 8;
+        let t8 = lassen_charm(&p8);
+        let t64 = lassen_charm(&p64);
+        let l8 = extract(&t8, &Config::charm());
+        let l64 = extract(&t64, &Config::charm());
+        let d8 = DifferentialDuration::compute(&t8, &l8).max().unwrap().1;
+        let d64 = DifferentialDuration::compute(&t64, &l64).max().unwrap().1;
+        assert!(
+            d64.nanos() * 2 < d8.nanos(),
+            "64-chare max differential ({d64}) must be well below 8-chare ({d8})"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # lsr-apps
+//!
+//! Proxy applications reproducing the communication skeletons of the
+//! paper's case studies, each returning a validated
+//! [`lsr_trace::Trace`]:
+//!
+//! * [`jacobi2d`] — the running example (Figs. 8, 12, 14, 15);
+//! * [`lulesh_charm`] / [`lulesh_mpi`] — hydrodynamics proxy (§6.1,
+//!   Figs. 16–19);
+//! * [`lassen_charm`] / [`lassen_mpi`] — wavefront proxy (§6.2,
+//!   Figs. 20–23);
+//! * [`pdes_charm`] — the missing-dependency mini-app (Fig. 24);
+//! * [`mergetree_mpi`] — the 1,024-process MPI merge tree (Figs. 9–10);
+//! * [`bt_mpi`] — a NAS-BT-like stencil (Fig. 1);
+//! * [`divcon_charm`] — a Cilk-style fork/join tree (an extension
+//!   exercising recursive dependency topologies).
+
+#![warn(missing_docs)]
+
+mod bt;
+mod divcon;
+pub mod grid;
+mod jacobi;
+mod lassen;
+mod lulesh;
+mod mergetree;
+mod pdes;
+
+pub use bt::{bt_mpi, bt_program, BtParams};
+pub use divcon::{divcon_charm, DivConParams};
+pub use jacobi::{jacobi2d, JacobiParams};
+pub use lassen::{front_shares, lassen_charm, lassen_mpi, LassenParams};
+pub use lulesh::{lulesh_charm, lulesh_mpi, LuleshParams};
+pub use mergetree::{mergetree_mpi, mergetree_program, MergeTreeParams};
+pub use pdes::{pdes_charm, PdesParams};

@@ -1,0 +1,282 @@
+//! LULESH-like hydrodynamics proxy (paper §6.1, Figs. 16–19).
+//!
+//! The paper compares the logical structures of the Charm++ and MPI
+//! LULESH implementations: after a problem-setup phase, the MPI version
+//! repeats *three* point-to-point phases followed by an allreduce, the
+//! Charm++ version repeats *two* point-to-point phases (with mirrored
+//! communication patterns) followed by an allreduce. The communication
+//! skeletons below reproduce exactly those shapes over a 3D block
+//! decomposition with face-neighbor exchanges.
+
+use crate::grid::Grid3D;
+use lsr_charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+use lsr_mpi::{MpiConfig, Program};
+use lsr_trace::{Dur, EntryId, Time, Trace};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Parameters for a LULESH-like run.
+#[derive(Debug, Clone)]
+pub struct LuleshParams {
+    /// Sub-domain grid extents (chares or ranks).
+    pub gx: u32,
+    /// Sub-domain grid extents (chares or ranks).
+    pub gy: u32,
+    /// Sub-domain grid extents (chares or ranks).
+    pub gz: u32,
+    /// Number of PEs (Charm++ runs only; MPI uses one rank per cell).
+    pub pes: u32,
+    /// Number of timestep iterations.
+    pub iters: u32,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Base compute time per phase.
+    pub compute: Dur,
+}
+
+impl LuleshParams {
+    /// Fig. 16(b): 8 chares on 2 processors.
+    pub fn fig16_charm() -> LuleshParams {
+        LuleshParams {
+            gx: 2,
+            gy: 2,
+            gz: 2,
+            pes: 2,
+            iters: 2,
+            seed: 0x16,
+            compute: Dur::from_micros(25),
+        }
+    }
+
+    /// Fig. 16(a): 8 MPI processes.
+    pub fn fig16_mpi() -> LuleshParams {
+        LuleshParams { pes: 8, ..LuleshParams::fig16_charm() }
+    }
+
+    /// A scaling configuration for Figs. 18/19.
+    pub fn scaling(chares_side: u32, iters: u32) -> LuleshParams {
+        LuleshParams {
+            gx: chares_side,
+            gy: chares_side,
+            gz: chares_side,
+            pes: 8,
+            iters,
+            seed: 0x18,
+            compute: Dur::from_micros(20),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LState {
+    iter: u32,
+    got_setup: u32,
+    got_nodal: u32,
+    got_force: u32,
+}
+
+/// Runs the Charm++-flavored LULESH skeleton: setup, then per iteration
+/// two halo-exchange phases and an allreduce (the `dt` reduction).
+pub fn lulesh_charm(p: &LuleshParams) -> Trace {
+    let grid = Grid3D::new(p.gx, p.gy, p.gz);
+    let mut sim = Sim::new(SimConfig::new(p.pes).with_seed(p.seed));
+    let arr = sim.add_array("lulesh", grid.len(), Placement::Block, |_| LState::default());
+    let elems = sim.elements(arr).to_vec();
+
+    let e_setup: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_nodal: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let e_force: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+
+    let compute = p.compute;
+    let iters = p.iters;
+
+    // Problem setup: exchange initial boundary data once, then reduce
+    // into the first iteration (the blue phase of Fig. 16).
+    let (en, g, el) = (e_next.clone(), grid, elems.clone());
+    let setup = sim.add_entry("recvSetup", Some(1), move |ctx: &mut Ctx, s: &mut LState, _d| {
+        s.got_setup += 1;
+        if s.got_setup == g.neighbors6(ctx.my_index()).len() as u32 {
+            ctx.compute(compute);
+            ctx.contribute(1, RedOp::Min, RedTarget::Broadcast(en.get()));
+        }
+        let _ = &el;
+    });
+    e_setup.set(setup);
+
+    // The serial block following the nodal `when`s: computes forces and
+    // sends the second exchange. SDAG continuations are internal to the
+    // runtime, so the hop from recvNodal to this block is *untraced*
+    // (paper §2.1) — only the serial numbering lets the analysis link
+    // them.
+    let (ef, g1, el1) = (e_force.clone(), grid, elems.clone());
+    let send_force =
+        sim.add_entry("_sdag_computeForce", Some(3), move |ctx: &mut Ctx, s: &mut LState, _d| {
+            ctx.compute(compute);
+            for nb in g1.neighbors6(ctx.my_index()) {
+                ctx.send(el1[nb as usize], ef.get(), vec![s.iter as i64]);
+            }
+        });
+
+    // Phase 1 of each iteration: nodal-mass halo exchange.
+    let nodal = sim.add_entry("recvNodal", Some(2), move |ctx: &mut Ctx, s: &mut LState, _d| {
+        s.got_nodal += 1;
+        if s.got_nodal == grid.neighbors6(ctx.my_index()).len() as u32 {
+            s.got_nodal = 0;
+            ctx.compute(compute);
+            let me = ctx.my_chare();
+            ctx.send_untraced(me, send_force, vec![]);
+        }
+    });
+    e_nodal.set(nodal);
+
+    // Phase 2: force halo exchange, ending in the dt allreduce.
+    let (en2, g2) = (e_next.clone(), grid);
+    let force = sim.add_entry("recvForce", Some(4), move |ctx: &mut Ctx, s: &mut LState, _d| {
+        s.got_force += 1;
+        if s.got_force == g2.neighbors6(ctx.my_index()).len() as u32 {
+            s.got_force = 0;
+            ctx.compute(compute);
+            ctx.contribute(1, RedOp::Min, RedTarget::Broadcast(en2.get()));
+        }
+    });
+    e_force.set(force);
+
+    // Iteration driver (reduction callback).
+    let (enod, g3, el3) = (e_nodal.clone(), grid, elems.clone());
+    let next = sim.add_entry("timeStep", Some(5), move |ctx: &mut Ctx, s: &mut LState, _d| {
+        s.iter += 1;
+        if s.iter > iters {
+            return;
+        }
+        ctx.compute(Dur::from_micros(3));
+        for nb in g3.neighbors6(ctx.my_index()) {
+            ctx.send(el3[nb as usize], enod.get(), vec![s.iter as i64]);
+        }
+    });
+    e_next.set(next);
+
+    // Bootstrap: every chare starts setup by sending boundary data.
+    let (es, g4, el4) = (e_setup.clone(), grid, elems.clone());
+    let init = sim.add_entry("init", None, move |ctx: &mut Ctx, _s: &mut LState, _d| {
+        ctx.compute(Dur::from_micros(10));
+        for nb in g4.neighbors6(ctx.my_index()) {
+            ctx.send(el4[nb as usize], es.get(), vec![]);
+        }
+    });
+
+    for &c in &elems {
+        sim.inject(c, init, vec![], Time::ZERO);
+    }
+    sim.run()
+}
+
+/// Runs the MPI-flavored LULESH skeleton: setup, then per iteration
+/// *three* halo-exchange phases and an allreduce.
+pub fn lulesh_mpi(p: &LuleshParams) -> Trace {
+    let grid = Grid3D::new(p.gx, p.gy, p.gz);
+    let n = grid.len();
+    let mut prog = Program::new(n);
+    let compute_us = p.compute.nanos() / 1_000;
+    // Setup exchange + reduction.
+    for r in 0..n {
+        prog.compute(r, Dur::from_micros(10));
+        for nb in grid.neighbors6(r) {
+            prog.send(r, nb, 1_000);
+        }
+        for nb in grid.neighbors6(r) {
+            prog.recv(r, nb, 1_000);
+        }
+    }
+    prog.allreduce(1_100);
+    for iter in 0..p.iters {
+        let base = 2_000 + iter as i64 * 100;
+        for phase in 0..3 {
+            let tag = base + phase;
+            for r in 0..n {
+                prog.compute(r, Dur::from_micros(compute_us));
+                for nb in grid.neighbors6(r) {
+                    prog.send(r, nb, tag);
+                }
+                for nb in grid.neighbors6(r) {
+                    prog.recv(r, nb, tag);
+                }
+            }
+        }
+        prog.allreduce(base + 50);
+    }
+    lsr_mpi::run(&MpiConfig::new().with_seed(p.seed), &prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::{extract, Config};
+
+    #[test]
+    fn charm_structure_repeats_two_phases_plus_allreduce() {
+        let tr = lulesh_charm(&LuleshParams::fig16_charm());
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("lulesh charm invariants");
+        // Setup + 2 app phases per iteration.
+        let app = ls.app_phase_count();
+        assert!(
+            app > 2 * 2,
+            "expected setup + 2 phases x 2 iters, got {app}: {}",
+            ls.summary(&tr)
+        );
+        // Runtime (reduction) phases: one per reduction = iters + setup.
+        assert!(ls.phases.iter().filter(|p| p.is_runtime).count() >= 3);
+    }
+
+    #[test]
+    fn mpi_structure_repeats_three_phases_plus_allreduce() {
+        let tr = lulesh_mpi(&LuleshParams::fig16_mpi());
+        let ls = extract(&tr, &Config::mpi());
+        ls.verify(&tr).expect("lulesh mpi invariants");
+        // Setup phase + allreduce + per iteration (3 p2p + 1 allreduce).
+        let total = ls.num_phases();
+        assert!(
+            total >= 2 + 4 * 2,
+            "expected >= 10 phases, got {total}: {}",
+            ls.summary(&tr)
+        );
+    }
+
+    #[test]
+    fn charm_has_fewer_p2p_phases_per_iteration_than_mpi() {
+        // The paper's headline comparison: 2 vs 3 repeating phases.
+        let c = lulesh_charm(&LuleshParams::fig16_charm());
+        let m = lulesh_mpi(&LuleshParams::fig16_mpi());
+        let lc = extract(&c, &Config::charm());
+        let lm = extract(&m, &Config::mpi());
+        // Count application phases that use point-to-point halo entries.
+        let halo_phases = |tr: &Trace, ls: &lsr_core::LogicalStructure, names: &[&str]| {
+            let ids: Vec<lsr_trace::EntryId> = tr
+                .entries
+                .iter()
+                .filter(|e| names.contains(&e.name.as_str()))
+                .map(|e| e.id)
+                .collect();
+            ls.phases
+                .iter()
+                .filter(|p| {
+                    p.tasks.iter().any(|&t| ids.contains(&tr.task(t).entry))
+                })
+                .count()
+        };
+        let charm_p2p = halo_phases(&c, &lc, &["recvNodal", "recvForce"]);
+        let mpi_p2p = halo_phases(&m, &lm, &["MPI_Send", "MPI_Recv"]);
+        // Per iteration: charm has 2, mpi has 3 (+1 setup each).
+        assert!(charm_p2p >= 4, "charm p2p phases: {charm_p2p}");
+        assert!(mpi_p2p >= 7, "mpi p2p phases: {mpi_p2p}");
+        assert!(mpi_p2p > charm_p2p);
+    }
+
+    #[test]
+    fn scaling_params_grow_the_trace() {
+        let small = lulesh_charm(&LuleshParams::scaling(2, 2));
+        let big = lulesh_charm(&LuleshParams::scaling(2, 4));
+        assert!(big.tasks.len() > small.tasks.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! MPI merge-tree proxy (paper §3.2.1, Figs. 9–10).
+//!
+//! The merge-tree algorithm of Landge et al. combines per-process local
+//! trees pairwise up a binary tree. The local work is data-dependent,
+//! so whole subtrees run ahead: some groups send their second-level
+//! messages before others finish the first, which scrambles the
+//! physical receive order. Reordering (Fig. 10b) recovers the parallel
+//! level structure.
+
+use lsr_mpi::{MpiConfig, Program};
+use lsr_trace::{Dur, Trace};
+
+/// Parameters for the merge-tree run.
+#[derive(Debug, Clone)]
+pub struct MergeTreeParams {
+    /// Number of ranks (a power of two).
+    pub ranks: u32,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Base duration of the local (leaf) computation.
+    pub base: Dur,
+    /// Relative data-dependent skew in [0, ∞): heavy subtrees take
+    /// `(1 + skew)×` the base time.
+    pub skew: f64,
+}
+
+impl MergeTreeParams {
+    /// The paper's 1,024-process configuration.
+    pub fn fig10() -> MergeTreeParams {
+        MergeTreeParams { ranks: 1024, seed: 0x10, base: Dur::from_micros(100), skew: 3.0 }
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> MergeTreeParams {
+        MergeTreeParams { ranks: 32, seed: 0x11, base: Dur::from_micros(50), skew: 3.0 }
+    }
+}
+
+/// Deterministic data-dependent load factor for a rank: ranks fall into
+/// blocks of 1/8th of the machine; alternate blocks are heavy. This
+/// models the paper's "data-dependent load imbalance causes some groups
+/// of processes to send their second phase messages before other groups
+/// have finished their first".
+fn load_factor(p: &MergeTreeParams, rank: u32) -> f64 {
+    let block = rank * 8 / p.ranks;
+    // A small deterministic hash spreads variation inside blocks too.
+    let h = (rank.wrapping_mul(2654435761) >> 24) as f64 / 255.0;
+    if block.is_multiple_of(2) {
+        1.0 + p.skew + 0.3 * h
+    } else {
+        1.0 + 0.3 * h
+    }
+}
+
+fn scaled(d: Dur, f: f64) -> Dur {
+    Dur((d.nanos() as f64 * f) as u64)
+}
+
+/// Builds the rank program for the merge tree.
+pub fn mergetree_program(p: &MergeTreeParams) -> Program {
+    assert!(p.ranks.is_power_of_two(), "merge tree wants a power of two");
+    let n = p.ranks;
+    let mut prog = Program::new(n);
+    const TAG: i64 = 100;
+    for r in 0..n {
+        // Local tree computation (data-dependent).
+        prog.compute(r, scaled(p.base, load_factor(p, r)));
+        // Merge up the binary tree: at level l, ranks whose l-th bit is
+        // the lowest set bit send their tree to `r - 2^l` and finish;
+        // the receiver merges whichever child tree *arrives* next
+        // (wildcard receives, as the real algorithm does) — this is
+        // what lets fast subtrees' higher-level messages overtake slow
+        // subtrees' first-level ones.
+        let mut l = 0u32;
+        loop {
+            let step = 1u32 << l;
+            if step >= n {
+                break;
+            }
+            if r & step != 0 {
+                prog.send(r, r - step, TAG);
+                break;
+            }
+            prog.recv_any(r, TAG);
+            prog.compute(r, scaled(p.base, 0.4 * load_factor(p, r + step)));
+            l += 1;
+        }
+    }
+    prog
+}
+
+/// Runs the merge tree and returns the trace.
+pub fn mergetree_mpi(p: &MergeTreeParams) -> Trace {
+    lsr_mpi::run(&MpiConfig::new().with_seed(p.seed), &mergetree_program(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::{extract, Config, OrderingPolicy};
+
+    #[test]
+    fn program_message_count_is_n_minus_one() {
+        let p = MergeTreeParams::small();
+        let tr = mergetree_mpi(&p);
+        assert_eq!(tr.msgs.len(), (p.ranks - 1) as usize);
+        assert!(tr.msgs.iter().all(|m| m.recv_task.is_some()));
+    }
+
+    #[test]
+    fn structure_verifies_under_both_orderings() {
+        let tr = mergetree_mpi(&MergeTreeParams::small());
+        for cfg in [
+            Config::mpi(),
+            Config::mpi_baseline(),
+            Config::mpi().with_process_order(false),
+        ] {
+            let ls = extract(&tr, &cfg);
+            ls.verify(&tr).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    /// Fig. 10's claim: reordering restores the parallel level
+    /// structure, i.e. same-level receives align on fewer distinct
+    /// steps than the physical order spreads them over.
+    #[test]
+    fn reordering_compacts_level_steps() {
+        let tr = mergetree_mpi(&MergeTreeParams::small());
+        let reordered = extract(&tr, &Config::mpi().with_process_order(false));
+        let physical = extract(
+            &tr,
+            &Config::mpi().with_ordering(OrderingPolicy::PhysicalTime).with_process_order(false),
+        );
+        // Level-0 receives: ranks 0,2,4,... receiving tag 100.
+        let level0_sinks: Vec<_> = tr
+            .tasks
+            .iter()
+            .filter_map(|t| t.sink)
+            .filter(|&s| {
+                // level-0 receives are the first receive of even ranks
+                let task = tr.event(s).task;
+                let t = tr.task(task);
+                tr.chare(t.chare).index.is_multiple_of(2) && t.sink == Some(s)
+            })
+            .collect();
+        let distinct = |ls: &lsr_core::LogicalStructure| {
+            let mut steps: Vec<u64> =
+                level0_sinks.iter().map(|&s| ls.global_step(s)).collect();
+            steps.sort_unstable();
+            steps.dedup();
+            steps.len()
+        };
+        let d_re = distinct(&reordered);
+        let d_ph = distinct(&physical);
+        assert!(
+            d_re <= d_ph,
+            "reordering must not spread level-0 receives more ({d_re} vs {d_ph})"
+        );
+    }
+
+    #[test]
+    fn heavy_blocks_actually_run_behind() {
+        let p = MergeTreeParams::small();
+        let tr = mergetree_mpi(&p);
+        // The first level-0 send of a light block happens before a
+        // heavy block's: find send times of rank 1 (heavy block 0) and
+        // rank 5 (block 1, light).
+        let send_time = |rank: u32| {
+            tr.tasks
+                .iter()
+                .find(|t| tr.chare(t.chare).index == rank && !t.sends.is_empty())
+                .map(|t| tr.event(t.sends[0]).time)
+                .unwrap()
+        };
+        assert!(
+            send_time(5) < send_time(1),
+            "light-block rank must send before heavy-block rank"
+        );
+    }
+}

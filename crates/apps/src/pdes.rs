@@ -1,0 +1,179 @@
+//! PDES mini-app with an untraced completion-detector call (paper
+//! Fig. 24).
+//!
+//! In parallel discrete-event simulation, worker chares exchange event
+//! messages; when a worker drains, it notifies a completion-detector
+//! library. The detector call passes through the runtime and is *not
+//! recorded* in the trace, so the recovered structure has nothing to
+//! order the worker phase before the detector phase — they legally
+//! cover the same global steps, exactly the artifact Fig. 24 shows.
+
+use lsr_charm::{Ctx, Placement, Sim, SimConfig};
+use lsr_trace::{ChareId, Dur, EntryId, Time, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Parameters for the PDES mini-app.
+#[derive(Debug, Clone)]
+pub struct PdesParams {
+    /// Number of worker chares.
+    pub chares: u32,
+    /// Number of PEs.
+    pub pes: u32,
+    /// Simulator seed (also drives the random event targets).
+    pub seed: u64,
+    /// Hops each injected event survives before it is terminal.
+    pub hops: u32,
+    /// Events injected per chare at startup.
+    pub fanout: u32,
+    /// Whether the worker → detector notification is traced. The paper's
+    /// Fig. 24 scenario is `false`; `true` is the "improved tracing"
+    /// counterfactual of §7.1.
+    pub trace_detector_call: bool,
+}
+
+impl PdesParams {
+    /// The paper's Fig. 24 run: 16 chares on 4 processors, call
+    /// unrecorded.
+    pub fn fig24() -> PdesParams {
+        PdesParams {
+            chares: 16,
+            pes: 4,
+            seed: 0x24,
+            hops: 3,
+            fanout: 2,
+            trace_detector_call: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerState;
+
+#[derive(Default)]
+struct DetectorState;
+
+/// Runs the PDES mini-app and returns its trace.
+pub fn pdes_charm(p: &PdesParams) -> Trace {
+    let mut sim = Sim::new(SimConfig::new(p.pes).with_seed(p.seed));
+    let workers = sim.add_array("pdes", p.chares, Placement::Block, |_| WorkerState);
+    // One completion-detector chare per PE (a library module's group).
+    let detector = sim.add_array("completion", p.pes, Placement::RoundRobin, |_| DetectorState);
+    let worker_elems = sim.elements(workers).to_vec();
+    let detector_elems: Vec<ChareId> = sim.elements(detector).to_vec();
+
+    let e_event: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+
+    // Detector: counts terminal notifications and streams tallies to
+    // detector 0 (traced among detector chares themselves).
+    let det0 = detector_elems[0];
+    let e_tally: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let tally = sim.add_entry("recvTally", None, move |ctx: &mut Ctx, _s: &mut DetectorState, _d| {
+        ctx.compute(Dur::from_micros(1));
+    });
+    e_tally.set(tally);
+    let et = e_tally.clone();
+    let done = sim.add_entry("workerDone", None, move |ctx: &mut Ctx, _s: &mut DetectorState, d| {
+        ctx.compute(Dur::from_micros(1));
+        if ctx.my_chare() != det0 {
+            ctx.send(det0, et.get(), vec![d.first().copied().unwrap_or(1)]);
+        }
+    });
+
+    // Workers: process an event, forward it with one fewer hop, or on a
+    // terminal hop notify the local detector (possibly untraced).
+    let rng = Rc::new(std::cell::RefCell::new(SmallRng::seed_from_u64(p.seed ^ 0x9E37)));
+    let (we, wl, dl) = (e_event.clone(), worker_elems.clone(), detector_elems.clone());
+    let traced = p.trace_detector_call;
+    let event = sim.add_entry("recvEvent", None, move |ctx: &mut Ctx, _s: &mut WorkerState, d| {
+        let hops = d[0];
+        ctx.compute(Dur::from_micros(8));
+        if hops > 0 {
+            let target = wl[rng.borrow_mut().gen_range(0..wl.len())];
+            ctx.send(target, we.get(), vec![hops - 1]);
+        } else {
+            let local_detector = dl[ctx.my_pe().index()];
+            if traced {
+                ctx.send(local_detector, done, vec![1]);
+            } else {
+                ctx.send_untraced(local_detector, done, vec![1]);
+            }
+        }
+    });
+    e_event.set(event);
+
+    for &c in &worker_elems {
+        for _ in 0..p.fanout {
+            sim.inject(c, event, vec![p.hops as i64], Time::ZERO);
+        }
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::{extract, Config};
+
+    /// The phase holding most worker (`recvEvent`) tasks and the phase
+    /// holding most detector tasks.
+    fn main_phases(tr: &Trace, ls: &lsr_core::LogicalStructure) -> (u32, u32) {
+        let recv_event = tr.entries.iter().find(|e| e.name == "recvEvent").unwrap().id;
+        let worker_done = tr.entries.iter().find(|e| e.name == "workerDone").unwrap().id;
+        let count = |entry| {
+            let mut per = vec![0usize; ls.num_phases()];
+            for t in &tr.tasks {
+                if t.entry == entry {
+                    per[ls.phase_of_task(t.id) as usize] += 1;
+                }
+            }
+            per.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(p, _)| p as u32).unwrap()
+        };
+        (count(recv_event), count(worker_done))
+    }
+
+    #[test]
+    fn untraced_detector_call_makes_phases_concurrent() {
+        let tr = pdes_charm(&PdesParams::fig24());
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("pdes invariants");
+        let (wp, dp) = main_phases(&tr, &ls);
+        assert_ne!(wp, dp, "worker and detector land in separate phases");
+        // Fig. 24: nothing orders them — their global step ranges
+        // overlap.
+        let (w0, w1) = ls.phases[wp as usize].step_range();
+        let (d0, d1) = ls.phases[dp as usize].step_range();
+        assert!(
+            w0 <= d1 && d0 <= w1,
+            "phases must overlap in steps: worker {w0}..{w1}, detector {d0}..{d1}"
+        );
+    }
+
+    #[test]
+    fn traced_call_orders_detector_after_workers() {
+        let mut p = PdesParams::fig24();
+        p.trace_detector_call = true;
+        let tr = pdes_charm(&p);
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("pdes invariants");
+        let (wp, dp) = main_phases(&tr, &ls);
+        // With the dependency recorded, the detector joins the worker
+        // phase (merged through the message) or is strictly after it.
+        if wp != dp {
+            let (_, w1) = ls.phases[wp as usize].step_range();
+            let (d0, _) = ls.phases[dp as usize].step_range();
+            assert!(d0 > w1, "detector strictly after workers when traced");
+        }
+    }
+
+    #[test]
+    fn detector_tasks_are_spontaneous_when_untraced() {
+        let tr = pdes_charm(&PdesParams::fig24());
+        let worker_done = tr.entries.iter().find(|e| e.name == "workerDone").unwrap().id;
+        let done_tasks: Vec<_> = tr.tasks.iter().filter(|t| t.entry == worker_done).collect();
+        assert!(!done_tasks.is_empty());
+        assert!(done_tasks.iter().all(|t| t.sink.is_none()));
+    }
+}

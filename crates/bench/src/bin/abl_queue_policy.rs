@@ -1,0 +1,94 @@
+//! The paper's core premise, tested directly: the recovered logical
+//! structure reflects the *program*, not the scheduler. We run the same
+//! Jacobi workload under FIFO, LIFO, and random per-PE queue policies —
+//! wildly different physical interleavings — and compare structures.
+
+use lsr_apps::grid::Grid2D;
+use lsr_bench::banner;
+use lsr_charm::{Ctx, Placement, QueuePolicy, RedOp, RedTarget, Sim, SimConfig};
+use lsr_core::{extract, phase_signature, Config};
+use lsr_trace::{Dur, EntryId, Time, Trace};
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct S {
+    iter: u32,
+    got: u32,
+}
+
+fn jacobi_with_policy(policy: QueuePolicy) -> Trace {
+    let grid = Grid2D::new(4, 4);
+    let mut sim = Sim::new(SimConfig::new(4).with_seed(0x99).with_policy(policy));
+    let arr = sim.add_array("jacobi", grid.len(), Placement::Block, |_| S::default());
+    let elems = sim.elements(arr).to_vec();
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let en = e_next.clone();
+    let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut S, _d| {
+        s.got += 1;
+        if s.got == grid.neighbors4(ctx.my_index()).len() as u32 {
+            s.got = 0;
+            ctx.compute(Dur::from_micros(25));
+            ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+        }
+    });
+    let el = elems.clone();
+    let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut S, _d| {
+        s.iter += 1;
+        if s.iter > 3 {
+            return;
+        }
+        for nb in grid.neighbors4(ctx.my_index()) {
+            ctx.send(el[nb as usize], halo, vec![]);
+        }
+    });
+    e_next.set(next);
+    for &c in &elems {
+        sim.inject(c, next, vec![], Time::ZERO);
+    }
+    sim.run()
+}
+
+fn main() {
+    banner("abl_queue_policy", "structure invariance across scheduler policies");
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("FIFO", QueuePolicy::Fifo),
+        ("LIFO", QueuePolicy::Lifo),
+        ("Random", QueuePolicy::Random),
+    ] {
+        let trace = jacobi_with_policy(policy);
+        let ls = extract(&trace, &Config::charm());
+        ls.verify(&trace).expect("invariants");
+        let full = ls
+            .phases
+            .iter()
+            .filter(|p| !p.is_runtime && p.chares.len() >= 16)
+            .count();
+        println!(
+            "{name:>6}: {} phases ({} app), {} full halo phases, {} steps, span {:?}",
+            ls.num_phases(),
+            ls.app_phase_count(),
+            full,
+            ls.max_step() + 1,
+            trace.span().1
+        );
+        rows.push((name, ls.num_phases(), full, phase_signature(&ls)));
+    }
+    // Every policy must recover all three iterations' halo phases.
+    for (name, _, full, _) in &rows {
+        assert!(*full >= 3, "{name}: lost an iteration ({full} full phases)");
+    }
+    // FIFO is the reference; adversarial policies (LIFO inverts every
+    // queue) may split a few more boundary remnants but never lose the
+    // program's shape.
+    let reference = rows[0].1 as i64;
+    for (name, phases, _, _) in &rows[1..] {
+        let d = (*phases as i64 - reference).abs();
+        assert!(d <= 5, "{name}: phase count drifted by {d} from FIFO");
+    }
+    println!(
+        "=> every scheduler policy recovers the iteration structure; adversarial \
+         queues cost at most a few boundary remnants"
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 3: the ring walkthrough — each chare invokes `recvResult` on
+//! its neighbor; the dependency merge puts matching endpoints into one
+//! partition and the resulting cycle collapses into a single phase.
+
+use lsr_bench::banner;
+use lsr_charm::{Ctx, Placement, Sim, SimConfig};
+use lsr_core::{extract, Config};
+use lsr_render::logical_by_phase;
+use lsr_trace::{Dur, EntryId, Time};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn main() {
+    banner("Fig 3", "ring recvResult: dependency merge + cycle merge => one phase");
+    let n = 8u32;
+    let mut sim = Sim::new(SimConfig::new(4).with_seed(3));
+    let arr = sim.add_array("arrChares", n, Placement::Block, |_| ());
+    let elems = sim.elements(arr).to_vec();
+    let e_recv: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let recv = sim.add_entry("recvResult", Some(1), |ctx: &mut Ctx, _s: &mut (), _d| {
+        ctx.compute(Dur::from_micros(5));
+    });
+    e_recv.set(recv);
+    let el = elems.clone();
+    let serial0 = sim.add_entry("serial_0", Some(0), move |ctx: &mut Ctx, _s: &mut (), _d| {
+        ctx.compute(Dur::from_micros(5));
+        let i = ctx.my_index();
+        let dst = el[((i + n - 1) % n) as usize];
+        ctx.send(dst, recv, vec![]);
+    });
+    for &c in &elems {
+        sim.inject(c, serial0, vec![], Time::ZERO);
+    }
+    let trace = sim.run();
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("structure invariants");
+
+    println!("{}", ls.summary(&trace));
+    println!("{}", logical_by_phase(&trace, &ls));
+    println!("dependency merges : {}", ls.diagnostics.dependency_merges);
+    println!("cycle merges      : {}", ls.diagnostics.cycle_merges);
+    assert_eq!(ls.num_phases(), 1, "the ring must collapse into a single phase");
+    println!("=> single phase, as in Fig 3(d)");
+}

@@ -1,0 +1,79 @@
+//! Figs. 9–10: a 1,024-process MPI merge tree. Data-dependent load
+//! imbalance makes some groups send their second-level messages before
+//! others finish the first, scattering receives in physical order;
+//! reordering (§3.2.1's message-passing variant) restores the parallel
+//! level structure.
+
+use lsr_apps::{mergetree_mpi, MergeTreeParams};
+use lsr_bench::{banner, full_scale, write_artifact};
+use lsr_core::{extract, Config, LogicalStructure};
+use lsr_render::{logical_svg, Coloring};
+use lsr_trace::Trace;
+
+/// For each tree level, the number of distinct global steps its
+/// receives land on — 1 means the level is perfectly aligned.
+fn level_step_spread(trace: &Trace, ls: &LogicalStructure, levels: u32) -> Vec<usize> {
+    (0..levels)
+        .map(|l| {
+            let step = 1u32 << l;
+            let mut steps: Vec<u64> = trace
+                .tasks
+                .iter()
+                .filter(|t| {
+                    // The level-l receive happens on ranks divisible by
+                    // 2^(l+1); it is that rank's (l+1)-th task overall
+                    // (compute folded into ops), so match by sink count.
+                    let r = trace.chare(t.chare).index;
+                    t.sink.is_some() && r.is_multiple_of(2 * step) && {
+                        // sink's source rank == r + step identifies level
+                        let sink = t.sink.unwrap();
+                        match trace.event(sink).kind {
+                            lsr_trace::EventKind::Recv { msg: Some(m) } => {
+                                let src_task = trace.event(trace.msg(m).send_event).task;
+                                trace.chare(trace.task(src_task).chare).index == r + step
+                            }
+                            _ => false,
+                        }
+                    }
+                })
+                .map(|t| ls.global_step(t.sink.unwrap()))
+                .collect();
+            steps.sort_unstable();
+            steps.dedup();
+            steps.len()
+        })
+        .collect()
+}
+
+fn main() {
+    banner("Fig 10", "MPI merge tree: reordering restores parallel level structure");
+    let mut params = MergeTreeParams::fig10();
+    if !full_scale() {
+        params.ranks = 256; // LSR_FULL=1 runs the paper's 1,024 ranks
+    }
+    println!("ranks = {}", params.ranks);
+    let trace = mergetree_mpi(&params);
+    let levels = params.ranks.trailing_zeros();
+
+    // The paper notes the per-process control-order assumption breaks
+    // exactly here (§3.4), so both structures are computed without it.
+    let physical = extract(&trace, &Config::mpi_baseline().with_process_order(false));
+    let reordered = extract(&trace, &Config::mpi().with_process_order(false));
+    physical.verify(&trace).expect("invariants");
+    reordered.verify(&trace).expect("invariants");
+
+    let sp = level_step_spread(&trace, &physical, levels);
+    let sr = level_step_spread(&trace, &reordered, levels);
+    println!("\nlevel | receives | distinct steps (physical) | distinct steps (reordered)");
+    for l in 0..levels as usize {
+        let receives = params.ranks >> (l + 1);
+        println!("{l:>5} | {receives:>8} | {:>25} | {:>26}", sp[l], sr[l]);
+    }
+    let total_p: usize = sp.iter().sum();
+    let total_r: usize = sr.iter().sum();
+    println!("\ntotal spread: physical={total_p}, reordered={total_r}");
+    assert!(total_r <= total_p, "reordering must compact the early levels");
+
+    write_artifact("fig10_physical.svg", &logical_svg(&trace, &physical, &Coloring::Phase));
+    write_artifact("fig10_reordered.svg", &logical_svg(&trace, &reordered, &Coloring::Phase));
+}

@@ -1,0 +1,56 @@
+//! Fig. 14: processor imbalance per event on a 16-chare Jacobi 2D run.
+//! The iteration with the injected long event shows greater imbalance
+//! than the one after it, and both chares on the overloaded processor
+//! are highlighted.
+
+use lsr_apps::{jacobi2d, JacobiParams};
+use lsr_bench::{banner, write_artifact};
+use lsr_core::{extract, Config};
+use lsr_metrics::Imbalance;
+use lsr_render::{logical_by_metric, logical_svg, Coloring};
+
+fn main() {
+    banner("Fig 14", "per-processor imbalance per event, 16-chare Jacobi 2D");
+    let params = JacobiParams::fig15();
+    let trace = jacobi2d(&params);
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("invariants");
+
+    let imb = Imbalance::compute(&trace, &ls);
+    println!("phase | leap | kind | imbalance (max-min load)");
+    for p in ls.phases_by_offset() {
+        let ph = &ls.phases[p as usize];
+        println!(
+            "{p:>5} | {:>4} | {} | {}",
+            ph.leap,
+            if ph.is_runtime { "rt " } else { "app" },
+            imb.per_phase[p as usize]
+        );
+    }
+
+    // The straggler iteration's application phase must be the most
+    // imbalanced one.
+    let (worst_phase, worst) = imb
+        .per_phase
+        .iter()
+        .enumerate()
+        .filter(|&(p, _)| !ls.phases[p].is_runtime)
+        .max_by_key(|&(_, d)| d)
+        .expect("phases exist");
+    println!("\nmost imbalanced app phase: {worst_phase} ({worst})");
+    let straggler_extra = params.straggler.expect("fig15 params have one").2;
+    // Compute jitter moves the baseline a little; the injected extra
+    // must still dominate the phase's imbalance.
+    assert!(
+        worst.nanos() * 4 >= straggler_extra.nanos() * 3,
+        "imbalance must reflect the injected {straggler_extra}, got {worst}"
+    );
+
+    let per_event: Vec<f64> = trace
+        .event_ids()
+        .map(|e| imb.event_value(&trace, &ls, e).nanos() as f64)
+        .collect();
+    println!("\n{}", logical_by_metric(&trace, &ls, &per_event));
+    write_artifact("fig14_imbalance.svg", &logical_svg(&trace, &ls, &Coloring::Metric(per_event)));
+    println!("total imbalance: {}", imb.total());
+}

@@ -1,0 +1,50 @@
+//! Figs. 13 & 15: differential duration on a 16-chare Jacobi 2D run
+//! where one chare experiences a significantly longer compute block.
+
+use lsr_apps::{jacobi2d, JacobiParams};
+use lsr_bench::{banner, write_artifact};
+use lsr_core::{extract, Config};
+use lsr_metrics::{attributes_whole_task, sub_block_durations, DifferentialDuration};
+use lsr_render::{logical_by_metric, logical_svg, physical_svg, Coloring};
+use lsr_trace::Dur;
+
+fn main() {
+    banner("Fig 15", "differential duration, 16-chare Jacobi 2D with one long event");
+    let params = JacobiParams::fig15();
+    let trace = jacobi2d(&params);
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("invariants");
+
+    // Sub-block accounting must cover every task exactly (Fig. 13).
+    let subs = sub_block_durations(&trace);
+    assert!(attributes_whole_task(&trace, &subs), "sub-blocks partition tasks");
+
+    let dd = DifferentialDuration::compute(&trace, &ls);
+    let (worst_event, worst) = dd.max().expect("events exist");
+    let worst_chare = trace.chare(trace.event_chare(worst_event));
+    println!(
+        "max differential duration: {worst} at {worst_event} (chare index {})",
+        worst_chare.index
+    );
+    let (who, when, extra) = params.straggler.expect("fig15 has a straggler");
+    assert_eq!(worst_chare.index, who, "the injected straggler must stand out");
+    println!("injected: chare {who}, iteration {when}, extra {extra}");
+
+    println!("\ntop outliers (> 10us):");
+    for (e, d) in dd.outliers(Dur::from_micros(10)).into_iter().take(8) {
+        println!(
+            "  {e} step {:>4} chare {:>2} : {d}",
+            ls.global_step(e),
+            trace.chare(trace.event_chare(e)).index
+        );
+    }
+
+    let per_event: Vec<f64> = dd.per_event.iter().map(|d| d.nanos() as f64).collect();
+    println!("\nlogical view (differential duration):");
+    println!("{}", logical_by_metric(&trace, &ls, &per_event));
+    write_artifact(
+        "fig15_logical.svg",
+        &logical_svg(&trace, &ls, &Coloring::Metric(per_event.clone())),
+    );
+    write_artifact("fig15_physical.svg", &physical_svg(&trace, &ls, &Coloring::Metric(per_event)));
+}

@@ -1,0 +1,91 @@
+//! Fig. 16: logical structures of LULESH traces from MPI and Charm++.
+//! The MPI trace repeats *three* point-to-point phases followed by an
+//! allreduce; the Charm++ trace repeats *two* phases followed by an
+//! allreduce.
+
+use lsr_apps::{lulesh_charm, lulesh_mpi, LuleshParams};
+use lsr_bench::{banner, write_artifact};
+use lsr_core::{extract, phase_signature, Config, LogicalStructure};
+use lsr_render::{logical_by_phase, logical_svg, Coloring};
+use lsr_trace::Trace;
+
+/// Counts the application point-to-point phases between consecutive
+/// collective/runtime phases, skipping the setup prefix.
+fn repeating_p2p_counts(ls: &LogicalStructure) -> Vec<usize> {
+    let sig = phase_signature(ls);
+    let mut counts = Vec::new();
+    let mut current = 0usize;
+    for (is_rt, _) in sig {
+        if is_rt {
+            counts.push(current);
+            current = 0;
+        } else {
+            current += 1;
+        }
+    }
+    counts
+}
+
+fn report(name: &str, trace: &Trace, ls: &LogicalStructure) -> Vec<usize> {
+    println!("\n--- {name} ---");
+    println!("{}", ls.summary(trace));
+    println!("{}", logical_by_phase(trace, ls));
+    let counts = repeating_p2p_counts(ls);
+    println!("app phases before each collective: {counts:?}");
+    counts
+}
+
+fn main() {
+    banner("Fig 16", "LULESH logical structure: MPI (3 phases + allreduce) vs Charm++ (2 + allreduce)");
+
+    let mpi = lulesh_mpi(&LuleshParams::fig16_mpi());
+    let mpi_ls = extract(&mpi, &Config::mpi());
+    mpi_ls.verify(&mpi).expect("mpi invariants");
+
+    let charm = lulesh_charm(&LuleshParams::fig16_charm());
+    let charm_ls = extract(&charm, &Config::charm());
+    charm_ls.verify(&charm).expect("charm invariants");
+
+    // MPI collectives are abstracted calls; count the point-to-point
+    // phases between consecutive collective phases.
+    println!("\n--- (a) MPI, 8 processes ---");
+    println!("{}", mpi_ls.summary(&mpi));
+    println!("{}", logical_by_phase(&mpi, &mpi_ls));
+    let allred = mpi.entries.iter().find(|e| e.name == "MPI_Allreduce").unwrap().id;
+    let mut mpi_counts = Vec::new();
+    let mut run = 0usize;
+    for &p in &mpi_ls.phases_by_offset() {
+        let ph = &mpi_ls.phases[p as usize];
+        let is_collective =
+            ph.tasks.iter().filter(|&&t| mpi.task(t).entry == allred).count() * 2 > ph.tasks.len();
+        if is_collective {
+            mpi_counts.push(run);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    println!("MPI p2p phases before each allreduce: {mpi_counts:?}");
+    let mpi_steady: Vec<usize> = mpi_counts.iter().copied().skip(1).collect();
+    assert!(
+        mpi_steady.iter().all(|&c| c == 3),
+        "MPI LULESH must repeat 3 phases + allreduce, got {mpi_counts:?}"
+    );
+
+    let charm_counts = report("(b) Charm++, 8 chares / 2 processors", &charm, &charm_ls);
+    // Repeating pattern: after setup, each Charm++ iteration shows two
+    // application phases before its reduction.
+    let steady: Vec<usize> =
+        charm_counts.iter().copied().filter(|&c| c > 0).skip(1).collect();
+    println!("\nCharm++ steady-state p2p phases per iteration: {steady:?}");
+    assert!(
+        steady.iter().all(|&c| c == 2),
+        "Charm++ LULESH must repeat 2 phases + allreduce, got {steady:?}"
+    );
+    println!(
+        "=> MPI repeats 3 p2p phases + allreduce; Charm++ repeats 2 + allreduce (paper Fig. 16)"
+    );
+
+    write_artifact("fig16_mpi.svg", &logical_svg(&mpi, &mpi_ls, &Coloring::Phase));
+    write_artifact("fig16_charm.svg", &logical_svg(&charm, &charm_ls, &Coloring::Phase));
+}

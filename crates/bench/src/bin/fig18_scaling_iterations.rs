@@ -1,0 +1,48 @@
+//! Fig. 18: time to calculate logical structure for a 64-chare LULESH
+//! execution at increasing iteration counts. The paper reports times
+//! directly proportional to the iteration count (e.g. 8 iters 0.2s …
+//! 512 iters 9.6s on a Core i7-4770); we verify the *shape*: a log-log
+//! slope near 1 (linear scaling).
+
+use lsr_apps::{lulesh_charm, LuleshParams};
+use lsr_bench::{banner, full_scale, loglog_slope, secs, timed, write_artifact};
+use lsr_core::{extract, Config};
+
+fn main() {
+    banner("Fig 18", "extraction time vs iterations (64-chare LULESH)");
+    let iters: Vec<u32> = if full_scale() {
+        vec![8, 16, 32, 64, 128, 256, 512]
+    } else {
+        vec![8, 16, 32, 64, 128]
+    };
+    let mut points = Vec::new();
+    let mut csv = String::from("iterations,tasks,events,phases,seconds\n");
+    println!("iterations | tasks    | events   | phases | extraction time");
+    for &it in &iters {
+        let trace = lulesh_charm(&LuleshParams::scaling(4, it)); // 4^3 = 64 chares
+        let (ls, dt) = timed(|| extract(&trace, &Config::charm()));
+        ls.verify(&trace).expect("invariants");
+        println!(
+            "{it:>10} | {:>8} | {:>8} | {:>6} | {}",
+            trace.tasks.len(),
+            trace.events.len(),
+            ls.num_phases(),
+            secs(dt)
+        );
+        csv.push_str(&format!(
+            "{it},{},{},{},{:.6}\n",
+            trace.tasks.len(),
+            trace.events.len(),
+            ls.num_phases(),
+            dt.as_secs_f64()
+        ));
+        points.push((it as f64, dt.as_secs_f64()));
+    }
+    let slope = loglog_slope(&points);
+    println!("\nlog-log slope: {slope:.2} (paper: ~1.0, directly proportional)");
+    write_artifact("fig18_scaling_iterations.csv", &csv);
+    assert!(
+        slope < 1.5,
+        "iteration scaling must stay near-linear, got exponent {slope:.2}"
+    );
+}

@@ -1,0 +1,63 @@
+//! Fig. 23 and the §6.2 imbalance comparison: as the wavefront
+//! propagates, more chares share the high differential duration; the
+//! 64-chare decomposition splits the front into smaller pieces, so its
+//! maximum differential duration is roughly a quarter of the 8-chare
+//! run's, and its overall imbalance is less than half.
+
+use lsr_apps::{front_shares, lassen_charm, LassenParams};
+use lsr_apps::grid::Grid2D;
+use lsr_bench::{banner, write_artifact};
+use lsr_core::{extract, Config};
+use lsr_metrics::{DifferentialDuration, Imbalance};
+use lsr_trace::Dur;
+
+fn main() {
+    banner("Fig 23", "wavefront spread across chares; 8- vs 64-chare decomposition");
+    let iters = 10;
+    let mut p8 = LassenParams::chares8();
+    p8.iters = iters;
+    let mut p64 = LassenParams::chares64();
+    p64.iters = iters;
+
+    // The analytic front model: how many chares the front crosses.
+    println!("iteration | front chares (8-dec) | front chares (64-dec)");
+    let g8 = Grid2D::new(p8.gx, p8.gy);
+    let g64 = Grid2D::new(p64.gx, p64.gy);
+    let mut csv = String::from("iteration,front8,front64\n");
+    for it in 0..iters {
+        let c8 = front_shares(g8, it, p8.front_speed).0.iter().filter(|&&s| s > 0.0).count();
+        let c64 = front_shares(g64, it, p64.front_speed).0.iter().filter(|&&s| s > 0.0).count();
+        println!("{it:>9} | {c8:>20} | {c64:>21}");
+        csv.push_str(&format!("{it},{c8},{c64}\n"));
+    }
+    write_artifact("fig23_front_spread.csv", &csv);
+
+    // Measured: the front chare count grows over the run.
+    let early8 = front_shares(g8, 0, p8.front_speed).0.iter().filter(|&&s| s > 0.0).count();
+    let late64 = front_shares(g64, iters - 1, p64.front_speed).0.iter().filter(|&&s| s > 0.0).count();
+    assert!(late64 > early8, "the front must spread over more chares");
+
+    let t8 = lassen_charm(&p8);
+    let t64 = lassen_charm(&p64);
+    let l8 = extract(&t8, &Config::charm());
+    let l64 = extract(&t64, &Config::charm());
+    l8.verify(&t8).expect("8-chare invariants");
+    l64.verify(&t64).expect("64-chare invariants");
+
+    let d8 = DifferentialDuration::compute(&t8, &l8).max().map(|(_, d)| d).unwrap_or(Dur::ZERO);
+    let d64 = DifferentialDuration::compute(&t64, &l64).max().map(|(_, d)| d).unwrap_or(Dur::ZERO);
+    println!("\nmax differential duration: 8-chare {d8}, 64-chare {d64}");
+    println!("ratio: {:.2} (paper: ~4x)", d8.nanos() as f64 / d64.nanos().max(1) as f64);
+    assert!(d64.nanos() * 2 < d8.nanos(), "finer decomposition must cut the max differential");
+
+    let imb8 = Imbalance::compute(&t8, &l8);
+    let imb64 = Imbalance::compute(&t64, &l64);
+    println!("per-phase imbalance sum: 8-chare {}, 64-chare {}", imb8.total(), imb64.total());
+    let (o8, o64) = (imb8.overall(), imb64.overall());
+    println!("overall imbalance across processors: 8-chare {o8}, 64-chare {o64}");
+    println!("ratio: {:.2} (paper: less than half)", o8.nanos() as f64 / o64.nanos().max(1) as f64);
+    assert!(
+        o64.nanos() * 2 < o8.nanos(),
+        "64-chare run must show less than half the overall imbalance (got {o8} vs {o64})"
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 24: a 16-chare, 4-process PDES run whose completion-detector
+//! call is not recorded. With no trace data for the dependency, the
+//! worker (mustard) phase and detector (gray) phase legally cover the
+//! same global steps. Tracing the call (the §7.1 recommendation)
+//! restores the sequence.
+
+use lsr_apps::{pdes_charm, PdesParams};
+use lsr_bench::{banner, write_artifact};
+use lsr_core::{extract, Config, LogicalStructure};
+use lsr_render::{logical_by_phase, logical_svg, Coloring};
+use lsr_trace::Trace;
+
+/// Step ranges of the dominant worker and detector phases.
+fn phase_ranges(trace: &Trace, ls: &LogicalStructure) -> ((u64, u64), (u64, u64)) {
+    let dominant = |entry_name: &str| {
+        let entry = trace.entries.iter().find(|e| e.name == entry_name).unwrap().id;
+        let mut per = vec![0usize; ls.num_phases()];
+        for t in &trace.tasks {
+            if t.entry == entry {
+                per[ls.phase_of_task(t.id) as usize] += 1;
+            }
+        }
+        let p = per.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(p, _)| p).unwrap();
+        ls.phases[p].step_range()
+    };
+    (dominant("recvEvent"), dominant("workerDone"))
+}
+
+fn main() {
+    banner("Fig 24", "PDES: unrecorded completion-detector call ⇒ concurrent phases");
+
+    let trace = pdes_charm(&PdesParams::fig24());
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("invariants");
+    println!("{}", ls.summary(&trace));
+    println!("{}", logical_by_phase(&trace, &ls));
+    let ((w0, w1), (d0, d1)) = phase_ranges(&trace, &ls);
+    println!("worker (mustard) phase steps: {w0}..{w1}");
+    println!("detector (gray) phase steps:  {d0}..{d1}");
+    let overlap = w0 <= d1 && d0 <= w1;
+    println!("overlap: {overlap} — nothing structurally prevents both phases from covering the same steps");
+    assert!(overlap, "Fig 24 requires overlapping phases");
+    write_artifact("fig24_untraced.svg", &logical_svg(&trace, &ls, &Coloring::Phase));
+
+    // Counterfactual per §7.1: record the control flow through the
+    // runtime and the phases sequence correctly.
+    let mut p = PdesParams::fig24();
+    p.trace_detector_call = true;
+    let traced = pdes_charm(&p);
+    let ls2 = extract(&traced, &Config::charm());
+    ls2.verify(&traced).expect("invariants");
+    let ((tw0, tw1), (td0, td1)) = phase_ranges(&traced, &ls2);
+    println!("\nwith the call traced (§7.1 guideline):");
+    println!("worker phase steps:   {tw0}..{tw1}");
+    println!("detector phase steps: {td0}..{td1}");
+    let sequenced = td0 > tw1 || (tw0 == td0 && tw1 == td1);
+    println!("sequenced or merged: {sequenced}");
+    assert!(sequenced, "tracing the dependency must fix the ordering");
+    write_artifact("fig24_traced.svg", &logical_svg(&traced, &ls2, &Coloring::Phase));
+}

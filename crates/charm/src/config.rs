@@ -1,0 +1,116 @@
+//! Simulator configuration.
+
+use lsr_trace::Dur;
+
+/// How a PE's scheduler picks the next message from its queue.
+///
+/// Charm++'s default scheduler is FIFO-ish, but prioritized queues and
+/// runtime internals make the effective order non-deterministic; the
+/// alternative policies let tests and benchmarks stress the reordering
+/// stage with adversarial schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// First-in first-out delivery.
+    Fifo,
+    /// Last-in first-out delivery (maximally perturbs arrival order).
+    Lifo,
+    /// Uniformly random pick from the pending queue (seeded).
+    Random,
+}
+
+/// Configuration for a [`crate::Sim`] run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processing elements.
+    pub pes: u32,
+    /// RNG seed controlling all jitter and random scheduling.
+    pub seed: u64,
+    /// Mean network latency for messages between different PEs.
+    pub net_latency: Dur,
+    /// Latency for messages delivered on the same PE.
+    pub local_latency: Dur,
+    /// Relative jitter applied to latencies and compute times, in
+    /// [0, 1). `0.2` means durations vary uniformly within ±20%.
+    pub jitter: f64,
+    /// Scheduler queue policy.
+    pub policy: QueuePolicy,
+    /// Whether process-local reduction messages (application chare →
+    /// `CkReductionMgr`) are recorded in the trace. This is the paper's
+    /// §5 tracing addition; disabling it reproduces the pre-modification
+    /// trace with missing runtime dependencies.
+    pub trace_reductions: bool,
+    /// Minimum duration of any task, so zero-work handlers still occupy
+    /// the PE.
+    pub min_task: Dur,
+    /// Periodic greedy load balancing: every `period`, application
+    /// chares are redistributed so accumulated loads even out (the
+    /// runtime capability over-decomposition exists for). `None`
+    /// disables it.
+    pub lb_period: Option<Dur>,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration on `pes` processors.
+    pub fn new(pes: u32) -> SimConfig {
+        SimConfig {
+            pes,
+            seed: 0xC0FFEE,
+            net_latency: Dur::from_micros(10),
+            local_latency: Dur::from_micros(1),
+            jitter: 0.2,
+            policy: QueuePolicy::Fifo,
+            trace_reductions: true,
+            min_task: Dur::from_micros(1),
+            lb_period: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the queue policy.
+    pub fn with_policy(mut self, policy: QueuePolicy) -> SimConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables §5 reduction tracing.
+    pub fn with_trace_reductions(mut self, on: bool) -> SimConfig {
+        self.trace_reductions = on;
+        self
+    }
+
+    /// Sets the relative jitter (clamped to [0, 0.95]).
+    pub fn with_jitter(mut self, jitter: f64) -> SimConfig {
+        self.jitter = jitter.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Enables periodic greedy load balancing.
+    pub fn with_load_balancing(mut self, period: Dur) -> SimConfig {
+        self.lb_period = Some(period);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SimConfig::new(4)
+            .with_seed(7)
+            .with_policy(QueuePolicy::Lifo)
+            .with_trace_reductions(false)
+            .with_jitter(2.0);
+        assert_eq!(c.pes, 4);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.policy, QueuePolicy::Lifo);
+        assert!(!c.trace_reductions);
+        assert_eq!(c.jitter, 0.95);
+    }
+}

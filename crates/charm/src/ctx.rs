@@ -1,0 +1,272 @@
+//! The execution context handed to entry-method handlers.
+
+use crate::msg::{RedOp, RedTarget};
+use lsr_trace::{ChareId, Dur, EntryId, PeId, Time};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// An action issued by a handler, applied by the engine after the
+/// handler returns (so the handler never borrows the engine).
+#[derive(Debug, Clone)]
+pub(crate) enum Action {
+    Send {
+        at: Time,
+        dst: ChareId,
+        entry: EntryId,
+        data: Vec<i64>,
+        traced: bool,
+        prio: i32,
+    },
+    Broadcast {
+        at: Time,
+        dsts: Vec<ChareId>,
+        entry: EntryId,
+        data: Vec<i64>,
+    },
+    Contribute {
+        at: Time,
+        value: i64,
+        op: RedOp,
+        target: RedTarget,
+    },
+    MigrateSelf {
+        to: PeId,
+    },
+}
+
+/// Context for one entry-method execution (one serial block).
+///
+/// Provides the Charm++-flavored verbs: `send`, `broadcast`,
+/// `contribute`, plus simulated computation via [`Ctx::compute`]. All
+/// communication is buffered and applied when the handler returns;
+/// timestamps are taken from the task's internal clock, which only
+/// [`Ctx::compute`] advances.
+pub struct Ctx<'a> {
+    pub(crate) cursor: Time,
+    pub(crate) begin: Time,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) jitter: f64,
+    chare: ChareId,
+    index: u32,
+    elems: &'a [ChareId],
+    pe: PeId,
+}
+
+impl<'a> Ctx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        begin: Time,
+        rng: &'a mut SmallRng,
+        jitter: f64,
+        chare: ChareId,
+        index: u32,
+        elems: &'a [ChareId],
+        pe: PeId,
+    ) -> Ctx<'a> {
+        Ctx {
+            cursor: begin,
+            begin,
+            actions: Vec::new(),
+            rng,
+            jitter,
+            chare,
+            index,
+            elems,
+            pe,
+        }
+    }
+
+    /// Current simulated time inside the task.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.cursor
+    }
+
+    /// When the task began (the serial block's start).
+    #[inline]
+    pub fn begin(&self) -> Time {
+        self.begin
+    }
+
+    /// The chare executing this task.
+    #[inline]
+    pub fn my_chare(&self) -> ChareId {
+        self.chare
+    }
+
+    /// Index of this chare within its array.
+    #[inline]
+    pub fn my_index(&self) -> u32 {
+        self.index
+    }
+
+    /// Number of elements in this chare's array.
+    #[inline]
+    pub fn array_size(&self) -> u32 {
+        self.elems.len() as u32
+    }
+
+    /// The chare id of element `index` of this chare's array.
+    #[inline]
+    pub fn element(&self, index: u32) -> ChareId {
+        self.elems[index as usize]
+    }
+
+    /// The PE executing this task.
+    #[inline]
+    pub fn my_pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Simulates `d` of computation, perturbed by the configured jitter.
+    pub fn compute(&mut self, d: Dur) {
+        let jittered = self.apply_jitter(d);
+        self.cursor += jittered;
+    }
+
+    /// Simulates exactly `d` of computation (no jitter), for workloads
+    /// that need reproducible long events (e.g. injected stragglers).
+    pub fn compute_exact(&mut self, d: Dur) {
+        self.cursor += d;
+    }
+
+    pub(crate) fn apply_jitter(&mut self, d: Dur) -> Dur {
+        if self.jitter <= 0.0 {
+            return d;
+        }
+        let u: f64 = self.rng.gen::<f64>() * 2.0 - 1.0;
+        let scaled = d.nanos() as f64 * (1.0 + self.jitter * u);
+        Dur(scaled.max(1.0) as u64)
+    }
+
+    /// Invokes `entry` on `dst` with `data`; recorded in the trace.
+    pub fn send(&mut self, dst: ChareId, entry: EntryId, data: Vec<i64>) {
+        self.actions
+            .push(Action::Send { at: self.cursor, dst, entry, data, traced: true, prio: 0 });
+    }
+
+    /// Like [`Ctx::send`], with a queue priority: smaller values are
+    /// scheduled first on the destination PE (Charm++'s prioritized
+    /// messages), letting urgent work overtake queued messages.
+    pub fn send_with_priority(
+        &mut self,
+        dst: ChareId,
+        entry: EntryId,
+        data: Vec<i64>,
+        prio: i32,
+    ) {
+        self.actions
+            .push(Action::Send { at: self.cursor, dst, entry, data, traced: true, prio });
+    }
+
+    /// Invokes `entry` on `dst` without recording the send in the trace:
+    /// a control dependency lost to the runtime (paper Fig. 24).
+    pub fn send_untraced(&mut self, dst: ChareId, entry: EntryId, data: Vec<i64>) {
+        self.actions
+            .push(Action::Send { at: self.cursor, dst, entry, data, traced: false, prio: 0 });
+    }
+
+    /// Broadcasts to an explicit set of chares as a single send event
+    /// fanning out to one message per destination.
+    pub fn broadcast(&mut self, dsts: Vec<ChareId>, entry: EntryId, data: Vec<i64>) {
+        assert!(!dsts.is_empty(), "broadcast needs destinations");
+        self.actions.push(Action::Broadcast { at: self.cursor, dsts, entry, data });
+    }
+
+    /// Broadcasts to every element of this chare's own array.
+    pub fn broadcast_array(&mut self, entry: EntryId, data: Vec<i64>) {
+        self.broadcast(self.elems.to_vec(), entry, data);
+    }
+
+    /// Contributes `value` to the current reduction over this chare's
+    /// array. All elements must contribute with the same `op` and
+    /// `target`; results are combined up a PE spanning tree by the
+    /// per-PE `CkReductionMgr` runtime chares and delivered to `target`.
+    pub fn contribute(&mut self, value: i64, op: RedOp, target: RedTarget) {
+        self.actions.push(Action::Contribute { at: self.cursor, value, op, target });
+    }
+
+    /// Migrates this chare to `pe` once the current task completes.
+    pub fn migrate_self(&mut self, pe: PeId) {
+        self.actions.push(Action::MigrateSelf { to: pe });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_with<'a>(rng: &'a mut SmallRng, elems: &'a [ChareId], jitter: f64) -> Ctx<'a> {
+        Ctx::new(Time(100), rng, jitter, ChareId(1), 1, elems, PeId(0))
+    }
+
+    #[test]
+    fn compute_advances_cursor_monotonically() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let elems = [ChareId(0), ChareId(1)];
+        let mut c = ctx_with(&mut rng, &elems, 0.5);
+        let t0 = c.now();
+        c.compute(Dur(1_000));
+        assert!(c.now() > t0);
+        c.compute_exact(Dur(500));
+        assert_eq!(c.now().0, t0.0 + (c.now().0 - t0.0)); // still monotone
+        assert_eq!(c.begin(), Time(100));
+    }
+
+    #[test]
+    fn jitter_zero_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let elems = [ChareId(0)];
+        let mut c = ctx_with(&mut rng, &elems, 0.0);
+        c.compute(Dur(777));
+        assert_eq!(c.now(), Time(877));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let elems = [ChareId(0)];
+        let mut c = ctx_with(&mut rng, &elems, 0.2);
+        for _ in 0..100 {
+            let d = c.apply_jitter(Dur(10_000));
+            assert!(d.nanos() >= 8_000 && d.nanos() <= 12_000, "jittered {d:?}");
+        }
+    }
+
+    #[test]
+    fn actions_record_issue_time() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let elems = [ChareId(0), ChareId(1)];
+        let mut c = ctx_with(&mut rng, &elems, 0.0);
+        c.compute(Dur(10));
+        c.send(ChareId(0), EntryId(0), vec![1]);
+        c.compute(Dur(10));
+        c.send_untraced(ChareId(0), EntryId(0), vec![]);
+        c.contribute(5, RedOp::Sum, RedTarget::Broadcast(EntryId(1)));
+        assert_eq!(c.actions.len(), 3);
+        match (&c.actions[0], &c.actions[1]) {
+            (
+                Action::Send { at: a, traced: true, prio: 0, .. },
+                Action::Send { at: b, traced: false, .. },
+            ) => {
+                assert_eq!(*a, Time(110));
+                assert_eq!(*b, Time(120));
+            }
+            other => panic!("unexpected actions {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_introspection() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let elems = [ChareId(5), ChareId(6), ChareId(7)];
+        let c = ctx_with(&mut rng, &elems, 0.0);
+        assert_eq!(c.array_size(), 3);
+        assert_eq!(c.element(2), ChareId(7));
+        assert_eq!(c.my_index(), 1);
+        assert_eq!(c.my_chare(), ChareId(1));
+        assert_eq!(c.my_pe(), PeId(0));
+    }
+}

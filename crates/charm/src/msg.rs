@@ -1,0 +1,103 @@
+//! Messages, reduction descriptors, and handler-visible payloads.
+
+use lsr_trace::{ChareId, EntryId, MsgId};
+
+/// Combining operator for a reduction over a chare array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    /// Sum of contributions.
+    Sum,
+    /// Minimum contribution.
+    Min,
+    /// Maximum contribution.
+    Max,
+}
+
+impl RedOp {
+    /// Applies the operator.
+    #[inline]
+    pub fn combine(self, a: i64, b: i64) -> i64 {
+        match self {
+            RedOp::Sum => a + b,
+            RedOp::Min => a.min(b),
+            RedOp::Max => a.max(b),
+        }
+    }
+
+    /// Identity element.
+    #[inline]
+    pub fn identity(self) -> i64 {
+        match self {
+            RedOp::Sum => 0,
+            RedOp::Min => i64::MAX,
+            RedOp::Max => i64::MIN,
+        }
+    }
+}
+
+/// Where a completed reduction delivers its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedTarget {
+    /// Broadcast the result to every element of the contributing array,
+    /// invoking `entry` (the common "everyone continues" callback).
+    Broadcast(EntryId),
+    /// Send the result to one chare's entry method.
+    Send(ChareId, EntryId),
+}
+
+/// The payload carried by an in-flight simulator message.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    /// An application message: opaque words handed to the user handler.
+    User(Vec<i64>),
+    /// Application chare → local `CkReductionMgr` contribution (§5).
+    ContribLocal {
+        array: lsr_trace::ArrayId,
+        seq: u32,
+        value: i64,
+        op: RedOp,
+        target: RedTarget,
+    },
+    /// Child mgr → parent mgr partial reduction along the PE tree.
+    ReduceUp {
+        array: lsr_trace::ArrayId,
+        seq: u32,
+        value: i64,
+        op: RedOp,
+        target: RedTarget,
+    },
+}
+
+/// A message sitting in flight or in a PE queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QMsg {
+    pub dst: ChareId,
+    pub entry: EntryId,
+    pub payload: Payload,
+    /// Trace message to be matched at delivery; `None` for untraced
+    /// sends and bootstrap injections.
+    pub trace_msg: Option<MsgId>,
+    /// Queue priority; smaller values are scheduled first (Charm++
+    /// convention). Application messages default to 0.
+    pub prio: i32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_matches_semantics() {
+        assert_eq!(RedOp::Sum.combine(2, 3), 5);
+        assert_eq!(RedOp::Min.combine(2, 3), 2);
+        assert_eq!(RedOp::Max.combine(2, 3), 3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for op in [RedOp::Sum, RedOp::Min, RedOp::Max] {
+            assert_eq!(op.combine(op.identity(), 42), 42);
+            assert_eq!(op.combine(42, op.identity()), 42);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Initial chare-to-PE placement strategies.
+
+use lsr_trace::PeId;
+
+/// How the elements of a chare array are initially mapped to PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Contiguous blocks: element `i` of `n` goes to `pe = i * P / n`.
+    Block,
+    /// Round robin: element `i` goes to `pe = i % P`.
+    RoundRobin,
+    /// Deterministic scatter (multiplicative hash): decorrelates PE
+    /// assignment from domain position, approximating what a load
+    /// balancer achieves for spatially clustered work.
+    Scatter,
+}
+
+impl Placement {
+    /// The PE for element `index` out of `count`, on `pes` processors.
+    pub fn pe_for(self, index: u32, count: u32, pes: u32) -> PeId {
+        debug_assert!(index < count && pes > 0);
+        match self {
+            Placement::Block => PeId((index as u64 * pes as u64 / count as u64) as u32),
+            Placement::RoundRobin => PeId(index % pes),
+            Placement::Scatter => {
+                // Multiplicative permutation of the index space (the
+                // multiplier is coprime with `count`, so this is a
+                // bijection), then a balanced block map onto PEs:
+                // per-PE counts stay within one of each other while
+                // spatial neighbors land on unrelated PEs.
+                let m = Self::coprime_multiplier(count);
+                let perm = (index as u64 * m) % count as u64;
+                PeId((perm * pes as u64 / count as u64) as u32)
+            }
+        }
+    }
+
+    /// An odd multiplier near `0.618 * count` coprime with `count`.
+    fn coprime_multiplier(count: u32) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut m = ((count as u64 * 618) / 1000) | 1;
+        while gcd(m, count as u64) != 1 {
+            m += 2;
+        }
+        m.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_is_balanced_and_monotone() {
+        let pes = 4;
+        let count = 10;
+        let mut loads = [0u32; 4];
+        let mut last = 0;
+        for i in 0..count {
+            let pe = Placement::Block.pe_for(i, count, pes).0;
+            assert!(pe >= last, "block placement must be monotone");
+            assert!(pe < pes);
+            last = pe;
+            loads[pe as usize] += 1;
+        }
+        let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        assert!(max - min <= 1, "block placement within one of balanced: {loads:?}");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        assert_eq!(Placement::RoundRobin.pe_for(0, 8, 3), PeId(0));
+        assert_eq!(Placement::RoundRobin.pe_for(1, 8, 3), PeId(1));
+        assert_eq!(Placement::RoundRobin.pe_for(2, 8, 3), PeId(2));
+        assert_eq!(Placement::RoundRobin.pe_for(3, 8, 3), PeId(0));
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_in_range() {
+        for i in 0..64 {
+            let a = Placement::Scatter.pe_for(i, 64, 8);
+            let b = Placement::Scatter.pe_for(i, 64, 8);
+            assert_eq!(a, b);
+            assert!(a.0 < 8);
+        }
+        // Scatter decorrelates: the 8 chares of one row land on several
+        // distinct PEs.
+        let pes: std::collections::HashSet<u32> =
+            (0..8).map(|i| Placement::Scatter.pe_for(i, 64, 8).0).collect();
+        assert!(pes.len() >= 4, "row must spread over PEs, got {pes:?}");
+    }
+
+    #[test]
+    fn block_covers_all_pes_when_count_is_multiple() {
+        let seen: std::collections::HashSet<u32> =
+            (0..8).map(|i| Placement::Block.pe_for(i, 8, 4).0).collect();
+        assert_eq!(seen.len(), 4);
+    }
+}

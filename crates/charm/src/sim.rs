@@ -1,0 +1,1003 @@
+//! The discrete-event Charm++-like runtime engine.
+//!
+//! The engine models the essentials the paper's analysis depends on:
+//! per-PE message queues, uninterruptible entry-method executions
+//! (serial blocks), asynchronous remote method invocation with network
+//! latency, broadcasts as one send event fanning out, spanning-tree
+//! reductions run by per-PE `CkReductionMgr` runtime chares (§5), chare
+//! migration, and idle recording. Every run produces a validated
+//! [`Trace`].
+
+use crate::config::{QueuePolicy, SimConfig};
+use crate::ctx::{Action, Ctx};
+use crate::msg::{Payload, QMsg, RedOp, RedTarget};
+use crate::placement::Placement;
+use lsr_trace::{ArrayId, ChareId, Dur, EntryId, Kind, PeId, TaskId, Time, Trace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Duration of an internal reduction-manager task before jitter.
+const RED_TASK: Dur = Dur(500);
+
+type Handler = Box<dyn FnMut(&mut Ctx<'_>, &mut dyn Any, &[i64])>;
+
+enum HandlerKind {
+    User(Handler),
+    /// `CkReductionMgr::contributeLocal` — a local contribution arrives.
+    InternalContrib,
+    /// `CkReductionMgr::reduceUp` — a child PE's partial result arrives.
+    InternalReduce,
+}
+
+struct EntryMeta {
+    kind: HandlerKind,
+}
+
+struct ArrayMeta {
+    elems: Vec<ChareId>,
+}
+
+struct ChareMeta {
+    array: ArrayId,
+    index: u32,
+    pe: PeId,
+    red_seq: u32,
+    state: Option<Box<dyn Any>>,
+    /// Busy time accumulated since the last load-balance step.
+    load: Dur,
+}
+
+struct PeState {
+    busy: bool,
+    queue: VecDeque<QMsg>,
+    idle_since: Option<Time>,
+    /// The chare whose task is currently executing (None when free).
+    current: Option<ChareId>,
+}
+
+#[derive(Debug)]
+enum Work {
+    Deliver { pe: PeId, qm: QMsg },
+    PeFree { pe: PeId },
+    /// Periodic load-balance tick.
+    LoadBalance,
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    time: Time,
+    seq: u64,
+    work: Work,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-(array, reduction-sequence) expected contribution counts and the
+/// location snapshot, fixed at the reduction's first activity. The
+/// snapshot keeps the tree consistent even if the load balancer moves
+/// chares mid-reduction (Charm++ guarantees this by balancing at sync
+/// points).
+struct RedPlan {
+    local_expected: Vec<u32>,
+    child_expected: Vec<u32>,
+    /// Element index → PE, frozen when the reduction starts.
+    home: Vec<PeId>,
+}
+
+#[derive(Default)]
+struct RedState {
+    local_got: u32,
+    child_got: u32,
+    acc: Option<i64>,
+}
+
+/// Statistics about a finished simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimReport {
+    /// Number of chare migrations performed by the load balancer.
+    pub migrations: u64,
+}
+
+/// The simulator. Register arrays and entry methods, inject bootstrap
+/// messages, then [`Sim::run`] to completion to obtain the trace.
+pub struct Sim {
+    cfg: SimConfig,
+    rng: SmallRng,
+    builder: TraceBuilder,
+    arrays: Vec<ArrayMeta>,
+    chares: Vec<ChareMeta>,
+    entries: Vec<EntryMeta>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    pes: Vec<PeState>,
+    seq: u64,
+    red_plans: HashMap<(ArrayId, u32), RedPlan>,
+    red_states: HashMap<(ArrayId, u32, u32), RedState>,
+    /// Per-PE `CkReductionMgr` chares.
+    mgr: Vec<ChareId>,
+    e_contrib: EntryId,
+    e_reduce: EntryId,
+    max_time: Time,
+    /// Chares moved by the load balancer (for tests/diagnostics).
+    migrations: u64,
+}
+
+impl Sim {
+    /// Creates a simulator; registers the `CkReductionMgr` runtime array
+    /// (one chare per PE) and its internal entry methods.
+    pub fn new(cfg: SimConfig) -> Sim {
+        assert!(cfg.pes > 0, "need at least one PE");
+        let mut builder = TraceBuilder::new(cfg.pes);
+        let mgr_arr = builder.add_array("CkReductionMgr", Kind::Runtime);
+        let mgr: Vec<ChareId> =
+            (0..cfg.pes).map(|p| builder.add_chare(mgr_arr, p, PeId(p))).collect();
+        let e_contrib = builder.add_entry("CkReductionMgr::contributeLocal", None);
+        let e_reduce = builder.add_entry("CkReductionMgr::reduceUp", None);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let pes = (0..cfg.pes)
+            .map(|_| PeState {
+                busy: false,
+                queue: VecDeque::new(),
+                idle_since: Some(Time::ZERO),
+                current: None,
+            })
+            .collect();
+        let chares = mgr
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ChareMeta {
+                array: mgr_arr,
+                index: i as u32,
+                pe: PeId(i as u32),
+                red_seq: 0,
+                state: None,
+                load: Dur::ZERO,
+            })
+            .collect();
+        Sim {
+            cfg,
+            rng,
+            builder,
+            arrays: vec![ArrayMeta { elems: mgr.clone() }],
+            chares,
+            entries: vec![
+                EntryMeta { kind: HandlerKind::InternalContrib },
+                EntryMeta { kind: HandlerKind::InternalReduce },
+            ],
+            heap: BinaryHeap::new(),
+            pes,
+            seq: 0,
+            red_plans: HashMap::new(),
+            red_states: HashMap::new(),
+            mgr,
+            e_contrib,
+            e_reduce,
+            max_time: Time::ZERO,
+            migrations: 0,
+        }
+    }
+
+    /// Registers an application chare array of `count` elements placed by
+    /// `placement`, with per-element state built by `init`.
+    pub fn add_array<S: Any>(
+        &mut self,
+        name: &str,
+        count: u32,
+        placement: Placement,
+        mut init: impl FnMut(u32) -> S,
+    ) -> ArrayId {
+        assert!(count > 0, "array must have elements");
+        let arr = self.builder.add_array(name, Kind::Application);
+        let mut elems = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let pe = placement.pe_for(i, count, self.cfg.pes);
+            let id = self.builder.add_chare(arr, i, pe);
+            elems.push(id);
+            self.chares.push(ChareMeta {
+                array: arr,
+                index: i,
+                pe,
+                red_seq: 0,
+                state: Some(Box::new(init(i))),
+                load: Dur::ZERO,
+            });
+        }
+        debug_assert_eq!(arr.index(), self.arrays.len());
+        self.arrays.push(ArrayMeta { elems });
+        arr
+    }
+
+    /// Registers an application entry method whose handler operates on
+    /// per-chare state of type `S`. `sdag_serial` tags SDAG-generated
+    /// serial entries for the §2.1 inference heuristic.
+    pub fn add_entry<S: Any>(
+        &mut self,
+        name: &str,
+        sdag_serial: Option<u32>,
+        mut f: impl FnMut(&mut Ctx<'_>, &mut S, &[i64]) + 'static,
+    ) -> EntryId {
+        let id = self.builder.add_entry(name, sdag_serial);
+        let name_owned = name.to_owned();
+        let handler: Handler = Box::new(move |ctx, state, data| {
+            let state = state
+                .downcast_mut::<S>()
+                .unwrap_or_else(|| panic!("state type mismatch in entry {name_owned}"));
+            f(ctx, state, data);
+        });
+        debug_assert_eq!(id.index(), self.entries.len());
+        self.entries.push(EntryMeta { kind: HandlerKind::User(handler) });
+        id
+    }
+
+    /// The chare ids of an array's elements, in index order.
+    pub fn elements(&self, array: ArrayId) -> &[ChareId] {
+        &self.arrays[array.index()].elems
+    }
+
+    /// The current PE of a chare (its home before the run starts).
+    pub fn location(&self, chare: ChareId) -> PeId {
+        self.chares[chare.index()].pe
+    }
+
+    /// Injects a bootstrap message: `entry` runs on `chare` at `at`
+    /// as a spontaneous task (no traced trigger).
+    pub fn inject(&mut self, chare: ChareId, entry: EntryId, data: Vec<i64>, at: Time) {
+        let pe = self.chares[chare.index()].pe;
+        self.push_work(
+            at,
+            Work::Deliver {
+                pe,
+                qm: QMsg {
+                    dst: chare,
+                    entry,
+                    payload: Payload::User(data),
+                    trace_msg: None,
+                    prio: 0,
+                },
+            },
+        );
+    }
+
+    fn push_work(&mut self, time: Time, work: Work) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapItem { time, seq, work }));
+    }
+
+    fn jit(&mut self, d: Dur) -> Dur {
+        if self.cfg.jitter <= 0.0 {
+            return d;
+        }
+        let u: f64 = self.rng.gen::<f64>() * 2.0 - 1.0;
+        Dur((d.nanos() as f64 * (1.0 + self.cfg.jitter * u)).max(1.0) as u64)
+    }
+
+    /// Network or local delivery latency from `src` to `dst`.
+    fn latency(&mut self, src: PeId, dst: PeId) -> Dur {
+        if src == dst {
+            self.cfg.local_latency
+        } else {
+            let net = self.cfg.net_latency;
+            self.jit(net)
+        }
+    }
+
+    /// Schedules delivery of `qm` to the destination chare's current PE.
+    fn post(&mut self, at: Time, src_pe: PeId, qm: QMsg) {
+        let dst_pe = self.chares[qm.dst.index()].pe;
+        let lat = self.latency(src_pe, dst_pe);
+        self.push_work(at + lat, Work::Deliver { pe: dst_pe, qm });
+    }
+
+    /// Runs the simulation until no messages remain, then closes out
+    /// trailing idle time and builds the validated trace.
+    pub fn run(self) -> Trace {
+        self.run_with_report().0
+    }
+
+    /// [`Sim::run`], also returning runtime statistics.
+    pub fn run_with_report(mut self) -> (Trace, SimReport) {
+        if let Some(period) = self.cfg.lb_period {
+            self.push_work(Time::ZERO + period, Work::LoadBalance);
+        }
+        while let Some(Reverse(item)) = self.heap.pop() {
+            self.max_time = self.max_time.max(item.time);
+            match item.work {
+                Work::Deliver { pe, qm } => {
+                    // Chares may have migrated while the message was in
+                    // flight: forward to the current location.
+                    let home = self.chares[qm.dst.index()].pe;
+                    if home != pe {
+                        let lat = self.latency(pe, home);
+                        self.push_work(item.time + lat, Work::Deliver { pe: home, qm });
+                        continue;
+                    }
+                    self.pes[pe.index()].queue.push_back(qm);
+                    if !self.pes[pe.index()].busy {
+                        self.start_next(pe, item.time);
+                    }
+                }
+                Work::PeFree { pe } => {
+                    self.pes[pe.index()].busy = false;
+                    self.pes[pe.index()].current = None;
+                    if self.pes[pe.index()].queue.is_empty() {
+                        self.pes[pe.index()].idle_since = Some(item.time);
+                    } else {
+                        self.start_next(pe, item.time);
+                    }
+                }
+                Work::LoadBalance => {
+                    self.load_balance();
+                    if !self.heap.is_empty() {
+                        let period = self.cfg.lb_period.expect("tick implies period");
+                        self.push_work(item.time + period, Work::LoadBalance);
+                    }
+                }
+            }
+        }
+        let end = self.max_time;
+        for (p, pe) in self.pes.iter_mut().enumerate() {
+            if let Some(since) = pe.idle_since.take() {
+                self.builder.add_idle(PeId(p as u32), since, end);
+            }
+        }
+        let report = SimReport { migrations: self.migrations };
+        let trace = self.builder.build().expect("simulator must produce a valid trace");
+        (trace, report)
+    }
+
+    /// Greedy rebalance: application chares (except currently executing
+    /// ones) are redistributed over PEs by accumulated load, heaviest
+    /// first onto the least-loaded PE. Loads then reset for the next
+    /// window.
+    fn load_balance(&mut self) {
+        let executing: Vec<Option<ChareId>> = self.pes.iter().map(|p| p.current).collect();
+        let mut movable: Vec<(Dur, u32)> = Vec::new();
+        let mut pe_load: Vec<(Dur, PeId)> =
+            (0..self.cfg.pes).map(|p| (Dur::ZERO, PeId(p))).collect();
+        for (i, c) in self.chares.iter().enumerate() {
+            let id = ChareId::from_index(i);
+            let is_mgr = self.mgr.contains(&id);
+            if is_mgr || executing.contains(&Some(id)) {
+                // Pinned: its load still counts toward its PE.
+                pe_load[c.pe.index()].0 += c.load;
+            } else {
+                movable.push((c.load, i as u32));
+            }
+        }
+        movable.sort_unstable_by(|a, b| b.cmp(a));
+        for (load, idx) in movable {
+            let (slot, _) = pe_load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(l, pe))| (l, pe))
+                .expect("at least one PE");
+            let target = pe_load[slot].1;
+            if self.chares[idx as usize].pe != target {
+                self.chares[idx as usize].pe = target;
+                self.migrations += 1;
+            }
+            pe_load[slot].0 += load;
+        }
+        for c in &mut self.chares {
+            c.load = Dur::ZERO;
+        }
+    }
+
+    /// Pops the next message per the queue policy and executes it.
+    fn start_next(&mut self, pe: PeId, t: Time) {
+        let qm = {
+            let q = &mut self.pes[pe.index()].queue;
+            // Prioritized messages are scheduled first (smaller value =
+            // more urgent); the queue policy arbitrates within the most
+            // urgent class.
+            let best = q.iter().map(|m| m.prio).min();
+            match best {
+                None => None,
+                Some(best) => {
+                    let candidates: Vec<usize> = q
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.prio == best)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let pick = match self.cfg.policy {
+                        QueuePolicy::Fifo => candidates[0],
+                        QueuePolicy::Lifo => *candidates.last().expect("non-empty"),
+                        QueuePolicy::Random => {
+                            candidates[self.rng.gen_range(0..candidates.len())]
+                        }
+                    };
+                    q.remove(pick)
+                }
+            }
+        }
+        .expect("start_next called with empty queue");
+        if let Some(since) = self.pes[pe.index()].idle_since.take() {
+            self.builder.add_idle(pe, since, t);
+        }
+        let chare = qm.dst;
+        self.pes[pe.index()].current = Some(chare);
+        let end = self.execute(pe, t, qm);
+        self.chares[chare.index()].load += end - t;
+        self.pes[pe.index()].busy = true;
+        self.push_work(end, Work::PeFree { pe });
+    }
+
+    /// Executes one serial block; returns its end time.
+    fn execute(&mut self, pe: PeId, t: Time, qm: QMsg) -> Time {
+        let chare = qm.dst;
+        let entry = qm.entry;
+        let task = match qm.trace_msg {
+            Some(m) => self.builder.begin_task_from(chare, entry, pe, t, m),
+            None => self.builder.begin_task(chare, entry, pe, t),
+        };
+        let end = match qm.payload {
+            Payload::User(data) => {
+                let (actions, cursor) = self.run_user_handler(pe, t, chare, entry, &data);
+                let min = self.jit(self.cfg.min_task);
+                let end = cursor.max(t + min);
+                self.apply_actions(task, pe, chare, end, actions);
+                end
+            }
+            Payload::ContribLocal { array, seq, value, op, target } => {
+                self.reduction_step(task, pe, t, array, seq, value, op, target, false)
+            }
+            Payload::ReduceUp { array, seq, value, op, target } => {
+                self.reduction_step(task, pe, t, array, seq, value, op, target, true)
+            }
+        };
+        self.builder.end_task(task, end);
+        end
+    }
+
+    fn run_user_handler(
+        &mut self,
+        pe: PeId,
+        t: Time,
+        chare: ChareId,
+        entry: EntryId,
+        data: &[i64],
+    ) -> (Vec<Action>, Time) {
+        let jitter = self.cfg.jitter;
+        let (arr_id, index) = {
+            let m = &self.chares[chare.index()];
+            (m.array, m.index)
+        };
+        let mut state = self.chares[chare.index()]
+            .state
+            .take()
+            .unwrap_or_else(|| panic!("chare {chare} has no state (reentrant execution?)"));
+        let result = {
+            let Sim { entries, rng, arrays, .. } = self;
+            let elems = &arrays[arr_id.index()].elems;
+            let mut ctx = Ctx::new(t, rng, jitter, chare, index, elems, pe);
+            match &mut entries[entry.index()].kind {
+                HandlerKind::User(f) => f(&mut ctx, state.as_mut(), data),
+                _ => panic!("user message dispatched to internal entry {entry}"),
+            }
+            (std::mem::take(&mut ctx.actions), ctx.cursor)
+        };
+        self.chares[chare.index()].state = Some(state);
+        result
+    }
+
+    fn apply_actions(
+        &mut self,
+        task: TaskId,
+        pe: PeId,
+        chare: ChareId,
+        _end: Time,
+        actions: Vec<Action>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { at, dst, entry, data, traced, prio } => {
+                    let trace_msg = traced.then(|| self.builder.record_send(task, at, dst, entry));
+                    self.post(
+                        at,
+                        pe,
+                        QMsg { dst, entry, payload: Payload::User(data), trace_msg, prio },
+                    );
+                }
+                Action::Broadcast { at, dsts, entry, data } => {
+                    let pairs: Vec<_> = dsts.iter().map(|&d| (d, entry)).collect();
+                    let msgs = self.builder.record_broadcast(task, at, &pairs);
+                    for (dst, msg) in dsts.into_iter().zip(msgs) {
+                        self.post(
+                            at,
+                            pe,
+                            QMsg {
+                                dst,
+                                entry,
+                                payload: Payload::User(data.clone()),
+                                trace_msg: Some(msg),
+                                prio: 0,
+                            },
+                        );
+                    }
+                }
+                Action::Contribute { at, value, op, target } => {
+                    let array = self.chares[chare.index()].array;
+                    let seq = self.chares[chare.index()].red_seq;
+                    self.chares[chare.index()].red_seq += 1;
+                    // Route via the reduction's frozen location snapshot
+                    // so in-flight reductions survive migration.
+                    let elem_index = self.chares[chare.index()].index as usize;
+                    let home = self.red_plan(array, seq).home[elem_index];
+                    let mgr = self.mgr[home.index()];
+                    let trace_msg = self
+                        .cfg
+                        .trace_reductions
+                        .then(|| self.builder.record_send(task, at, mgr, self.e_contrib));
+                    self.post(
+                        at,
+                        pe,
+                        QMsg {
+                            dst: mgr,
+                            entry: self.e_contrib,
+                            payload: Payload::ContribLocal { array, seq, value, op, target },
+                            trace_msg,
+                            prio: 0,
+                        },
+                    );
+                }
+                Action::MigrateSelf { to } => {
+                    assert!(to.0 < self.cfg.pes, "migration target out of range");
+                    self.chares[chare.index()].pe = to;
+                }
+            }
+        }
+    }
+
+    /// Fixes the expected local/child contribution counts for a
+    /// reduction from the location map at its first activity.
+    fn red_plan(&mut self, array: ArrayId, seq: u32) -> &RedPlan {
+        let pes = self.cfg.pes as usize;
+        if !self.red_plans.contains_key(&(array, seq)) {
+            let mut local = vec![0u32; pes];
+            let mut home = Vec::with_capacity(self.arrays[array.index()].elems.len());
+            for &c in &self.arrays[array.index()].elems {
+                local[self.chares[c.index()].pe.index()] += 1;
+                home.push(self.chares[c.index()].pe);
+            }
+            // Subtree weights over the binary PE tree; a child edge is
+            // expected only if the child's subtree contributes anything.
+            let mut weight = local.clone();
+            for p in (0..pes).rev() {
+                for c in [2 * p + 1, 2 * p + 2] {
+                    if c < pes {
+                        weight[p] += weight[c];
+                    }
+                }
+            }
+            let child: Vec<u32> = (0..pes)
+                .map(|p| {
+                    [2 * p + 1, 2 * p + 2]
+                        .into_iter()
+                        .filter(|&c| c < pes && weight[c] > 0)
+                        .count() as u32
+                })
+                .collect();
+            self.red_plans
+                .insert((array, seq), RedPlan { local_expected: local, child_expected: child, home });
+        }
+        &self.red_plans[&(array, seq)]
+    }
+
+    /// One `CkReductionMgr` task: fold in a contribution and, when the
+    /// PE's share is complete, either forward up the tree or deliver the
+    /// result from the root.
+    #[allow(clippy::too_many_arguments)]
+    fn reduction_step(
+        &mut self,
+        task: TaskId,
+        pe: PeId,
+        t: Time,
+        array: ArrayId,
+        seq: u32,
+        value: i64,
+        op: RedOp,
+        target: RedTarget,
+        from_child: bool,
+    ) -> Time {
+        let end = t + self.jit(RED_TASK);
+        let _ = self.red_plan(array, seq);
+        let st = self.red_states.entry((array, seq, pe.0)).or_default();
+        if from_child {
+            st.child_got += 1;
+        } else {
+            st.local_got += 1;
+        }
+        st.acc = Some(match st.acc {
+            Some(a) => op.combine(a, value),
+            None => value,
+        });
+        let (local_got, child_got, acc) = (st.local_got, st.child_got, st.acc.unwrap());
+        let plan = &self.red_plans[&(array, seq)];
+        let complete = local_got == plan.local_expected[pe.index()]
+            && child_got == plan.child_expected[pe.index()];
+        if complete {
+            if pe.0 == 0 {
+                // Root: deliver the result to the callback target.
+                match target {
+                    RedTarget::Broadcast(entry) => {
+                        let dsts = self.arrays[array.index()].elems.clone();
+                        let pairs: Vec<_> = dsts.iter().map(|&d| (d, entry)).collect();
+                        let msgs = self.builder.record_broadcast(task, end, &pairs);
+                        for (dst, msg) in dsts.into_iter().zip(msgs) {
+                            self.post(
+                                end,
+                                pe,
+                                QMsg {
+                                    dst,
+                                    entry,
+                                    payload: Payload::User(vec![acc]),
+                                    trace_msg: Some(msg),
+                                    prio: 0,
+                                },
+                            );
+                        }
+                    }
+                    RedTarget::Send(dst, entry) => {
+                        let msg = self.builder.record_send(task, end, dst, entry);
+                        self.post(
+                            end,
+                            pe,
+                            QMsg {
+                                dst,
+                                entry,
+                                payload: Payload::User(vec![acc]),
+                                trace_msg: Some(msg),
+                                prio: 0,
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Forward the partial result to the parent PE's manager.
+                let parent = PeId((pe.0 - 1) / 2);
+                let dst = self.mgr[parent.index()];
+                let msg = self.builder.record_send(task, end, dst, self.e_reduce);
+                self.post(
+                    end,
+                    pe,
+                    QMsg {
+                        dst,
+                        entry: self.e_reduce,
+                        payload: Payload::ReduceUp { array, seq, value: acc, op, target },
+                        trace_msg: Some(msg),
+                        prio: 0,
+                    },
+                );
+            }
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::TraceStats;
+
+    /// Ping-pong between two chares on two PEs, `n` rounds. Handlers
+    /// need their own entry id, which doesn't exist until registration
+    /// returns, so it is threaded through a shared cell.
+    fn ping_pong(pes: u32, rounds: i64, policy: QueuePolicy) -> Trace {
+        let mut sim = Sim::new(SimConfig::new(pes).with_policy(policy).with_seed(3));
+        let arr = sim.add_array("pp", 2, Placement::RoundRobin, |_| ());
+        let elems: Vec<ChareId> = sim.elements(arr).to_vec();
+        let e2: std::rc::Rc<std::cell::Cell<EntryId>> =
+            std::rc::Rc::new(std::cell::Cell::new(EntryId(0)));
+        let e2c = e2.clone();
+        let e = sim.add_entry("ping", None, move |ctx: &mut Ctx, _state: &mut (), data| {
+            let remaining = data[0];
+            ctx.compute(Dur::from_micros(5));
+            if remaining > 0 {
+                let peer = elems[(1 - ctx.my_index()) as usize];
+                ctx.send(peer, e2c.get(), vec![remaining - 1]);
+            }
+        });
+        e2.set(e);
+        let first = sim.elements(arr)[0];
+        sim.inject(first, e, vec![rounds], Time::ZERO);
+        sim.run()
+    }
+
+    #[test]
+    fn ping_pong_produces_expected_tasks_and_messages() {
+        let tr = ping_pong(2, 4, QueuePolicy::Fifo);
+        // 1 bootstrap + 4 message-triggered tasks.
+        assert_eq!(tr.tasks.len(), 5);
+        assert_eq!(tr.msgs.len(), 4);
+        assert!(tr.msgs.iter().all(|m| m.recv_task.is_some()));
+        // Alternating chares.
+        let chs: Vec<u32> = tr.tasks.iter().map(|t| t.chare.0).collect();
+        for w in chs.windows(2) {
+            assert_ne!(w[0], w[1], "ping-pong must alternate chares");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_for_same_seed() {
+        let a = ping_pong(2, 6, QueuePolicy::Fifo);
+        let b = ping_pong(2, 6, QueuePolicy::Fifo);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idle_time_is_recorded_between_rounds() {
+        let tr = ping_pong(2, 4, QueuePolicy::Fifo);
+        // Each PE waits while the other computes; idle spans must exist.
+        assert!(!tr.idles.is_empty());
+        let stats = TraceStats::compute(&tr);
+        assert!(stats.idle > Dur::ZERO);
+    }
+
+    fn reduction_trace(pes: u32, chares: u32, traced: bool) -> Trace {
+        let mut sim =
+            Sim::new(SimConfig::new(pes).with_seed(11).with_trace_reductions(traced));
+        let arr = sim.add_array("red", chares, Placement::Block, |_| ());
+        let done: std::rc::Rc<std::cell::Cell<EntryId>> =
+            std::rc::Rc::new(std::cell::Cell::new(EntryId(0)));
+        let done_c = done.clone();
+        let start = sim.add_entry("start", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
+            ctx.compute(Dur::from_micros(2));
+            ctx.contribute(
+                ctx.my_index() as i64,
+                RedOp::Sum,
+                RedTarget::Broadcast(done_c.get()),
+            );
+        });
+        let got: std::rc::Rc<std::cell::RefCell<Vec<i64>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got_c = got.clone();
+        let e_done = sim.add_entry("done", None, move |_ctx: &mut Ctx, _s: &mut (), d| {
+            got_c.borrow_mut().push(d[0]);
+        });
+        done.set(e_done);
+        for &c in sim.elements(arr).to_vec().iter() {
+            sim.inject(c, start, vec![], Time::ZERO);
+        }
+        let tr = sim.run();
+        let expected: i64 = (0..chares as i64).sum();
+        let got = got.borrow();
+        assert_eq!(got.len(), chares as usize, "everyone gets the result");
+        assert!(got.iter().all(|&v| v == expected), "sum must be {expected}, got {got:?}");
+        tr
+    }
+
+    #[test]
+    fn reduction_sums_across_pes_and_broadcasts() {
+        let tr = reduction_trace(4, 8, true);
+        // Runtime mgr tasks must exist and have traced triggers.
+        let rt_tasks: Vec<_> =
+            tr.tasks.iter().filter(|t| tr.chare(t.chare).kind.is_runtime()).collect();
+        assert!(!rt_tasks.is_empty());
+        assert!(
+            rt_tasks.iter().all(|t| t.sink.is_some()),
+            "with §5 tracing every mgr task has a recorded trigger"
+        );
+    }
+
+    #[test]
+    fn reduction_send_target_delivers_to_one_chare() {
+        let mut sim = Sim::new(SimConfig::new(3).with_seed(8));
+        let arr = sim.add_array("red", 6, Placement::Block, |_| ());
+        let got: std::rc::Rc<std::cell::RefCell<Vec<(u32, i64)>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got_c = got.clone();
+        let e_done = sim.add_entry("done", None, move |ctx: &mut Ctx, _s: &mut (), d| {
+            got_c.borrow_mut().push((ctx.my_index(), d[0]));
+        });
+        let root = sim.elements(arr)[2];
+        let start = sim.add_entry("start", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
+            ctx.compute(Dur::from_micros(1));
+            ctx.contribute(
+                ctx.my_index() as i64 + 1,
+                RedOp::Max,
+                RedTarget::Send(root, e_done),
+            );
+        });
+        for &c in sim.elements(arr).to_vec().iter() {
+            sim.inject(c, start, vec![], Time::ZERO);
+        }
+        let tr = sim.run();
+        assert!(lsr_trace::validate(&tr).is_ok());
+        let got = got.borrow();
+        assert_eq!(got.len(), 1, "single delivery, not a broadcast");
+        assert_eq!(*got, vec![(2, 6)], "max contribution delivered to element 2");
+    }
+
+    #[test]
+    fn reduction_on_single_pe_works() {
+        let tr = reduction_trace(1, 4, true);
+        assert!(tr.tasks.len() > 4);
+    }
+
+    #[test]
+    fn untraced_reductions_leave_spontaneous_mgr_tasks() {
+        let tr = reduction_trace(4, 8, false);
+        let spontaneous_rt = tr
+            .tasks
+            .iter()
+            .filter(|t| tr.chare(t.chare).kind.is_runtime() && t.sink.is_none())
+            .count();
+        assert!(
+            spontaneous_rt > 0,
+            "without §5 tracing, local contributions leave no trigger"
+        );
+    }
+
+    #[test]
+    fn migration_moves_subsequent_tasks() {
+        let mut sim = Sim::new(SimConfig::new(2).with_seed(5));
+        let arr = sim.add_array("m", 1, Placement::Block, |_| 0i32);
+        let this: std::rc::Rc<std::cell::Cell<EntryId>> =
+            std::rc::Rc::new(std::cell::Cell::new(EntryId(0)));
+        let this_c = this.clone();
+        let e = sim.add_entry("hop", None, move |ctx: &mut Ctx, s: &mut i32, _d| {
+            *s += 1;
+            ctx.compute(Dur::from_micros(1));
+            if *s == 1 {
+                ctx.migrate_self(PeId(1));
+                let me = ctx.my_chare();
+                ctx.send(me, this_c.get(), vec![]);
+            }
+        });
+        this.set(e);
+        let c = sim.elements(arr)[0];
+        sim.inject(c, e, vec![], Time::ZERO);
+        let tr = sim.run();
+        assert_eq!(tr.tasks.len(), 2);
+        assert_eq!(tr.tasks[0].pe, PeId(0));
+        assert_eq!(tr.tasks[1].pe, PeId(1), "task after migration runs on the new PE");
+        let _ = arr;
+    }
+
+    #[test]
+    fn lifo_policy_reverses_burst_order() {
+        // One producer sends 3 messages to a consumer on another PE in
+        // one task; under LIFO the consumer handles them in reverse.
+        fn run(policy: QueuePolicy) -> Vec<i64> {
+            let order: std::rc::Rc<std::cell::RefCell<Vec<i64>>> =
+                std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let order_c = order.clone();
+            let mut sim =
+                Sim::new(SimConfig::new(2).with_seed(9).with_policy(policy).with_jitter(0.0));
+            let arr = sim.add_array("b", 2, Placement::RoundRobin, |_| ());
+            let e_recv = sim.add_entry("recv", None, move |ctx: &mut Ctx, _s: &mut (), d| {
+                ctx.compute(Dur::from_micros(50));
+                order_c.borrow_mut().push(d[0]);
+            });
+            let elems = sim.elements(arr).to_vec();
+            let e_send = sim.add_entry("burst", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
+                for k in 0..3 {
+                    ctx.send(elems[1], e_recv, vec![k]);
+                    ctx.compute(Dur::from_micros(1));
+                }
+            });
+            let first = sim.elements(arr)[0];
+            sim.inject(first, e_send, vec![], Time::ZERO);
+            let _ = sim.run();
+            let v = order.borrow().clone();
+            v
+        }
+        assert_eq!(run(QueuePolicy::Fifo), vec![0, 1, 2]);
+        // First message starts executing on arrival (queue empty); the
+        // other two queue up and pop in LIFO order.
+        assert_eq!(run(QueuePolicy::Lifo), vec![0, 2, 1]);
+    }
+
+    /// A deliberately skewed workload: chares 0..3 do 10x the work of
+    /// the rest, all initially packed onto PE 0 by Block placement.
+    fn skewed_sim(lb: Option<Dur>) -> (Trace, super::SimReport) {
+        let mut cfg = SimConfig::new(4).with_seed(2);
+        cfg.lb_period = lb;
+        let mut sim = Sim::new(cfg);
+        let arr = sim.add_array("skew", 16, Placement::Block, |_| 0u32);
+        let elems = sim.elements(arr).to_vec();
+        let this: std::rc::Rc<std::cell::Cell<EntryId>> =
+            std::rc::Rc::new(std::cell::Cell::new(EntryId(0)));
+        let this_c = this.clone();
+        let el = elems.clone();
+        let e = sim.add_entry("work", None, move |ctx: &mut Ctx, rounds: &mut u32, _d| {
+            *rounds += 1;
+            let heavy = ctx.my_index() < 4;
+            ctx.compute(Dur::from_micros(if heavy { 100 } else { 10 }));
+            if *rounds < 12 {
+                let me = ctx.my_chare();
+                ctx.send(me, this_c.get(), vec![]);
+            }
+            let _ = &el;
+        });
+        this.set(e);
+        for &c in &elems {
+            sim.inject(c, e, vec![], Time::ZERO);
+        }
+        sim.run_with_report()
+    }
+
+    #[test]
+    fn load_balancer_migrates_and_reduces_makespan() {
+        let (without, rep0) = skewed_sim(None);
+        let (with, rep1) = skewed_sim(Some(Dur::from_micros(300)));
+        assert_eq!(rep0.migrations, 0);
+        assert!(rep1.migrations > 0, "balancer must move chares");
+        assert!(lsr_trace::validate(&with).is_ok());
+        // Heavy chares started on PE0; spreading them must shorten the run.
+        let end = |tr: &Trace| tr.span().1;
+        assert!(
+            end(&with) < end(&without),
+            "balanced {:?} must beat unbalanced {:?}",
+            end(&with),
+            end(&without)
+        );
+        // Tasks of migrated chares appear on several PEs.
+        let heavy_pes: std::collections::HashSet<_> = with
+            .tasks
+            .iter()
+            .filter(|t| with.chare(t.chare).index < 4 && !with.chare(t.chare).kind.is_runtime())
+            .map(|t| t.pe)
+            .collect();
+        assert!(heavy_pes.len() > 1, "heavy chares must spread: {heavy_pes:?}");
+    }
+
+    #[test]
+    fn prioritized_messages_overtake_the_queue() {
+        // A producer floods a busy consumer with normal messages, then
+        // sends one urgent (negative-priority) message; the urgent one
+        // must execute before the queued backlog.
+        let order: std::rc::Rc<std::cell::RefCell<Vec<i64>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let order_c = order.clone();
+        let mut sim = Sim::new(SimConfig::new(2).with_seed(4).with_jitter(0.0));
+        let arr = sim.add_array("p", 2, Placement::RoundRobin, |_| ());
+        let e_recv = sim.add_entry("recv", None, move |ctx: &mut Ctx, _s: &mut (), d| {
+            ctx.compute(Dur::from_micros(100));
+            order_c.borrow_mut().push(d[0]);
+        });
+        let elems = sim.elements(arr).to_vec();
+        let e_send = sim.add_entry("burst", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
+            for k in 0..4 {
+                ctx.send(elems[1], e_recv, vec![k]);
+                ctx.compute(Dur::from_micros(1));
+            }
+            ctx.send_with_priority(elems[1], e_recv, vec![99], -1);
+        });
+        let first = sim.elements(arr)[0];
+        sim.inject(first, e_send, vec![], Time::ZERO);
+        let tr = sim.run();
+        assert!(lsr_trace::validate(&tr).is_ok());
+        let got = order.borrow().clone();
+        // Message 0 starts immediately on arrival; the urgent message
+        // jumps the remaining queue.
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 99, "urgent message must overtake: {got:?}");
+        assert_eq!(&got[2..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn traces_validate_under_random_policy() {
+        let tr = ping_pong(2, 10, QueuePolicy::Random);
+        assert!(lsr_trace::validate(&tr).is_ok());
+    }
+}

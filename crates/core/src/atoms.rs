@@ -1,0 +1,387 @@
+//! Initial partitions (§3.1.1).
+//!
+//! Every serial block's dependency events are grouped into *atoms*: the
+//! smallest units the partitioning stage works with. With
+//! [`Config::split_app_runtime`] on, a block is subdivided wherever its
+//! dependencies cross the application/runtime boundary (paper Fig. 2);
+//! the fragments are linked by intra-block happened-before edges.
+//! Structured-Dagger heuristics (§2.1) add inferred happened-before
+//! edges between consecutive serial numbers and absorb an entry method
+//! into a directly following serial.
+
+use crate::config::Config;
+use lsr_trace::{ChareId, EventId, EventKind, Lane, MsgId, TaskId, Time, Trace, TraceIndex};
+
+/// The provenance of an atom-graph edge; the merge stages filter on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeKind {
+    /// Matched message: send atom → receive atom (Alg. 1 input).
+    Message,
+    /// Happened-before between fragments of one split serial block
+    /// (Alg. 2 input).
+    IntraBlock,
+    /// SDAG serial-number inference (§2.1).
+    Sdag,
+    /// Per-process program order, assumed to carry control dependencies
+    /// in the message-passing model only (§3.4: "Message-passing models
+    /// can assume that per-process events in physical time indicate a
+    /// control flow order").
+    ProcessOrder,
+}
+
+/// One atom: a maximal run of same-flavored dependency events within a
+/// serial block.
+#[derive(Debug, Clone)]
+pub(crate) struct Atom {
+    /// The serial block this atom is a fragment of.
+    pub task: TaskId,
+    /// The events, in block order.
+    pub events: Vec<EventId>,
+    /// Runtime-flavored: the owning chare is a runtime chare, or the
+    /// events talk to runtime chares.
+    pub is_runtime: bool,
+    /// Owning chare.
+    pub chare: ChareId,
+    /// Grouping lane (chare for application, PE for runtime tasks).
+    pub lane: Lane,
+    /// Physical time of the first event.
+    pub first_time: Time,
+}
+
+/// The atom graph: atoms plus their base dependency edges.
+#[derive(Debug)]
+pub(crate) struct AtomGraph {
+    pub atoms: Vec<Atom>,
+    /// Event id → atom index.
+    pub atom_of_event: Vec<u32>,
+    /// Base edges with provenance.
+    pub edges: Vec<(u32, u32, EdgeKind)>,
+    /// Atom pairs to be united before any merge stage (SDAG absorb).
+    pub absorb: Vec<(u32, u32)>,
+    /// First/last atom per task (`u32::MAX` when the task has none).
+    pub first_atom_of_task: Vec<u32>,
+    /// Last atom per task; consumed by tests and kept for symmetry.
+    #[allow(dead_code)]
+    pub last_atom_of_task: Vec<u32>,
+    /// Messages per send event (broadcast fan-out), for reuse downstream.
+    #[allow(dead_code)]
+    pub msgs_of_event: Vec<Vec<MsgId>>,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Builds atoms and base edges from a validated trace.
+pub(crate) fn build_atoms(trace: &Trace, ix: &TraceIndex, cfg: &Config) -> AtomGraph {
+    let mut msgs_of_event: Vec<Vec<MsgId>> = vec![Vec::new(); trace.events.len()];
+    for m in &trace.msgs {
+        msgs_of_event[m.send_event.index()].push(m.id);
+    }
+
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut atom_of_event = vec![NONE; trace.events.len()];
+    let mut first_atom_of_task = vec![NONE; trace.tasks.len()];
+    let mut last_atom_of_task = vec![NONE; trace.tasks.len()];
+    let mut edges: Vec<(u32, u32, EdgeKind)> = Vec::new();
+
+    // Flavor of one event: runtime if the owning chare is runtime or any
+    // message partner is a runtime chare.
+    let event_flavor = |ev: EventId| -> bool {
+        let e = trace.event(ev);
+        let own_runtime = trace.chare(trace.task(e.task).chare).kind.is_runtime();
+        if own_runtime {
+            return true;
+        }
+        match e.kind {
+            EventKind::Recv { msg: Some(m) } => {
+                let sender_task = trace.event(trace.msg(m).send_event).task;
+                trace.chare(trace.task(sender_task).chare).kind.is_runtime()
+            }
+            EventKind::Recv { msg: None } => false,
+            EventKind::Send { .. } => msgs_of_event[ev.index()]
+                .iter()
+                .any(|&m| trace.chare(trace.msg(m).dst_chare).kind.is_runtime()),
+        }
+    };
+
+    for t in &trace.tasks {
+        let evs: Vec<EventId> = t.events().collect();
+        if evs.is_empty() {
+            continue;
+        }
+        let chare = t.chare;
+        let lane = trace.task_lane(t.id);
+        let own_runtime = trace.chare(chare).kind.is_runtime();
+        let mut prev_atom: Option<u32> = None;
+        let mut current: Option<(bool, Vec<EventId>)> = None;
+        let mut flush =
+            |current: &mut Option<(bool, Vec<EventId>)>, prev_atom: &mut Option<u32>| {
+                if let Some((flavor, events)) = current.take() {
+                    let a = atoms.len() as u32;
+                    for &e in &events {
+                        atom_of_event[e.index()] = a;
+                    }
+                    atoms.push(Atom {
+                        task: t.id,
+                        first_time: trace.event(events[0]).time,
+                        events,
+                        is_runtime: flavor,
+                        chare,
+                        lane,
+                    });
+                    if first_atom_of_task[t.id.index()] == NONE {
+                        first_atom_of_task[t.id.index()] = a;
+                    }
+                    last_atom_of_task[t.id.index()] = a;
+                    if let Some(p) = *prev_atom {
+                        edges.push((p, a, EdgeKind::IntraBlock));
+                    }
+                    *prev_atom = Some(a);
+                }
+            };
+        for ev in evs {
+            let flavor = if cfg.split_app_runtime { event_flavor(ev) } else { own_runtime };
+            match &mut current {
+                Some((f, events)) if *f == flavor => events.push(ev),
+                _ => {
+                    flush(&mut current, &mut prev_atom);
+                    current = Some((flavor, vec![ev]));
+                }
+            }
+        }
+        flush(&mut current, &mut prev_atom);
+    }
+
+    // Message edges: matched send/receive endpoints.
+    for m in &trace.msgs {
+        if let Some(rt) = m.recv_task {
+            let send_atom = atom_of_event[m.send_event.index()];
+            let sink = trace.task(rt).sink.expect("validated: matched msg has sink");
+            let recv_atom = atom_of_event[sink.index()];
+            debug_assert!(send_atom != NONE && recv_atom != NONE);
+            edges.push((send_atom, recv_atom, EdgeKind::Message));
+        }
+    }
+
+    // Message-passing model: program order within each process is a
+    // control dependency (§3.4) — these edges give the partitioning
+    // stage the "wealth of additional dependencies" Isaacs'14 relies
+    // on, fusing each exchange round into one phase via cycle merges.
+    if cfg.model == crate::config::TraceModel::MessagePassing && cfg.mp_process_order {
+        for list in &ix.tasks_by_chare {
+            for pair in list.windows(2) {
+                let la = last_atom_of_task[pair[0].index()];
+                let fb = first_atom_of_task[pair[1].index()];
+                if la != NONE && fb != NONE {
+                    edges.push((la, fb, EdgeKind::ProcessOrder));
+                }
+            }
+        }
+    }
+
+    // SDAG heuristics (§2.1): consecutive serial numbers on a chare
+    // imply happened-before; an entry method scheduled back-to-back
+    // before a serial is absorbed into it.
+    let mut absorb = Vec::new();
+    if cfg.sdag_inference {
+        for list in &ix.tasks_by_chare {
+            for pair in list.windows(2) {
+                let (a, b) = (trace.task(pair[0]), trace.task(pair[1]));
+                let (fa, la) = (first_atom_of_task[a.id.index()], last_atom_of_task[a.id.index()]);
+                let fb = first_atom_of_task[b.id.index()];
+                if la == NONE || fb == NONE {
+                    continue;
+                }
+                let sa = trace.entry(a.entry).sdag_serial;
+                let sb = trace.entry(b.entry).sdag_serial;
+                match (sa, sb) {
+                    (Some(n), Some(m)) if m == n + 1 => {
+                        edges.push((la, fb, EdgeKind::Sdag));
+                    }
+                    (None, Some(_)) if a.end == b.begin && a.pe == b.pe => {
+                        // The when-clause entry right before the serial:
+                        // absorb it (same flavor only).
+                        if atoms[la as usize].is_runtime == atoms[fb as usize].is_runtime {
+                            absorb.push((la, fb));
+                        } else {
+                            edges.push((la, fb, EdgeKind::Sdag));
+                        }
+                        let _ = fa;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    AtomGraph {
+        atoms,
+        atom_of_event,
+        edges,
+        absorb,
+        first_atom_of_task,
+        last_atom_of_task,
+        msgs_of_event,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{Kind, PeId, TraceBuilder};
+
+    /// App chare c0 sends to app chare c1 and to runtime mgr, in that
+    /// order: with splitting this yields app/runtime atoms per Fig. 2.
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let app = b.add_array("a", Kind::Application);
+        let rt = b.add_array("mgr", Kind::Runtime);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let c1 = b.add_chare(app, 1, PeId(1));
+        let mgr = b.add_chare(rt, 0, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m_app = b.record_send(t0, Time(2), c1, e);
+        let m_rt = b.record_send(t0, Time(4), mgr, e);
+        b.end_task(t0, Time(5));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(10), m_app);
+        b.end_task(t1, Time(12));
+        let t2 = b.begin_task_from(mgr, e, PeId(0), Time(8), m_rt);
+        b.end_task(t2, Time(9));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn split_divides_block_at_runtime_boundary() {
+        let tr = mixed_trace();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        // t0: [send→app] app atom, [send→mgr] runtime atom;
+        // t1: one app atom; t2: one runtime atom.
+        assert_eq!(ag.atoms.len(), 4);
+        let t0_first = ag.first_atom_of_task[0] as usize;
+        let t0_last = ag.last_atom_of_task[0] as usize;
+        assert_ne!(t0_first, t0_last);
+        assert!(!ag.atoms[t0_first].is_runtime);
+        assert!(ag.atoms[t0_last].is_runtime);
+        // Intra-block edge between the two fragments.
+        assert!(ag
+            .edges
+            .iter()
+            .any(|&(u, v, k)| k == EdgeKind::IntraBlock
+                && u == t0_first as u32
+                && v == t0_last as u32));
+        // Two message edges.
+        assert_eq!(ag.edges.iter().filter(|e| e.2 == EdgeKind::Message).count(), 2);
+    }
+
+    #[test]
+    fn no_split_keeps_blocks_whole() {
+        let tr = mixed_trace();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm().with_split(false));
+        assert_eq!(ag.atoms.len(), 3);
+        assert_eq!(ag.first_atom_of_task[0], ag.last_atom_of_task[0]);
+        // Flavor falls back to the chare's own kind.
+        assert!(!ag.atoms[ag.first_atom_of_task[0] as usize].is_runtime);
+    }
+
+    #[test]
+    fn sink_flavor_follows_sender_kind() {
+        let tr = mixed_trace();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        // t1's sink comes from an application chare → app atom.
+        let t1_atom = ag.first_atom_of_task[1] as usize;
+        assert!(!ag.atoms[t1_atom].is_runtime);
+        // t2 is on a runtime chare → runtime atom regardless of sender.
+        let t2_atom = ag.first_atom_of_task[2] as usize;
+        assert!(ag.atoms[t2_atom].is_runtime);
+    }
+
+    fn sdag_trace(gap: u64) -> Trace {
+        let mut b = TraceBuilder::new(1);
+        let app = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let e_plain = b.add_entry("recvResult", None);
+        let s1 = b.add_entry("_sdag_1", Some(1));
+        let s2 = b.add_entry("_sdag_2", Some(2));
+        let t0 = b.begin_task(c0, e_plain, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c0, s1);
+        b.end_task(t0, Time(5));
+        let t1 = b.begin_task_from(c0, s1, PeId(0), Time(5 + gap), m);
+        let m2 = b.record_send(t1, Time(6 + gap), c0, s2);
+        b.end_task(t1, Time(7 + gap));
+        let t2 = b.begin_task_from(c0, s2, PeId(0), Time(10 + gap), m2);
+        b.end_task(t2, Time(11 + gap));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sdag_serial_numbers_add_edges() {
+        let tr = sdag_trace(1);
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        // serial 1 followed by serial 2 on the same chare → Sdag edge.
+        let la = ag.last_atom_of_task[1];
+        let fb = ag.first_atom_of_task[2];
+        assert!(ag.edges.iter().any(|&(u, v, k)| k == EdgeKind::Sdag && u == la && v == fb));
+    }
+
+    #[test]
+    fn entry_back_to_back_with_serial_is_absorbed() {
+        let tr = sdag_trace(0); // t0 ends exactly when t1 begins
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        let la = ag.last_atom_of_task[0];
+        let fb = ag.first_atom_of_task[1];
+        assert!(ag.absorb.contains(&(la, fb)));
+    }
+
+    #[test]
+    fn sdag_disabled_adds_nothing() {
+        let tr = sdag_trace(0);
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm().with_sdag(false));
+        assert!(ag.absorb.is_empty());
+        assert!(ag.edges.iter().all(|e| e.2 != EdgeKind::Sdag));
+    }
+
+    #[test]
+    fn broadcast_send_event_gets_all_message_edges() {
+        let mut b = TraceBuilder::new(1);
+        let app = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let c1 = b.add_chare(app, 1, PeId(0));
+        let c2 = b.add_chare(app, 2, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let msgs = b.record_broadcast(t0, Time(1), &[(c1, e), (c2, e)]);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(0), Time(3), msgs[0]);
+        b.end_task(t1, Time(4));
+        let t2 = b.begin_task_from(c2, e, PeId(0), Time(5), msgs[1]);
+        b.end_task(t2, Time(6));
+        let tr = b.build().unwrap();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        let send_ev = tr.tasks[0].sends[0];
+        assert_eq!(ag.msgs_of_event[send_ev.index()].len(), 2);
+        assert_eq!(ag.edges.iter().filter(|e| e.2 == EdgeKind::Message).count(), 2);
+        let _ = (t0, t1, t2);
+    }
+
+    #[test]
+    fn eventless_tasks_have_no_atoms() {
+        let mut b = TraceBuilder::new(1);
+        let app = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let e = b.add_entry("noop", None);
+        let t = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t, Time(1));
+        let tr = b.build().unwrap();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm());
+        assert!(ag.atoms.is_empty());
+        assert_eq!(ag.first_atom_of_task[0], NONE);
+    }
+}

@@ -1,0 +1,310 @@
+//! Graph machinery for the partition stage: union-find and an
+//! iterative Tarjan SCC used by the cycle merges.
+
+/// Union-find over dense `u32` ids with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    /// Number of distinct sets.
+    count: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], count: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets.
+    pub fn set_count(&self) -> usize {
+        self.count
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were
+    /// distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.count -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// A condensed directed graph over `n` nodes with adjacency lists.
+/// Nodes are dense `u32`s; parallel edges are deduplicated at build.
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    /// Out-neighbors per node, sorted and deduplicated.
+    pub succs: Vec<Vec<u32>>,
+    /// In-degree per node.
+    pub indeg: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Builds from an edge list, dropping self-loops and duplicates.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> DiGraph {
+        let mut succs = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u != v {
+                succs[u as usize].push(v);
+            }
+        }
+        let mut indeg = vec![0u32; n];
+        for list in &mut succs {
+            list.sort_unstable();
+            list.dedup();
+            for &v in list.iter() {
+                indeg[v as usize] += 1;
+            }
+        }
+        DiGraph { succs, indeg }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Kahn topological order. Returns `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let mut indeg = self.indeg.clone();
+        let mut queue: Vec<u32> =
+            (0..self.len() as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(self.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &v in &self.succs[u as usize] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+
+    /// Longest-path distance from any root (in-degree 0), i.e. the
+    /// paper's *leap* of each node (§3.1.4). Requires a DAG.
+    ///
+    /// # Panics
+    /// Panics if the graph has a cycle.
+    pub fn leaps(&self) -> Vec<u32> {
+        let order = self.topo_order().expect("leaps require a DAG");
+        let mut leap = vec![0u32; self.len()];
+        for &u in &order {
+            for &v in &self.succs[u as usize] {
+                leap[v as usize] = leap[v as usize].max(leap[u as usize] + 1);
+            }
+        }
+        leap
+    }
+
+    /// Strongly connected components via iterative Tarjan. Returns
+    /// `(component_of_node, component_count)`; components are numbered
+    /// in reverse topological order of the condensation.
+    pub fn sccs(&self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp = vec![UNSET; n];
+        let mut next_index = 0u32;
+        let mut comp_count = 0u32;
+        // Explicit DFS stack: (node, next-successor position).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+
+        for start in 0..n as u32 {
+            if index[start as usize] != UNSET {
+                continue;
+            }
+            call.push((start, 0));
+            index[start as usize] = next_index;
+            low[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (u, ref mut pos)) = call.last_mut() {
+                if *pos < self.succs[u as usize].len() {
+                    let v = self.succs[u as usize][*pos];
+                    *pos += 1;
+                    if index[v as usize] == UNSET {
+                        index[v as usize] = next_index;
+                        low[v as usize] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v as usize] = true;
+                        call.push((v, 0));
+                    } else if on_stack[v as usize] {
+                        low[u as usize] = low[u as usize].min(index[v as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p as usize] = low[p as usize].min(low[u as usize]);
+                    }
+                    if low[u as usize] == index[u as usize] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = comp_count;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+        (comp, comp_count as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_find_transitive_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, 99));
+    }
+
+    #[test]
+    fn digraph_dedups_and_drops_self_loops() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.succs[0], vec![1]);
+        assert_eq!(g.succs[1], vec![2]);
+        assert_eq!(g.indeg, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn topo_order_of_dag() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> =
+            (0..4).map(|v| order.iter().position(|&x| x == v as u32).unwrap()).collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2] && pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn topo_order_detects_cycle() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn leaps_are_longest_paths() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 4 isolated
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 3), (0, 2), (2, 3)]);
+        assert_eq!(g.leaps(), vec![0, 1, 1, 2, 0]);
+        // diamond with a long side: 0->1->2->3 and 0->3
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(g.leaps(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scc_finds_cycles_and_singletons() {
+        // cycle {0,1,2}, chain to 3, separate cycle {4,5}
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (5, 4)]);
+        let (comp, count) = g.sccs();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (comp, count) = g.sccs();
+        assert_eq!(count, 4);
+        let mut seen = comp.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn scc_components_reverse_topological() {
+        // 0 -> 1: component of 1 must come before component of 0 in
+        // Tarjan's numbering (reverse topological).
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        let (comp, _) = g.sccs();
+        assert!(comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn scc_on_large_path_does_not_overflow_stack() {
+        let n = 200_000;
+        let g = DiGraph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)));
+        let (_, count) = g.sccs();
+        assert_eq!(count, n);
+    }
+}

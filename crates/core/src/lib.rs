@@ -1,0 +1,391 @@
+//! # lsr-core
+//!
+//! The paper's contribution: recovering logical structure from
+//! task-based runtime event traces (Isaacs et al., SC '15).
+//!
+//! [`extract`] runs the full pipeline on a validated
+//! [`lsr_trace::Trace`]:
+//!
+//! 1. **Initial partitions** (§3.1.1): serial blocks split at
+//!    application/runtime boundaries, SDAG heuristics (§2.1).
+//! 2. **Dependency merge** (§3.1.2, Alg. 1) and cycle merges.
+//! 3. **Serial-block repair** (§3.1.3, Alg. 2) and the neighboring
+//!    serials merge.
+//! 4. **Inference** (§3.1.4): missing dependencies from partition
+//!    sources (Alg. 3), merging of concurrent overlapping phases
+//!    (Alg. 4), application/runtime ordering, and the chare-path
+//!    DAG properties (Alg. 5).
+//! 5. **Step assignment** (§3.2) with the idealized-forward-replay
+//!    reordering (§3.2.1), in its task-based and message-passing
+//!    variants, optionally parallelized across phases (§3.3).
+
+#![warn(missing_docs)]
+
+mod atoms;
+mod config;
+pub mod graph;
+mod merges;
+mod stage;
+mod step;
+mod structure;
+
+pub use config::{Config, OrderingPolicy, TieBreak, TraceModel};
+pub use stage::Diagnostics;
+pub use structure::{
+    intra_phase_messages, is_source, phase_signature, LogicalStructure, Phase, NO_PHASE,
+};
+
+use lsr_trace::{TaskId, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wall-clock time spent in each pipeline stage, reported by
+/// [`extract_timed`]. Backs the Fig. 19 discussion: at high chare
+/// counts the §3.1.4 leap machinery dominates the added time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Initial partitions (§3.1.1) including trace indexing.
+    pub atoms: std::time::Duration,
+    /// Dependency merge + first cycle merge (Alg. 1).
+    pub dependency_merge: std::time::Duration,
+    /// Collective merge and serial-block repair (Alg. 2).
+    pub repair: std::time::Duration,
+    /// Source-time inference (Alg. 3).
+    pub infer: std::time::Duration,
+    /// Leap overlap resolution (Alg. 4 + app/runtime ordering).
+    pub leap_resolution: std::time::Duration,
+    /// DAG property enforcement (Alg. 5 + per-chare chaining).
+    pub enforce: std::time::Duration,
+    /// Step assignment and assembly (§3.2).
+    pub ordering: std::time::Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> std::time::Duration {
+        self.atoms
+            + self.dependency_merge
+            + self.repair
+            + self.infer
+            + self.leap_resolution
+            + self.enforce
+            + self.ordering
+    }
+}
+
+/// Runs the full logical-structure pipeline on `trace`.
+pub fn extract(trace: &Trace, cfg: &Config) -> LogicalStructure {
+    extract_timed(trace, cfg).0
+}
+
+/// [`extract`], also reporting per-stage wall-clock times.
+pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTimings) {
+    use std::time::Instant;
+    let mut t = StageTimings::default();
+    let mark = Instant::now();
+
+    let ix = trace.index();
+    let ag = atoms::build_atoms(trace, &ix, cfg);
+    let mut stage = stage::Stage::new(trace, ag);
+    let mark = stamp(mark, &mut t.atoms);
+
+    merges::dependency_merge(&mut stage);
+    merges::collective_merge(&mut stage, &ix);
+    let mark = stamp(mark, &mut t.dependency_merge);
+
+    if cfg.split_app_runtime {
+        merges::repair_merge(&mut stage);
+    }
+    if cfg.sdag_inference {
+        merges::neighbor_serial_merge(&mut stage);
+    }
+    let mark = stamp(mark, &mut t.repair);
+
+    if cfg.infer_dependencies {
+        merges::infer_dependencies(&mut stage);
+    }
+    let mark = stamp(mark, &mut t.infer);
+
+    merges::resolve_leap_overlaps(&mut stage, cfg.infer_dependencies);
+    let mark = stamp(mark, &mut t.leap_resolution);
+
+    merges::enforce_chare_paths(&mut stage);
+    merges::chain_chare_phases(&mut stage);
+    let mark = stamp(mark, &mut t.enforce);
+
+    let ls = assemble(trace, &ix, stage, cfg);
+    let _ = stamp(mark, &mut t.ordering);
+    (ls, t)
+}
+
+fn stamp(mark: std::time::Instant, slot: &mut std::time::Duration) -> std::time::Instant {
+    *slot = mark.elapsed();
+    std::time::Instant::now()
+}
+
+fn assemble(
+    trace: &Trace,
+    ix: &lsr_trace::TraceIndex,
+    mut stage: stage::Stage<'_>,
+    cfg: &Config,
+) -> LogicalStructure {
+    let v = stage.view();
+    let nphases = v.len();
+    let mut diag = stage.diag.clone();
+    diag.phase_count = nphases;
+
+    // Per-event phase.
+    let mut phase_of_event = vec![0u32; trace.events.len()];
+    for (a, &p) in v.part_of_atom.iter().enumerate() {
+        for &e in &stage.ag.atoms[a].events {
+            phase_of_event[e.index()] = p;
+        }
+    }
+
+    // Local step assignment per phase (optionally in parallel, §3.3).
+    let inputs: Vec<step::PhaseInput> = v
+        .atoms_in
+        .iter()
+        .enumerate()
+        .map(|(p, atoms)| step::PhaseInput { id: p as u32, atoms: atoms.clone() })
+        .collect();
+    let ag_ref = &stage.ag;
+    let poe_ref = &phase_of_event;
+    let mut results: Vec<step::PhaseResult> = if cfg.parallel_ordering && inputs.len() > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(inputs.len());
+        let next = AtomicUsize::new(0);
+        let collected = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = inputs.get(i) else { break };
+                    let r = step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg);
+                    collected.lock().push(r);
+                });
+            }
+        })
+        .expect("phase-ordering worker panicked");
+        collected.into_inner()
+    } else {
+        inputs
+            .iter()
+            .map(|input| step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg))
+            .collect()
+    };
+    results.sort_unstable_by_key(|r| r.id);
+    diag.reorder_fallbacks = results.iter().filter(|r| r.fallback).count();
+
+    // Local steps per event.
+    let mut local_step = vec![0u64; trace.events.len()];
+    for r in &results {
+        for &(e, s) in &r.local {
+            local_step[e.index()] = s;
+        }
+    }
+
+    // Global offsets along the phase DAG.
+    let leaps = if nphases > 0 { v.graph.leaps() } else { Vec::new() };
+    let order = v.graph.topo_order().expect("phase graph must be a DAG");
+    let mut offset = vec![0u64; nphases];
+    for &p in &order {
+        let end = offset[p as usize] + results[p as usize].max_local;
+        for &s in &v.graph.succs[p as usize] {
+            offset[s as usize] = offset[s as usize].max(end + 1);
+        }
+    }
+    let step: Vec<u64> = trace
+        .event_ids()
+        .map(|e| {
+            let p = phase_of_event[e.index()] as usize;
+            offset[p] + local_step[e.index()]
+        })
+        .collect();
+
+    // Phase records.
+    let chares = v.chares(&stage);
+    let mut phase_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); nphases];
+    let mut task_phase = vec![structure::NO_PHASE; trace.tasks.len()];
+    for (t, &a) in stage.ag.first_atom_of_task.iter().enumerate() {
+        if a != u32::MAX {
+            let p = v.part_of_atom[a as usize];
+            task_phase[t] = p;
+            phase_tasks[p as usize].push(TaskId::from_index(t));
+        }
+    }
+    // Eventless tasks inherit the nearest phase along their chare.
+    for list in &ix.tasks_by_chare {
+        let mut carry = structure::NO_PHASE;
+        for &t in list {
+            if task_phase[t.index()] == structure::NO_PHASE {
+                task_phase[t.index()] = carry;
+            } else {
+                carry = task_phase[t.index()];
+            }
+        }
+        // Backward pass for leading eventless tasks.
+        let mut carry = structure::NO_PHASE;
+        for &t in list.iter().rev() {
+            if task_phase[t.index()] == structure::NO_PHASE {
+                task_phase[t.index()] = carry;
+            } else {
+                carry = task_phase[t.index()];
+            }
+        }
+    }
+    for (t, &p) in task_phase.iter().enumerate() {
+        if p != structure::NO_PHASE && stage.ag.first_atom_of_task[t] == u32::MAX {
+            phase_tasks[p as usize].push(TaskId::from_index(t));
+        }
+    }
+    let phases: Vec<Phase> = (0..nphases)
+        .map(|p| {
+            let mut tasks = std::mem::take(&mut phase_tasks[p]);
+            tasks.sort_unstable();
+            Phase {
+                id: p as u32,
+                is_runtime: v.is_runtime[p],
+                leap: leaps[p],
+                offset: offset[p],
+                max_local: results[p].max_local,
+                tasks,
+                chares: chares[p].clone(),
+            }
+        })
+        .collect();
+    let phase_succs = v.graph.succs.clone();
+
+    LogicalStructure {
+        phases,
+        phase_succs,
+        phase_of_event,
+        local_step,
+        step,
+        task_phase,
+        diagnostics: diag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+    use lsr_trace::{Dur, Time};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct RingState {
+        got: u32,
+        iter: i64,
+    }
+
+    /// A 1D ring halo exchange with a reduction per iteration: the
+    /// canonical "Jacobi-like" structure.
+    fn ring_app(chares: u32, pes: u32, iters: i64, seed: u64) -> lsr_trace::Trace {
+        let mut sim = Sim::new(SimConfig::new(pes).with_seed(seed));
+        let arr = sim.add_array("ring", chares, Placement::Block, |_| RingState::default());
+        let elems = sim.elements(arr).to_vec();
+        let e_halo: Rc<Cell<lsr_trace::EntryId>> = Rc::new(Cell::new(lsr_trace::EntryId(0)));
+        let e_next: Rc<Cell<lsr_trace::EntryId>> = Rc::new(Cell::new(lsr_trace::EntryId(0)));
+
+        let en = e_next.clone();
+        let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut RingState, _d| {
+            s.got += 1;
+            if s.got == 2 {
+                s.got = 0;
+                ctx.compute(Dur::from_micros(20));
+                ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+            }
+        });
+        e_halo.set(halo);
+        let elems2 = elems.clone();
+        let ehh = e_halo.clone();
+        let n = chares;
+        let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut RingState, d| {
+            s.iter += 1;
+            if s.iter > iters {
+                return;
+            }
+            ctx.compute(Dur::from_micros(5));
+            let i = ctx.my_index();
+            let left = elems2[((i + n - 1) % n) as usize];
+            let right = elems2[((i + 1) % n) as usize];
+            ctx.send(left, ehh.get(), vec![d[0]]);
+            ctx.send(right, ehh.get(), vec![d[0]]);
+        });
+        e_next.set(next);
+        for &c in &elems {
+            sim.inject(c, next, vec![0], Time::ZERO);
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn ring_structure_verifies_and_has_both_flavors() {
+        let tr = ring_app(8, 2, 3, 42);
+        let ls = extract(&tr, &Config::charm());
+        ls.verify(&tr).expect("invariants hold");
+        assert!(ls.num_phases() >= 2, "at least halo + reduction phases");
+        assert!(ls.phases.iter().any(|p| p.is_runtime));
+        assert!(ls.phases.iter().any(|p| !p.is_runtime));
+    }
+
+    #[test]
+    fn all_config_variants_verify() {
+        let tr = ring_app(6, 3, 2, 7);
+        for cfg in [
+            Config::charm(),
+            Config::charm().with_ordering(OrderingPolicy::PhysicalTime),
+            Config::charm().with_inference(false),
+            Config::charm().with_split(false),
+            Config::charm().with_sdag(false),
+            Config::charm().with_parallel(true),
+        ] {
+            let ls = extract(&tr, &cfg);
+            ls.verify(&tr).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_ordering_matches_serial() {
+        let tr = ring_app(8, 4, 3, 11);
+        let serial = extract(&tr, &Config::charm());
+        let parallel = extract(&tr, &Config::charm().with_parallel(true));
+        assert_eq!(serial.step, parallel.step);
+        assert_eq!(serial.phase_of_event, parallel.phase_of_event);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_structure() {
+        let tr = lsr_trace::TraceBuilder::new(1).build().unwrap();
+        let ls = extract(&tr, &Config::charm());
+        assert_eq!(ls.num_phases(), 0);
+        assert!(ls.verify(&tr).is_ok());
+        assert_eq!(ls.max_step(), 0);
+    }
+
+    #[test]
+    fn structure_is_invariant_under_seed_jitter() {
+        // Same program, different timing noise: phase counts must match
+        // (the point of recovering *logical* structure).
+        let a = extract(&ring_app(8, 2, 3, 1), &Config::charm());
+        let b = extract(&ring_app(8, 2, 3, 999), &Config::charm());
+        assert_eq!(a.num_phases(), b.num_phases());
+        assert_eq!(a.app_phase_count(), b.app_phase_count());
+    }
+
+    #[test]
+    fn summary_and_signature_are_consistent() {
+        let tr = ring_app(4, 2, 2, 5);
+        let ls = extract(&tr, &Config::charm());
+        let sig = phase_signature(&ls);
+        assert_eq!(sig.len(), ls.num_phases());
+        let s = ls.summary(&tr);
+        assert!(s.contains("phases"));
+        let counts = intra_phase_messages(&ls, &tr);
+        assert_eq!(counts.iter().sum::<usize>(), tr.msgs.len());
+    }
+}

@@ -1,0 +1,269 @@
+//! The output of the pipeline: a [`LogicalStructure`] assigning every
+//! dependency event a phase and a global logical step.
+
+use crate::stage::Diagnostics;
+use lsr_trace::{ChareId, EventId, EventKind, TaskId, Trace};
+use std::collections::HashMap;
+
+/// Sentinel for "no phase" (only used for tasks when a trace has no
+/// events at all).
+pub const NO_PHASE: u32 = u32::MAX;
+
+/// One phase: a set of logically-related parallel interactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Dense phase id (also the index in [`LogicalStructure::phases`]).
+    pub id: u32,
+    /// True iff all of the phase's atoms are runtime-flavored.
+    pub is_runtime: bool,
+    /// Longest-path depth of the phase in the phase DAG (§3.1.4).
+    pub leap: u32,
+    /// Global step of the phase's local step 0.
+    pub offset: u64,
+    /// Maximum local step inside the phase.
+    pub max_local: u64,
+    /// Tasks whose *primary* (first) atom lies in this phase, sorted.
+    pub tasks: Vec<TaskId>,
+    /// Distinct chares participating in the phase, sorted.
+    pub chares: Vec<ChareId>,
+}
+
+impl Phase {
+    /// The phase's global step interval `[offset, offset + max_local]`.
+    pub fn step_range(&self) -> (u64, u64) {
+        (self.offset, self.offset + self.max_local)
+    }
+}
+
+/// The recovered logical structure of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalStructure {
+    /// Phases, indexed by id.
+    pub phases: Vec<Phase>,
+    /// Phase DAG adjacency (successors per phase), deduplicated.
+    pub phase_succs: Vec<Vec<u32>>,
+    /// Phase of each event (indexed by `EventId`).
+    pub phase_of_event: Vec<u32>,
+    /// Local step of each event within its phase.
+    pub local_step: Vec<u64>,
+    /// Global logical step of each event.
+    pub step: Vec<u64>,
+    /// Primary phase of each task ([`NO_PHASE`] only when the trace has
+    /// no phases). Eventless tasks inherit the nearest phase on their
+    /// chare timeline.
+    pub task_phase: Vec<u32>,
+    /// What the pipeline did (merge counts, fallbacks, ...).
+    pub diagnostics: Diagnostics,
+}
+
+impl LogicalStructure {
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Global step of an event.
+    #[inline]
+    pub fn global_step(&self, e: EventId) -> u64 {
+        self.step[e.index()]
+    }
+
+    /// The phase of an event.
+    #[inline]
+    pub fn phase_of(&self, e: EventId) -> u32 {
+        self.phase_of_event[e.index()]
+    }
+
+    /// Primary phase of a task.
+    #[inline]
+    pub fn phase_of_task(&self, t: TaskId) -> u32 {
+        self.task_phase[t.index()]
+    }
+
+    /// The inclusive global-step range spanned by a task's events, or
+    /// `None` for eventless tasks.
+    pub fn task_step_range(&self, trace: &Trace, t: TaskId) -> Option<(u64, u64)> {
+        let mut range: Option<(u64, u64)> = None;
+        for e in trace.task(t).events() {
+            let s = self.step[e.index()];
+            range = Some(match range {
+                Some((lo, hi)) => (lo.min(s), hi.max(s)),
+                None => (s, s),
+            });
+        }
+        range
+    }
+
+    /// The maximum global step over all events (0 for empty traces).
+    pub fn max_step(&self) -> u64 {
+        self.step.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Checks the structural invariants the paper requires. Returns a
+    /// description of the first violation, if any. Used heavily by the
+    /// test suite and the property tests.
+    pub fn verify(&self, trace: &Trace) -> Result<(), String> {
+        // Every event has a phase and consistent step arrays.
+        if self.phase_of_event.len() != trace.events.len()
+            || self.step.len() != trace.events.len()
+            || self.local_step.len() != trace.events.len()
+        {
+            return Err("event table sizes mismatch".into());
+        }
+        for e in trace.event_ids() {
+            let p = self.phase_of_event[e.index()];
+            if p as usize >= self.phases.len() {
+                return Err(format!("event {e} has no phase"));
+            }
+            let ph = &self.phases[p as usize];
+            if self.local_step[e.index()] > ph.max_local {
+                return Err(format!("event {e} exceeds its phase's max local step"));
+            }
+            if self.step[e.index()] != ph.offset + self.local_step[e.index()] {
+                return Err(format!("event {e} global step != offset + local"));
+            }
+        }
+        // Phase DAG is acyclic and offsets respect it.
+        let g = crate::graph::DiGraph::from_edges(
+            self.phases.len(),
+            self.phase_succs
+                .iter()
+                .enumerate()
+                .flat_map(|(p, ss)| ss.iter().map(move |&s| (p as u32, s))),
+        );
+        let Some(_) = g.topo_order() else {
+            return Err("phase graph has a cycle".into());
+        };
+        for (p, succs) in self.phase_succs.iter().enumerate() {
+            let pend = self.phases[p].offset + self.phases[p].max_local;
+            for &s in succs {
+                if self.phases[s as usize].offset <= pend {
+                    return Err(format!(
+                        "phase {s} starts at {} but predecessor {p} ends at {pend}",
+                        self.phases[s as usize].offset
+                    ));
+                }
+            }
+        }
+        // Property (1): phases at the same leap never share a chare.
+        let mut seen: HashMap<(u32, ChareId), u32> = HashMap::new();
+        for ph in &self.phases {
+            for &c in &ph.chares {
+                if let Some(&other) = seen.get(&(ph.leap, c)) {
+                    return Err(format!(
+                        "phases {other} and {} overlap on chare {c} at leap {}",
+                        ph.id, ph.leap
+                    ));
+                }
+                seen.insert((ph.leap, c), ph.id);
+            }
+        }
+        // Matched messages step forward (they are always intra-phase
+        // after the dependency merge).
+        for m in &trace.msgs {
+            if let Some(rt) = m.recv_task {
+                let sink = trace.task(rt).sink.expect("matched msg has sink");
+                let (ps, pr) = (
+                    self.phase_of_event[m.send_event.index()],
+                    self.phase_of_event[sink.index()],
+                );
+                if ps != pr {
+                    return Err(format!("message {} spans phases {ps} and {pr}", m.id));
+                }
+                if self.step[sink.index()] < self.step[m.send_event.index()] + 1 {
+                    return Err(format!("message {} does not advance a step", m.id));
+                }
+            }
+        }
+        // Per chare, global steps are unique (single path through the
+        // phase DAG per chare — the point of the §3.1.4 properties).
+        let mut per_chare: HashMap<(ChareId, u64), EventId> = HashMap::new();
+        for e in trace.event_ids() {
+            let c = trace.event_chare(e);
+            let s = self.step[e.index()];
+            if let Some(&other) = per_chare.get(&(c, s)) {
+                return Err(format!("events {other} and {e} of chare {c} share step {s}"));
+            }
+            per_chare.insert((c, s), e);
+        }
+        Ok(())
+    }
+
+    /// Convenience: phase ids in a deterministic topological order of
+    /// the phase DAG (by offset, then id).
+    pub fn phases_by_offset(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.phases.len() as u32).collect();
+        ids.sort_unstable_by_key(|&p| (self.phases[p as usize].offset, p));
+        ids
+    }
+
+    /// The number of *application* phases (what the developer sees).
+    pub fn app_phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| !p.is_runtime).count()
+    }
+
+    /// A compact per-phase summary line, for harness output.
+    pub fn summary(&self, trace: &Trace) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} phases ({} application), {} global steps",
+            self.num_phases(),
+            self.app_phase_count(),
+            self.max_step() + 1
+        );
+        for &p in &self.phases_by_offset() {
+            let ph = &self.phases[p as usize];
+            let _ = writeln!(
+                out,
+                "  phase {:>3} [{}] leap {:>3} steps {:>4}..{:<4} tasks {:>5} chares {:>4}",
+                ph.id,
+                if ph.is_runtime { "rt " } else { "app" },
+                ph.leap,
+                ph.offset,
+                ph.offset + ph.max_local,
+                ph.tasks.len(),
+                ph.chares.len()
+            );
+        }
+        let _ = write!(out, "  {:?}", self.diagnostics);
+        let _ = trace;
+        out
+    }
+}
+
+/// Signature of repeated phase patterns: the sequence of (is_runtime,
+/// chare-count) pairs by offset — used by the case studies to detect
+/// the "repeating pattern of N phases followed by an allreduce".
+pub fn phase_signature(ls: &LogicalStructure) -> Vec<(bool, usize)> {
+    ls.phases_by_offset()
+        .iter()
+        .map(|&p| {
+            let ph = &ls.phases[p as usize];
+            (ph.is_runtime, ph.chares.len())
+        })
+        .collect()
+}
+
+/// Counts receive events per phase whose sender lies in the same phase —
+/// a quick communication-density measure used in tests.
+pub fn intra_phase_messages(ls: &LogicalStructure, trace: &Trace) -> Vec<usize> {
+    let mut counts = vec![0usize; ls.phases.len()];
+    for m in &trace.msgs {
+        if let Some(rt) = m.recv_task {
+            let sink = trace.task(rt).sink.expect("matched");
+            let p = ls.phase_of_event[sink.index()];
+            if p == ls.phase_of_event[m.send_event.index()] {
+                counts[p as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// True if the event is a source (send); re-exported helper for
+/// downstream crates that only have the structure.
+pub fn is_source(trace: &Trace, e: EventId) -> bool {
+    matches!(trace.event(e).kind, EventKind::Send { .. })
+}

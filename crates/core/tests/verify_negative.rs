@@ -1,0 +1,195 @@
+//! Mutation tests for [`LogicalStructure::verify`]: every invariant the
+//! property tests rely on must actually be *caught* when violated.
+//! A verifier that silently accepts corrupted structures would make the
+//! whole test pyramid vacuous.
+
+use lsr_charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+use lsr_core::{extract, Config, LogicalStructure};
+use lsr_trace::{Dur, EntryId, Time, Trace};
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct S {
+    got: u32,
+    iter: u32,
+}
+
+/// A small ring app with a reduction: several phases, both flavors.
+fn sample() -> (Trace, LogicalStructure) {
+    let n = 4u32;
+    let mut sim = Sim::new(SimConfig::new(2).with_seed(5));
+    let arr = sim.add_array("ring", n, Placement::Block, |_| S::default());
+    let elems = sim.elements(arr).to_vec();
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let en = e_next.clone();
+    let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut S, _d| {
+        s.got += 1;
+        if s.got == 2 {
+            s.got = 0;
+            ctx.compute(Dur::from_micros(10));
+            ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+        }
+    });
+    let el = elems.clone();
+    let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut S, _d| {
+        s.iter += 1;
+        if s.iter > 2 {
+            return;
+        }
+        let i = ctx.my_index();
+        ctx.send(el[((i + n - 1) % n) as usize], halo, vec![]);
+        ctx.send(el[((i + 1) % n) as usize], halo, vec![]);
+    });
+    e_next.set(next);
+    for &c in &elems {
+        sim.inject(c, next, vec![], Time::ZERO);
+    }
+    let trace = sim.run();
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("sample must start valid");
+    (trace, ls)
+}
+
+#[test]
+fn detects_truncated_event_tables() {
+    let (trace, mut ls) = sample();
+    ls.step.pop();
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(err.contains("sizes mismatch"), "{err}");
+}
+
+#[test]
+fn detects_global_step_inconsistent_with_offset() {
+    let (trace, mut ls) = sample();
+    ls.step[0] += 1;
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(err.contains("global step") || err.contains("does not advance"), "{err}");
+}
+
+#[test]
+fn detects_local_step_beyond_phase_maximum() {
+    let (trace, mut ls) = sample();
+    let e = 0usize;
+    let p = ls.phase_of_event[e] as usize;
+    ls.local_step[e] = ls.phases[p].max_local + 10;
+    // Keep global consistent so the max-local check fires first.
+    ls.step[e] = ls.phases[p].offset + ls.local_step[e];
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(err.contains("max local step"), "{err}");
+}
+
+#[test]
+fn detects_cycles_in_phase_graph() {
+    let (trace, mut ls) = sample();
+    if ls.phase_succs.len() >= 2 {
+        // Add a back edge from every phase to phase 0 — guaranteed cycle
+        // as soon as 0 has any outgoing path.
+        for p in 1..ls.phase_succs.len() {
+            ls.phase_succs[p].push(0);
+        }
+        let err = ls.verify(&trace).unwrap_err();
+        assert!(err.contains("cycle") || err.contains("starts at"), "{err}");
+    }
+}
+
+#[test]
+fn detects_offsets_violating_phase_edges() {
+    let (trace, mut ls) = sample();
+    // Find a phase with a successor and pull the successor's offset back.
+    let (p, s) = ls
+        .phase_succs
+        .iter()
+        .enumerate()
+        .find_map(|(p, ss)| ss.first().map(|&s| (p, s)))
+        .expect("sample has phase edges");
+    let pend = ls.phases[p].offset + ls.phases[p].max_local;
+    // Rewrite the successor phase's offset (and its events) to overlap.
+    let delta = ls.phases[s as usize].offset - pend;
+    let sp = &mut ls.phases[s as usize];
+    sp.offset = pend;
+    for e in trace.event_ids() {
+        if ls.phase_of_event[e.index()] == s {
+            ls.step[e.index()] -= delta;
+        }
+    }
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(
+        err.contains("predecessor") || err.contains("share step") || err.contains("advance"),
+        "{err}"
+    );
+}
+
+#[test]
+fn detects_leap_overlap() {
+    let (trace, mut ls) = sample();
+    // Force two phases sharing a chare onto the same leap.
+    let c = ls.phases[0].chares[0];
+    let other = ls
+        .phases
+        .iter()
+        .position(|ph| ph.id != ls.phases[0].id && ph.chares.contains(&c))
+        .expect("chare appears in several phases");
+    let leap0 = ls.phases[0].leap;
+    ls.phases[other].leap = leap0;
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(err.contains("overlap on chare"), "{err}");
+}
+
+#[test]
+fn detects_message_that_does_not_advance() {
+    let (trace, mut ls) = sample();
+    let m = trace.msgs.iter().find(|m| m.recv_task.is_some()).expect("matched msg");
+    let sink = trace.task(m.recv_task.unwrap()).sink.unwrap();
+    // Drag the receive's step to the send's step, keeping offset math
+    // consistent by editing local_step too.
+    let send_step = ls.step[m.send_event.index()];
+    let p = ls.phase_of_event[sink.index()] as usize;
+    ls.step[sink.index()] = send_step;
+    ls.local_step[sink.index()] = send_step.saturating_sub(ls.phases[p].offset);
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(
+        err.contains("advance") || err.contains("share step") || err.contains("global step"),
+        "{err}"
+    );
+}
+
+#[test]
+fn detects_message_split_across_phases() {
+    let (trace, mut ls) = sample();
+    let m = trace.msgs.iter().find(|m| m.recv_task.is_some()).expect("matched msg");
+    let sink = trace.task(m.recv_task.unwrap()).sink.unwrap();
+    let p = ls.phase_of_event[sink.index()];
+    let other = (0..ls.phases.len() as u32).find(|&q| q != p).expect("several phases");
+    ls.phase_of_event[sink.index()] = other;
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(err.contains("spans phases") || err.contains("global step"), "{err}");
+}
+
+#[test]
+fn detects_duplicate_steps_on_a_chare() {
+    let (trace, mut ls) = sample();
+    // Find two events of the same chare and give them the same step,
+    // keeping the (offset + local) identity intact.
+    let mut by_chare: std::collections::HashMap<lsr_trace::ChareId, lsr_trace::EventId> =
+        std::collections::HashMap::new();
+    let mut pair = None;
+    for e in trace.event_ids() {
+        let c = trace.event_chare(e);
+        if let Some(&first) = by_chare.get(&c) {
+            pair = Some((first, e));
+            break;
+        }
+        by_chare.insert(c, e);
+    }
+    let (a, b) = pair.expect("some chare has two events");
+    let pa = ls.phase_of_event[a.index()];
+    ls.phase_of_event[b.index()] = pa;
+    ls.local_step[b.index()] = ls.local_step[a.index()];
+    ls.step[b.index()] = ls.step[a.index()];
+    let err = ls.verify(&trace).unwrap_err();
+    assert!(
+        err.contains("share step") || err.contains("spans phases") || err.contains("advance"),
+        "{err}"
+    );
+}

@@ -1,0 +1,186 @@
+//! Critical-path analysis over the trace's dependency graph.
+//!
+//! The critical path is the longest chain of dependent work — task
+//! execution linked by messages and per-PE scheduling — that bounds the
+//! run's makespan. It complements the paper's metrics: *idle
+//! experienced* says where processors starve; the critical path says
+//! which work made them wait.
+
+use lsr_trace::{Dur, TaskId, Time, Trace, TraceIndex};
+
+/// The critical path of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The tasks on the path, in execution order.
+    pub tasks: Vec<TaskId>,
+    /// Total task duration along the path (excludes network latency).
+    pub work: Dur,
+    /// Completion time of the path's last task (the makespan bound).
+    pub makespan: Time,
+}
+
+impl CriticalPath {
+    /// Computes the critical path. Dependencies considered per task:
+    /// the message that awoke it, and the previous task on its PE (the
+    /// resource dependency of §2's taxonomy). Tasks are processed in
+    /// begin-time order, so every dependency is resolved first.
+    pub fn compute(trace: &Trace) -> CriticalPath {
+        let ix = trace.index();
+        Self::compute_with(trace, &ix)
+    }
+
+    /// [`CriticalPath::compute`] with a caller-provided index.
+    pub fn compute_with(trace: &Trace, ix: &TraceIndex) -> CriticalPath {
+        let n = trace.tasks.len();
+        if n == 0 {
+            return CriticalPath { tasks: Vec::new(), work: Dur::ZERO, makespan: Time::ZERO };
+        }
+        // Longest accumulated work ending at each task, with the
+        // predecessor that realized it.
+        let mut best = vec![Dur::ZERO; n];
+        let mut pred: Vec<Option<TaskId>> = vec![None; n];
+        let mut order: Vec<TaskId> = trace.task_ids().collect();
+        order.sort_unstable_by_key(|&t| (trace.task(t).begin, t));
+        for &t in &order {
+            let rec = trace.task(t);
+            let dur = rec.end - rec.begin;
+            let mut candidates: Vec<TaskId> = Vec::with_capacity(2);
+            if let Some(sink) = rec.sink {
+                if let lsr_trace::EventKind::Recv { msg: Some(m) } = trace.event(sink).kind {
+                    candidates.push(trace.event(trace.msg(m).send_event).task);
+                }
+            }
+            if let Some(prev) = ix.prev_on_pe(trace, t) {
+                candidates.push(prev);
+            }
+            let chosen = candidates
+                .into_iter()
+                .max_by_key(|&c| (best[c.index()], std::cmp::Reverse(c)));
+            let base = chosen.map_or(Dur::ZERO, |c| best[c.index()]);
+            best[t.index()] = base + dur;
+            pred[t.index()] = chosen;
+        }
+        // Walk back from the task that ends the run with the most
+        // accumulated work behind it.
+        let last = order
+            .iter()
+            .copied()
+            .max_by_key(|&t| (trace.task(t).end, best[t.index()], std::cmp::Reverse(t)))
+            .expect("non-empty");
+        let mut tasks = Vec::new();
+        let mut cur = Some(last);
+        while let Some(t) = cur {
+            tasks.push(t);
+            cur = pred[t.index()];
+        }
+        tasks.reverse();
+        let work = best[last.index()];
+        CriticalPath { tasks, work, makespan: trace.task(last).end }
+    }
+
+    /// Fraction of the path's work executed by each PE.
+    pub fn pe_shares(&self, trace: &Trace) -> Vec<f64> {
+        let mut per_pe = vec![Dur::ZERO; trace.pe_count as usize];
+        for &t in &self.tasks {
+            let rec = trace.task(t);
+            per_pe[rec.pe.index()] += rec.end - rec.begin;
+        }
+        per_pe
+            .into_iter()
+            .map(|d| if self.work == Dur::ZERO { 0.0 } else { d.nanos() as f64 / self.work.nanos() as f64 })
+            .collect()
+    }
+
+    /// Work on the path divided by the makespan: close to 1 means the
+    /// run is dependency-bound (no overlap opportunity left), low
+    /// values mean waiting (network, scheduling) dominates. Values
+    /// slightly above 1 are possible when consecutive chain tasks
+    /// overlap in time (a message sent early in a long block lets its
+    /// receiver run concurrently with the sender's remainder).
+    pub fn work_ratio(&self) -> f64 {
+        if self.makespan == Time::ZERO {
+            0.0
+        } else {
+            self.work.nanos() as f64 / self.makespan.nanos() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{Kind, PeId, TraceBuilder};
+
+    /// c0 does 10ns, sends to c1 (other PE) which does 30ns. The path is
+    /// both tasks; work = 40ns.
+    #[test]
+    fn follows_message_dependencies() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(5), c1, e);
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(20), m);
+        b.end_task(t1, Time(50));
+        let tr = b.build().unwrap();
+        let cp = CriticalPath::compute(&tr);
+        assert_eq!(cp.tasks, vec![t0, t1]);
+        assert_eq!(cp.work, Dur(40));
+        assert_eq!(cp.makespan, Time(50));
+        let shares = cp.pe_shares(&tr);
+        assert!((shares[0] - 0.25).abs() < 1e-9);
+        assert!((shares[1] - 0.75).abs() < 1e-9);
+        assert!((cp.work_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    /// Two independent chains; the longer one is the critical path.
+    #[test]
+    fn picks_the_longest_chain() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        // Short chain on PE0.
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t0, Time(5));
+        // Long chain on PE1 (ends later).
+        let t1 = b.begin_task(c1, e, PeId(1), Time(0));
+        b.end_task(t1, Time(100));
+        let tr = b.build().unwrap();
+        let cp = CriticalPath::compute(&tr);
+        assert_eq!(cp.tasks, vec![t1]);
+        assert_eq!(cp.work, Dur(100));
+    }
+
+    /// PE-order (resource) dependencies chain back-to-back tasks.
+    #[test]
+    fn includes_resource_dependencies() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task(c1, e, PeId(0), Time(10));
+        b.end_task(t1, Time(30));
+        let tr = b.build().unwrap();
+        let cp = CriticalPath::compute(&tr);
+        assert_eq!(cp.tasks, vec![t0, t1]);
+        assert_eq!(cp.work, Dur(30));
+        assert!((cp.work_ratio() - 1.0).abs() < 1e-9, "fully packed PE");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_path() {
+        let tr = TraceBuilder::new(1).build().unwrap();
+        let cp = CriticalPath::compute(&tr);
+        assert!(cp.tasks.is_empty());
+        assert_eq!(cp.work_ratio(), 0.0);
+        assert!(cp.pe_shares(&tr).iter().all(|&s| s == 0.0));
+    }
+}

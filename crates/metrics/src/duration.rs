@@ -1,0 +1,163 @@
+//! The *differential duration* metric (paper §4, Figs. 13, 15, 21–23).
+//!
+//! Computations at the same logical step of the same phase are usually
+//! the same action, so their sub-block durations are comparable. The
+//! differential duration of an event is its sub-block duration in
+//! excess of the shortest sub-block at that (phase, step).
+
+use crate::subblock::sub_block_durations;
+use lsr_core::LogicalStructure;
+use lsr_trace::{Dur, EventId, Trace};
+use std::collections::HashMap;
+
+/// Differential duration per event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialDuration {
+    /// Excess sub-block duration per event (indexed by `EventId`).
+    pub per_event: Vec<Dur>,
+    /// Raw sub-block durations (same indexing), kept for load math.
+    pub sub_blocks: Vec<Dur>,
+}
+
+impl DifferentialDuration {
+    /// Computes the metric over a trace and its logical structure.
+    pub fn compute(trace: &Trace, ls: &LogicalStructure) -> DifferentialDuration {
+        let sub_blocks = sub_block_durations(trace);
+        // Shortest sub-block per (phase, global step).
+        let mut min_at: HashMap<(u32, u64), Dur> = HashMap::new();
+        for e in trace.event_ids() {
+            let key = (ls.phase_of(e), ls.global_step(e));
+            let d = sub_blocks[e.index()];
+            min_at.entry(key).and_modify(|m| *m = (*m).min(d)).or_insert(d);
+        }
+        let per_event = trace
+            .event_ids()
+            .map(|e| {
+                let key = (ls.phase_of(e), ls.global_step(e));
+                sub_blocks[e.index()].saturating_sub(min_at[&key])
+            })
+            .collect();
+        DifferentialDuration { per_event, sub_blocks }
+    }
+
+    /// The maximum differential duration and the event holding it.
+    pub fn max(&self) -> Option<(EventId, Dur)> {
+        self.per_event
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| d)
+            .map(|(i, &d)| (EventId::from_index(i), d))
+    }
+
+    /// Events whose differential duration is at least `threshold`,
+    /// sorted descending: the "long events" the paper's case studies
+    /// highlight.
+    pub fn outliers(&self, threshold: Dur) -> Vec<(EventId, Dur)> {
+        let mut v: Vec<(EventId, Dur)> = self
+            .per_event
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d >= threshold)
+            .map(|(i, &d)| (EventId::from_index(i), d))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The chares owning outlier events (deduplicated, order of first
+    /// appearance): lets case studies ask "is it the same chare every
+    /// iteration?" (Fig. 21).
+    pub fn outlier_chares(&self, trace: &Trace, threshold: Dur) -> Vec<lsr_trace::ChareId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (e, _) in self.outliers(threshold) {
+            let c = trace.event_chare(e);
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    /// Two chares each receive the same broadcast and compute; one
+    /// takes 3× longer. A broadcast is a single send event, so both
+    /// receives land at the same step of the same phase.
+    fn straggler_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let c2 = b.add_chare(arr, 2, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let ms = b.record_broadcast(t0, Time(1), &[(c1, e), (c2, e)]);
+        b.end_task(t0, Time(3));
+        // c1 computes 10, c2 computes 30.
+        let r1 = b.begin_task_from(c1, e, PeId(1), Time(10), ms[0]);
+        b.end_task(r1, Time(20));
+        let r2 = b.begin_task_from(c2, e, PeId(0), Time(10), ms[1]);
+        b.end_task(r2, Time(40));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straggler_has_positive_differential() {
+        let tr = straggler_trace();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        ls.verify(&tr).unwrap();
+        let dd = DifferentialDuration::compute(&tr, &ls);
+        let sink1 = tr.tasks[1].sink.unwrap();
+        let sink2 = tr.tasks[2].sink.unwrap();
+        // Same phase & step?
+        assert_eq!(ls.global_step(sink1), ls.global_step(sink2));
+        assert_eq!(dd.per_event[sink1.index()], Dur::ZERO, "fastest is the baseline");
+        assert_eq!(dd.per_event[sink2.index()], Dur(20), "straggler exceeds by 20");
+        let (worst, d) = dd.max().unwrap();
+        assert_eq!(worst, sink2);
+        assert_eq!(d, Dur(20));
+    }
+
+    #[test]
+    fn outliers_filter_and_sort() {
+        let tr = straggler_trace();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let dd = DifferentialDuration::compute(&tr, &ls);
+        let outs = dd.outliers(Dur(1));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1, Dur(20));
+        assert!(dd.outliers(Dur(21)).is_empty());
+        let chs = dd.outlier_chares(&tr, Dur(1));
+        assert_eq!(chs, vec![lsr_trace::ChareId(2)]);
+    }
+
+    #[test]
+    fn uniform_durations_have_zero_differential() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let c2 = b.add_chare(arr, 2, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let ms = b.record_broadcast(t0, Time(1), &[(c1, e), (c2, e)]);
+        b.end_task(t0, Time(3));
+        let r1 = b.begin_task_from(c1, e, PeId(1), Time(10), ms[0]);
+        b.end_task(r1, Time(25));
+        let r2 = b.begin_task_from(c2, e, PeId(0), Time(10), ms[1]);
+        b.end_task(r2, Time(25));
+        let tr = b.build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let dd = DifferentialDuration::compute(&tr, &ls);
+        let sink1 = tr.tasks[1].sink.unwrap();
+        let sink2 = tr.tasks[2].sink.unwrap();
+        assert_eq!(dd.per_event[sink1.index()], Dur::ZERO);
+        assert_eq!(dd.per_event[sink2.index()], Dur::ZERO);
+    }
+}

@@ -1,0 +1,152 @@
+//! The *idle experienced* metric (paper §4, Figs. 11–12).
+//!
+//! Idling indicates processors are not used efficiently. The serial
+//! block scheduled right after a recorded idle span *experiences* that
+//! idle; so do subsequent blocks on the processor whose awaited
+//! dependency started before the idle ended — they too were stalled by
+//! the gap, not by their own dependencies. The walk stops at the first
+//! block that depends on an event from after the idle span.
+
+use lsr_trace::{Dur, Time, Trace, TraceIndex};
+
+/// Idle experienced per task, indexed by `TaskId`. Tasks touched by
+/// several idle spans accumulate.
+pub fn idle_experienced(trace: &Trace) -> Vec<Dur> {
+    let ix = trace.index();
+    idle_experienced_with(trace, &ix)
+}
+
+/// [`idle_experienced`] with a caller-provided index.
+pub fn idle_experienced_with(trace: &Trace, ix: &TraceIndex) -> Vec<Dur> {
+    let mut out = vec![Dur::ZERO; trace.tasks.len()];
+    for idle in &trace.idles {
+        let span = idle.end - idle.begin;
+        let tasks = &ix.tasks_by_pe[idle.pe.index()];
+        // First task beginning at or after the idle's end.
+        let start = tasks.partition_point(|&t| trace.task(t).begin < idle.end);
+        let mut first = true;
+        for &t in &tasks[start..] {
+            if first {
+                out[t.index()] += span;
+                first = false;
+                continue;
+            }
+            if dependency_start(trace, t).is_some_and(|dep| dep < idle.end) {
+                out[t.index()] += span;
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// When the dependency a task waited on *started*: the send time of the
+/// message that awoke it. `None` for spontaneous tasks.
+fn dependency_start(trace: &Trace, t: lsr_trace::TaskId) -> Option<Time> {
+    let sink = trace.task(t).sink?;
+    match trace.event(sink).kind {
+        lsr_trace::EventKind::Recv { msg: Some(m) } => Some(trace.msg(m).send_time),
+        _ => None,
+    }
+}
+
+/// Total idle experienced per PE (for summaries).
+pub fn per_pe_totals(trace: &Trace, idle_exp: &[Dur]) -> Vec<Dur> {
+    let mut out = vec![Dur::ZERO; trace.pe_count as usize];
+    for t in &trace.tasks {
+        out[t.pe.index()] += idle_exp[t.id.index()];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    /// Mirrors paper Fig. 11: idle on a PE, followed by two blocks whose
+    /// dependencies started before the idle ended and one block whose
+    /// dependency started after.
+    #[test]
+    fn propagates_through_pre_idle_dependencies() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let src = b.add_chare(arr, 0, PeId(0));
+        let dst = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        // Sender issues three messages: two before the idle ends (t=20,
+        // 25), one after (t=60).
+        let t0 = b.begin_task(src, e, PeId(0), Time(0));
+        let m1 = b.record_send(t0, Time(20), dst, e);
+        let m2 = b.record_send(t0, Time(25), dst, e);
+        b.end_task(t0, Time(30));
+        let t0b = b.begin_task(src, e, PeId(0), Time(55));
+        let m3 = b.record_send(t0b, Time(60), dst, e);
+        b.end_task(t0b, Time(61));
+        // PE1 idles [0, 40], then runs the three receives back to back.
+        b.add_idle(PeId(1), Time(0), Time(40));
+        let r1 = b.begin_task_from(dst, e, PeId(1), Time(40), m1);
+        b.end_task(r1, Time(50));
+        let r2 = b.begin_task_from(dst, e, PeId(1), Time(50), m2);
+        b.end_task(r2, Time(65));
+        let r3 = b.begin_task_from(dst, e, PeId(1), Time(70), m3);
+        b.end_task(r3, Time(80));
+        let tr = b.build().unwrap();
+        let idle = idle_experienced(&tr);
+        // r1 directly follows the idle: experiences all 40.
+        assert_eq!(idle[r1.index()], Dur(40));
+        // r2's dependency (send at 25) started before the idle ended.
+        assert_eq!(idle[r2.index()], Dur(40));
+        // r3's dependency (send at 60) started after: stops there.
+        assert_eq!(idle[r3.index()], Dur::ZERO);
+        // Sender experienced nothing.
+        assert_eq!(idle[t0.index()], Dur::ZERO);
+        let totals = per_pe_totals(&tr, &idle);
+        assert_eq!(totals[1], Dur(80));
+        assert_eq!(totals[0], Dur::ZERO);
+    }
+
+    #[test]
+    fn spontaneous_follower_stops_the_walk() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("go", None);
+        b.add_idle(PeId(0), Time(0), Time(10));
+        let t1 = b.begin_task(c, e, PeId(0), Time(10));
+        b.end_task(t1, Time(20));
+        let t2 = b.begin_task(c, e, PeId(0), Time(20));
+        b.end_task(t2, Time(30));
+        let tr = b.build().unwrap();
+        let idle = idle_experienced(&tr);
+        assert_eq!(idle[t1.index()], Dur(10));
+        assert_eq!(idle[t2.index()], Dur::ZERO, "no dependency info: walk stops");
+    }
+
+    #[test]
+    fn multiple_idles_accumulate() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let src = b.add_chare(arr, 0, PeId(0));
+        let dst = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(src, e, PeId(0), Time(0));
+        let m1 = b.record_send(t0, Time(1), dst, e);
+        let m2 = b.record_send(t0, Time(2), dst, e);
+        b.end_task(t0, Time(3));
+        b.add_idle(PeId(1), Time(0), Time(10));
+        let r1 = b.begin_task_from(dst, e, PeId(1), Time(10), m1);
+        b.end_task(r1, Time(12));
+        b.add_idle(PeId(1), Time(12), Time(20));
+        let r2 = b.begin_task_from(dst, e, PeId(1), Time(20), m2);
+        b.end_task(r2, Time(22));
+        let tr = b.build().unwrap();
+        let idle = idle_experienced(&tr);
+        // r1 follows the first idle directly (10); r2's dependency
+        // (send at 2) started before the first idle ended, so r2 also
+        // experiences it — plus the second idle it follows directly.
+        assert_eq!(idle[r1.index()], Dur(10));
+        assert_eq!(idle[r2.index()], Dur(18));
+    }
+}

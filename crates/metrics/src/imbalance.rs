@@ -1,0 +1,167 @@
+//! The *imbalance* metric (paper §4, Fig. 14).
+//!
+//! Per phase, the computation duration executed on each processor is
+//! summed; the phase's imbalance is the spread between the most and
+//! least loaded processors, and each processor also gets its own
+//! difference from the minimally loaded one (mapped onto every event it
+//! executed, as in Fig. 14).
+
+use lsr_core::{LogicalStructure, NO_PHASE};
+use lsr_trace::{Dur, EventId, Trace};
+
+/// Per-phase, per-processor load and the derived imbalance numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imbalance {
+    /// `loads[phase][pe]`: summed task duration.
+    pub loads: Vec<Vec<Dur>>,
+    /// `spread[phase][pe] = loads[phase][pe] − min(loads[phase])`.
+    pub spread: Vec<Vec<Dur>>,
+    /// `per_phase[phase] = max − min load`.
+    pub per_phase: Vec<Dur>,
+}
+
+impl Imbalance {
+    /// Computes per-phase processor loads from task durations, each
+    /// task attributed to its primary phase.
+    pub fn compute(trace: &Trace, ls: &LogicalStructure) -> Imbalance {
+        let pes = trace.pe_count as usize;
+        let mut loads = vec![vec![Dur::ZERO; pes]; ls.num_phases()];
+        for t in &trace.tasks {
+            let p = ls.phase_of_task(t.id);
+            if p != NO_PHASE {
+                loads[p as usize][t.pe.index()] += t.end - t.begin;
+            }
+        }
+        let mut spread = Vec::with_capacity(loads.len());
+        let mut per_phase = Vec::with_capacity(loads.len());
+        for row in &loads {
+            let min = row.iter().copied().min().unwrap_or(Dur::ZERO);
+            let max = row.iter().copied().max().unwrap_or(Dur::ZERO);
+            spread.push(row.iter().map(|&l| l.saturating_sub(min)).collect());
+            per_phase.push(max.saturating_sub(min));
+        }
+        Imbalance { loads, spread, per_phase }
+    }
+
+    /// The imbalance value an event is colored by (Fig. 14): its
+    /// processor's spread within its phase.
+    pub fn event_value(&self, trace: &Trace, ls: &LogicalStructure, e: EventId) -> Dur {
+        let p = ls.phase_of(e) as usize;
+        let pe = trace.task(trace.event(e).task).pe.index();
+        self.spread[p][pe]
+    }
+
+    /// Total imbalance summed over phases.
+    pub fn total(&self) -> Dur {
+        self.per_phase.iter().copied().sum()
+    }
+
+    /// Overall run imbalance across processors: the spread between the
+    /// most- and least-loaded PE over the whole run — the §6.2
+    /// comparison ("less than half as much imbalance overall across
+    /// processors").
+    pub fn overall(&self) -> Dur {
+        let pes = self.loads.first().map_or(0, |r| r.len());
+        let totals: Vec<Dur> = (0..pes)
+            .map(|pe| self.loads.iter().map(|row| row[pe]).sum())
+            .collect();
+        match (totals.iter().max(), totals.iter().min()) {
+            (Some(&max), Some(&min)) => max.saturating_sub(min),
+            _ => Dur::ZERO,
+        }
+    }
+
+    /// Mean per-phase relative imbalance: (max − min) / max, averaged
+    /// over phases with nonzero load. In [0, 1].
+    pub fn mean_relative(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (row, &imb) in self.loads.iter().zip(&self.per_phase) {
+            let max = row.iter().copied().max().unwrap_or(Dur::ZERO);
+            if max > Dur::ZERO {
+                sum += imb.nanos() as f64 / max.nanos() as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    /// One phase: PE0 runs 30ns of work, PE1 runs 10ns.
+    fn lopsided() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(5), c1, e);
+        b.end_task(t0, Time(30));
+        let r = b.begin_task_from(c1, e, PeId(1), Time(40), m);
+        b.end_task(r, Time(50));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spread_and_per_phase_match_loads() {
+        let tr = lopsided();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let imb = Imbalance::compute(&tr, &ls);
+        assert_eq!(ls.num_phases(), 1);
+        assert_eq!(imb.loads[0], vec![Dur(30), Dur(10)]);
+        assert_eq!(imb.spread[0], vec![Dur(20), Dur(0)]);
+        assert_eq!(imb.per_phase[0], Dur(20));
+        assert_eq!(imb.total(), Dur(20));
+        let rel = imb.mean_relative();
+        assert!((rel - 20.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_value_maps_processor_spread() {
+        let tr = lopsided();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let imb = Imbalance::compute(&tr, &ls);
+        let send = tr.tasks[0].sends[0];
+        let sink = tr.tasks[1].sink.unwrap();
+        assert_eq!(imb.event_value(&tr, &ls, send), Dur(20));
+        assert_eq!(imb.event_value(&tr, &ls, sink), Dur(0));
+    }
+
+    #[test]
+    fn overall_spreads_whole_run_loads() {
+        let tr = lopsided();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let imb = Imbalance::compute(&tr, &ls);
+        // One phase: overall equals the phase's spread.
+        assert_eq!(imb.overall(), Dur(20));
+    }
+
+    #[test]
+    fn balanced_phase_has_zero_imbalance() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(5), c1, e);
+        b.end_task(t0, Time(10));
+        let r = b.begin_task_from(c1, e, PeId(1), Time(40), m);
+        b.end_task(r, Time(50));
+        let tr = b.build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let imb = Imbalance::compute(&tr, &ls);
+        assert_eq!(imb.per_phase[0], Dur::ZERO);
+        assert_eq!(imb.mean_relative(), 0.0);
+    }
+}

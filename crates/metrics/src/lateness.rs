@@ -1,0 +1,76 @@
+//! Traditional *lateness* (§4's opening): the difference in completion
+//! time among events at the same logical step.
+//!
+//! The paper argues this metric — meaningful for bulk-synchronous
+//! message-passing codes (Isaacs et al. 2014) — is *not* suitable for
+//! asynchronous task-based executions, where same-step events need not
+//! run simultaneously. It is implemented here as the baseline to
+//! compare the new metrics against.
+
+use lsr_core::LogicalStructure;
+use lsr_trace::{Dur, Time, Trace};
+use std::collections::HashMap;
+
+/// Lateness per event: its physical time minus the earliest physical
+/// time among events at the same global step.
+pub fn lateness(trace: &Trace, ls: &LogicalStructure) -> Vec<Dur> {
+    let mut min_at: HashMap<u64, Time> = HashMap::new();
+    for e in trace.event_ids() {
+        let s = ls.global_step(e);
+        let t = trace.event(e).time;
+        min_at.entry(s).and_modify(|m| *m = (*m).min(t)).or_insert(t);
+    }
+    trace
+        .event_ids()
+        .map(|e| trace.event(e).time.saturating_since(min_at[&ls.global_step(e)]))
+        .collect()
+}
+
+/// Mean lateness over all events (0 for empty traces).
+pub fn mean_lateness(late: &[Dur]) -> Dur {
+    if late.is_empty() {
+        return Dur::ZERO;
+    }
+    Dur(late.iter().map(|d| d.nanos()).sum::<u64>() / late.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+    use lsr_trace::{Kind, PeId, TraceBuilder};
+
+    #[test]
+    fn lateness_is_relative_to_earliest_at_step() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let c2 = b.add_chare(arr, 2, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let ms = b.record_broadcast(t0, Time(1), &[(c1, e), (c2, e)]);
+        b.end_task(t0, Time(3));
+        // Receives at the same step (one broadcast send), 15ns apart.
+        let r1 = b.begin_task_from(c1, e, PeId(1), Time(10), ms[0]);
+        b.end_task(r1, Time(12));
+        let r2 = b.begin_task_from(c2, e, PeId(0), Time(25), ms[1]);
+        b.end_task(r2, Time(27));
+        let tr = b.build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let sink1 = tr.tasks[1].sink.unwrap();
+        let sink2 = tr.tasks[2].sink.unwrap();
+        assert_eq!(ls.global_step(sink1), ls.global_step(sink2));
+        let late = lateness(&tr, &ls);
+        assert_eq!(late[sink1.index()], Dur::ZERO);
+        assert_eq!(late[sink2.index()], Dur(15));
+        assert!(mean_lateness(&late) > Dur::ZERO);
+    }
+
+    #[test]
+    fn empty_trace_mean_is_zero() {
+        assert_eq!(mean_lateness(&[]), Dur::ZERO);
+    }
+
+    use lsr_trace::Time;
+}

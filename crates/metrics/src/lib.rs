@@ -1,0 +1,31 @@
+//! # lsr-metrics
+//!
+//! Performance metrics computed over the recovered logical structure
+//! (paper §4): *idle experienced*, event-delimited *sub-blocks* and
+//! *differential duration*, per-phase processor *imbalance*, and the
+//! traditional *lateness* baseline the paper argues against for
+//! task-based models.
+//!
+//! All metrics are dense arrays indexed by task or event id, so they
+//! can be mapped straight onto either the logical-structure view or the
+//! physical timeline (as the paper's figures do).
+
+#![warn(missing_docs)]
+
+mod critpath;
+mod diff;
+mod duration;
+mod idle;
+mod imbalance;
+mod lateness;
+mod profile;
+mod subblock;
+
+pub use critpath::CriticalPath;
+pub use diff::{PhasePair, StructureDiff};
+pub use duration::DifferentialDuration;
+pub use idle::{idle_experienced, idle_experienced_with, per_pe_totals};
+pub use imbalance::Imbalance;
+pub use lateness::{lateness, mean_lateness};
+pub use profile::{phase_profiles, profile_table, PhaseProfile};
+pub use subblock::{attributes_whole_task, sub_block_durations};

@@ -1,0 +1,111 @@
+//! Event-delimited sub-blocks (paper Fig. 13).
+//!
+//! Dependency events divide each serial block into units of
+//! computation: the sub-block of an event spans from the previous event
+//! in the block (or the block's begin) to the event itself. Any
+//! leftover time after the last event is attributed to the event that
+//! started the block (its sink) if recorded, otherwise to the last
+//! event. Sub-block durations are the basis of the differential
+//! duration metric.
+
+use lsr_trace::{Dur, Trace};
+
+/// Duration of each event's sub-block, indexed by `EventId`. Events of
+/// eventless tasks obviously don't appear; their time is unattributed.
+pub fn sub_block_durations(trace: &Trace) -> Vec<Dur> {
+    let mut dur = vec![Dur::ZERO; trace.events.len()];
+    for t in &trace.tasks {
+        let evs: Vec<_> = t.events().collect();
+        if evs.is_empty() {
+            continue;
+        }
+        let mut prev = t.begin;
+        for &e in &evs {
+            let te = trace.event(e).time;
+            dur[e.index()] = te - prev;
+            prev = te;
+        }
+        let leftover = t.end - prev;
+        let owner = t.sink.unwrap_or(*evs.last().expect("non-empty"));
+        dur[owner.index()] += leftover;
+    }
+    dur
+}
+
+/// Sanity check: per task, sub-block durations sum to the task span.
+pub fn attributes_whole_task(trace: &Trace, dur: &[Dur]) -> bool {
+    trace.tasks.iter().all(|t| {
+        let total: Dur = t.events().map(|e| dur[e.index()]).sum();
+        t.event_count() == 0 || total == t.end - t.begin
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    /// Builds one task [0, 100] with a sink at 0 and sends at 30 and 50.
+    fn block_with_sink() -> Trace {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c1, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(0), Time(10), m);
+        let _s1 = b.record_send(t1, Time(40), c0, e);
+        let _s2 = b.record_send(t1, Time(60), c0, e);
+        b.end_task(t1, Time(110));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sink_gets_leftover() {
+        let tr = block_with_sink();
+        let dur = sub_block_durations(&tr);
+        let t1 = &tr.tasks[1];
+        let sink = t1.sink.unwrap();
+        // sink sub-block: [10,10] = 0, plus leftover [60,110] = 50.
+        assert_eq!(dur[sink.index()], Dur(50));
+        // first send: [10,40] = 30; second: [40,60] = 20.
+        assert_eq!(dur[t1.sends[0].index()], Dur(30));
+        assert_eq!(dur[t1.sends[1].index()], Dur(20));
+        assert!(attributes_whole_task(&tr, &dur));
+    }
+
+    #[test]
+    fn sinkless_block_gives_leftover_to_last_event() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let _m1 = b.record_send(t0, Time(10), c1, e);
+        let _m2 = b.record_send(t0, Time(30), c1, e);
+        b.end_task(t0, Time(100));
+        let tr = b.build().unwrap();
+        let dur = sub_block_durations(&tr);
+        // first send: [0,10]=10; second: [30-10]=20 + leftover 70 = 90.
+        assert_eq!(dur[tr.tasks[0].sends[0].index()], Dur(10));
+        assert_eq!(dur[tr.tasks[0].sends[1].index()], Dur(90));
+        assert!(attributes_whole_task(&tr, &dur));
+    }
+
+    #[test]
+    fn eventless_tasks_are_skipped() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("noop", None);
+        let t = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t, Time(5));
+        let tr = b.build().unwrap();
+        let dur = sub_block_durations(&tr);
+        assert!(dur.is_empty());
+        assert!(attributes_whole_task(&tr, &dur));
+    }
+}

@@ -1,0 +1,30 @@
+//! # lsr-mpi
+//!
+//! A message-passing (MPI-style) process simulator with tracing.
+//!
+//! The paper compares Charm++ logical structures against MPI traces of
+//! the same proxy applications (Figs. 1, 10, 16, 20). This crate stands
+//! in for MPI + Score-P: ranks execute per-rank scripts ([`Program`]) of
+//! sends, blocking receives, computation, and abstracted collectives;
+//! [`run`] produces a validated [`lsr_trace::Trace`] where every
+//! operation is one serial block with a single dependency event — the
+//! message-passing model of §3.2.1.
+//!
+//! ```
+//! use lsr_mpi::{run, MpiConfig, Program};
+//! use lsr_trace::Dur;
+//!
+//! let mut p = Program::new(2);
+//! p.compute(0, Dur::from_micros(5)).send(0, 1, 42);
+//! p.recv(1, 0, 42);
+//! let trace = run(&MpiConfig::new(), &p);
+//! assert_eq!(trace.msgs.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod program;
+mod sim;
+
+pub use program::{MpiOp, OpLabel, Program};
+pub use sim::{run, MpiConfig};

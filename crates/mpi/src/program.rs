@@ -1,0 +1,265 @@
+//! Rank programs: per-rank scripts of message-passing operations.
+
+use lsr_trace::Dur;
+
+/// The label an operation gets in the trace (the entry-method name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpLabel {
+    /// A point-to-point send (`MPI_Send`).
+    Send,
+    /// A point-to-point receive (`MPI_Recv`).
+    Recv,
+    /// Part of an abstracted collective (`MPI_Allreduce`).
+    Allreduce,
+}
+
+/// One operation in a rank's script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiOp {
+    /// Local computation of the given (pre-jitter) duration.
+    Compute(Dur),
+    /// Non-blocking send of a message with `tag` to rank `to`.
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Match tag.
+        tag: i64,
+        /// Trace label.
+        label: OpLabel,
+    },
+    /// Blocking receive of a message with `tag` from rank `from`.
+    /// Matching is non-overtaking per (source, tag) pair.
+    Recv {
+        /// Source rank.
+        from: u32,
+        /// Match tag.
+        tag: i64,
+        /// Trace label.
+        label: OpLabel,
+    },
+    /// Blocking wildcard receive (`MPI_ANY_SOURCE`): matches the
+    /// earliest-arrived message carrying `tag` from any rank. Mixing
+    /// [`MpiOp::Recv`] and [`MpiOp::RecvAny`] on one tag at one rank is
+    /// unsupported.
+    RecvAny {
+        /// Match tag.
+        tag: i64,
+        /// Trace label.
+        label: OpLabel,
+    },
+}
+
+/// A complete message-passing program: one script per rank.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    scripts: Vec<Vec<MpiOp>>,
+}
+
+impl Program {
+    /// An empty program on `ranks` ranks.
+    pub fn new(ranks: u32) -> Program {
+        Program { scripts: vec![Vec::new(); ranks as usize] }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.scripts.len() as u32
+    }
+
+    /// The script of one rank.
+    pub fn script(&self, rank: u32) -> &[MpiOp] {
+        &self.scripts[rank as usize]
+    }
+
+    /// Appends computation on `rank`.
+    pub fn compute(&mut self, rank: u32, d: Dur) -> &mut Self {
+        self.scripts[rank as usize].push(MpiOp::Compute(d));
+        self
+    }
+
+    /// Appends a send on `rank`.
+    pub fn send(&mut self, rank: u32, to: u32, tag: i64) -> &mut Self {
+        assert!(to < self.ranks() && to != rank, "bad send target {to}");
+        self.scripts[rank as usize].push(MpiOp::Send { to, tag, label: OpLabel::Send });
+        self
+    }
+
+    /// Appends a blocking receive on `rank`.
+    pub fn recv(&mut self, rank: u32, from: u32, tag: i64) -> &mut Self {
+        assert!(from < self.ranks() && from != rank, "bad recv source {from}");
+        self.scripts[rank as usize].push(MpiOp::Recv { from, tag, label: OpLabel::Recv });
+        self
+    }
+
+    /// Appends a blocking wildcard receive on `rank`, matching arrival
+    /// order.
+    pub fn recv_any(&mut self, rank: u32, tag: i64) -> &mut Self {
+        self.scripts[rank as usize].push(MpiOp::RecvAny { tag, label: OpLabel::Recv });
+        self
+    }
+
+    /// Appends an abstracted allreduce across *all* ranks, expanded into
+    /// a binary-tree gather to rank 0 followed by a broadcast back down.
+    /// Uses `tag` and `tag + 1`; callers should keep tags unique per
+    /// collective. Leaf ranks see exactly two operations (the paper's
+    /// "two steps": the call up and the result back).
+    pub fn allreduce(&mut self, tag: i64) -> &mut Self {
+        self.gather_tree(tag, OpLabel::Allreduce);
+        self.bcast_tree(tag + 1, OpLabel::Allreduce);
+        self
+    }
+
+    /// Appends a barrier: same dependency shape as an allreduce (gather
+    /// up, release down), labelled as a collective.
+    pub fn barrier(&mut self, tag: i64) -> &mut Self {
+        self.allreduce(tag)
+    }
+
+    /// Appends a broadcast from rank 0 down the binary tree.
+    pub fn bcast(&mut self, tag: i64) -> &mut Self {
+        self.bcast_tree(tag, OpLabel::Allreduce);
+        self
+    }
+
+    /// Appends a reduce to rank 0 up the binary tree (no release).
+    pub fn reduce(&mut self, tag: i64) -> &mut Self {
+        self.gather_tree(tag, OpLabel::Allreduce);
+        self
+    }
+
+    /// Gather along the binary tree: children send partial results to
+    /// their parent after receiving their own children's.
+    fn gather_tree(&mut self, tag: i64, label: OpLabel) {
+        let n = self.ranks();
+        for r in 0..n {
+            for c in [2 * r + 1, 2 * r + 2] {
+                if c < n {
+                    self.scripts[r as usize].push(MpiOp::Recv { from: c, tag, label });
+                }
+            }
+            if r > 0 {
+                let parent = (r - 1) / 2;
+                self.scripts[r as usize].push(MpiOp::Send { to: parent, tag, label });
+            }
+        }
+    }
+
+    /// Release along the binary tree: each rank forwards the root's
+    /// message to its children after receiving it from its parent.
+    fn bcast_tree(&mut self, tag: i64, label: OpLabel) {
+        let n = self.ranks();
+        for r in 0..n {
+            if r > 0 {
+                let parent = (r - 1) / 2;
+                self.scripts[r as usize].push(MpiOp::Recv { from: parent, tag, label });
+            }
+            for c in [2 * r + 1, 2 * r + 2] {
+                if c < n {
+                    self.scripts[r as usize].push(MpiOp::Send { to: c, tag, label });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_in_order() {
+        let mut p = Program::new(2);
+        p.compute(0, Dur(5)).send(0, 1, 7).recv(1, 0, 7);
+        assert_eq!(p.script(0).len(), 2);
+        assert_eq!(p.script(1).len(), 1);
+        assert!(matches!(p.script(0)[1], MpiOp::Send { to: 1, tag: 7, .. }));
+    }
+
+    #[test]
+    fn allreduce_leaf_ranks_have_two_ops() {
+        let mut p = Program::new(4);
+        p.allreduce(100);
+        // rank 3 is a leaf: send up, recv result.
+        assert_eq!(p.script(3).len(), 2);
+        assert!(matches!(p.script(3)[0], MpiOp::Send { to: 1, tag: 100, label: OpLabel::Allreduce }));
+        assert!(matches!(p.script(3)[1], MpiOp::Recv { from: 1, tag: 101, .. }));
+    }
+
+    #[test]
+    fn allreduce_send_recv_counts_balance() {
+        let mut p = Program::new(7);
+        p.allreduce(0);
+        let mut sends = 0;
+        let mut recvs = 0;
+        for r in 0..7 {
+            for op in p.script(r) {
+                match op {
+                    MpiOp::Send { .. } => sends += 1,
+                    MpiOp::Recv { .. } | MpiOp::RecvAny { .. } => recvs += 1,
+                    MpiOp::Compute(_) => {}
+                }
+            }
+        }
+        assert_eq!(sends, recvs, "every send must have a matching recv");
+        // 6 edges up + 6 edges down
+        assert_eq!(sends, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad send target")]
+    fn self_send_is_rejected() {
+        Program::new(2).send(0, 0, 1);
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank_once() {
+        let mut p = Program::new(6);
+        p.bcast(40);
+        let mut recvs_per_rank = vec![0; 6];
+        let mut sends = 0;
+        for r in 0..6 {
+            for op in p.script(r) {
+                match op {
+                    MpiOp::Recv { .. } | MpiOp::RecvAny { .. } => {
+                        recvs_per_rank[r as usize] += 1
+                    }
+                    MpiOp::Send { .. } => sends += 1,
+                    MpiOp::Compute(_) => {}
+                }
+            }
+        }
+        assert_eq!(recvs_per_rank[0], 0, "root receives nothing");
+        assert!(recvs_per_rank[1..].iter().all(|&c| c == 1), "{recvs_per_rank:?}");
+        assert_eq!(sends, 5, "tree has n-1 edges");
+    }
+
+    #[test]
+    fn reduce_mirrors_bcast() {
+        let mut p = Program::new(6);
+        p.reduce(41);
+        let root_recvs =
+            p.script(0).iter().filter(|op| matches!(op, MpiOp::Recv { .. })).count();
+        assert_eq!(root_recvs, 2, "root gathers from its tree children");
+        let leaf_ops = p.script(5);
+        assert_eq!(leaf_ops.len(), 1);
+        assert!(matches!(leaf_ops[0], MpiOp::Send { to: 2, .. }));
+    }
+
+    #[test]
+    fn barrier_has_allreduce_shape() {
+        let mut a = Program::new(5);
+        a.barrier(0);
+        let mut b = Program::new(5);
+        b.allreduce(0);
+        for r in 0..5 {
+            assert_eq!(a.script(r), b.script(r));
+        }
+    }
+
+    #[test]
+    fn allreduce_on_one_rank_is_empty() {
+        let mut p = Program::new(1);
+        p.allreduce(0);
+        assert!(p.script(0).is_empty());
+    }
+}

@@ -1,0 +1,476 @@
+//! Discrete-event execution of a message-passing [`Program`].
+//!
+//! Each rank owns a PE and executes its script sequentially: sends are
+//! non-blocking, receives block until the matching message arrives
+//! (non-overtaking per (source, tag) pair), and waiting is recorded as
+//! idle time. Every operation becomes one task with a single dependency
+//! event, matching the paper's message-passing model where each serial
+//! block contains a single send or receive event (§3.2.1).
+
+use crate::program::{MpiOp, OpLabel, Program};
+use lsr_trace::{ChareId, Dur, EntryId, Kind, MsgId, PeId, Time, Trace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Configuration for an MPI-style run.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// RNG seed for jitter.
+    pub seed: u64,
+    /// Mean network latency between ranks.
+    pub latency: Dur,
+    /// Relative jitter in [0, 1) applied to latency and compute.
+    pub jitter: f64,
+    /// Time each send/receive operation occupies the rank.
+    pub op_overhead: Dur,
+}
+
+impl MpiConfig {
+    /// Reasonable defaults (10 µs latency, 1 µs op overhead, 20% jitter).
+    pub fn new() -> MpiConfig {
+        MpiConfig {
+            seed: 0xBEEF,
+            latency: Dur::from_micros(10),
+            jitter: 0.2,
+            op_overhead: Dur::from_micros(1),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> MpiConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the relative jitter (clamped to [0, 0.95]).
+    pub fn with_jitter(mut self, jitter: f64) -> MpiConfig {
+        self.jitter = jitter.clamp(0.0, 0.95);
+        self
+    }
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig::new()
+    }
+}
+
+/// What a blocked rank is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RecvSpec {
+    /// `None` means any source (`MPI_ANY_SOURCE`).
+    from: Option<u32>,
+    tag: i64,
+}
+
+struct RankState {
+    chare: ChareId,
+    pc: usize,
+    cursor: Time,
+    blocked: Option<RecvSpec>,
+    mailbox: HashMap<(u32, i64), VecDeque<(MsgId, Time)>>,
+    /// Arrival order of sources per tag, for wildcard matching.
+    arrival_log: HashMap<i64, VecDeque<u32>>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Arrival {
+    time: Time,
+    seq: u64,
+    dst: u32,
+    from: u32,
+    tag: i64,
+    msg: MsgId,
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs `program` under `cfg` and returns the validated trace.
+///
+/// # Panics
+/// Panics if the program deadlocks (a rank blocks on a receive whose
+/// matching send never happens).
+pub fn run(cfg: &MpiConfig, program: &Program) -> Trace {
+    Runner::new(cfg, program).run()
+}
+
+struct Runner<'p> {
+    cfg: MpiConfig,
+    program: &'p Program,
+    rng: SmallRng,
+    builder: TraceBuilder,
+    ranks: Vec<RankState>,
+    heap: BinaryHeap<Reverse<Arrival>>,
+    seq: u64,
+    e_send: EntryId,
+    e_recv: EntryId,
+    e_allred: EntryId,
+    /// Last arrival time per (src, dst): enforces non-overtaking.
+    last_arrival: HashMap<(u32, u32), Time>,
+}
+
+impl<'p> Runner<'p> {
+    fn new(cfg: &MpiConfig, program: &'p Program) -> Runner<'p> {
+        let n = program.ranks();
+        let mut builder = TraceBuilder::new(n);
+        let arr = builder.add_array("ranks", Kind::Application);
+        let ranks = (0..n)
+            .map(|r| RankState {
+                chare: builder.add_chare(arr, r, PeId(r)),
+                pc: 0,
+                cursor: Time::ZERO,
+                blocked: None,
+                mailbox: HashMap::new(),
+                arrival_log: HashMap::new(),
+            })
+            .collect();
+        let e_send = builder.add_entry("MPI_Send", None);
+        let e_recv = builder.add_entry("MPI_Recv", None);
+        let e_allred = builder.add_collective_entry("MPI_Allreduce");
+        Runner {
+            cfg: cfg.clone(),
+            program,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            builder,
+            ranks,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            e_send,
+            e_recv,
+            e_allred,
+            last_arrival: HashMap::new(),
+        }
+    }
+
+    fn jit(&mut self, d: Dur) -> Dur {
+        if self.cfg.jitter <= 0.0 {
+            return d;
+        }
+        let u: f64 = self.rng.gen::<f64>() * 2.0 - 1.0;
+        Dur((d.nanos() as f64 * (1.0 + self.cfg.jitter * u)).max(1.0) as u64)
+    }
+
+    fn entry_for(&self, label: OpLabel) -> EntryId {
+        match label {
+            OpLabel::Send => self.e_send,
+            OpLabel::Recv => self.e_recv,
+            OpLabel::Allreduce => self.e_allred,
+        }
+    }
+
+    /// Executes ops of `rank` until it blocks or its script ends.
+    fn progress(&mut self, rank: u32) {
+        loop {
+            let script = self.program.script(rank);
+            let pc = self.ranks[rank as usize].pc;
+            let Some(op) = script.get(pc) else { return };
+            match *op {
+                MpiOp::Compute(d) => {
+                    let d = self.jit(d);
+                    self.ranks[rank as usize].cursor += d;
+                }
+                MpiOp::Send { to, tag, label } => {
+                    let begin = self.ranks[rank as usize].cursor;
+                    let end = begin + self.cfg.op_overhead;
+                    let chare = self.ranks[rank as usize].chare;
+                    let dst_chare = self.ranks[to as usize].chare;
+                    let entry = self.entry_for(label);
+                    let task = self.builder.begin_task(chare, entry, PeId(rank), begin);
+                    let msg = self.builder.record_send(task, begin, dst_chare, entry);
+                    self.builder.end_task(task, end);
+                    self.ranks[rank as usize].cursor = end;
+                    // Clamp arrivals per channel so matching is
+                    // non-overtaking even under latency jitter.
+                    let lat = self.jit(self.cfg.latency);
+                    let raw = end + lat;
+                    let channel = (rank, to);
+                    let floor = self.last_arrival.get(&channel).copied().unwrap_or(Time::ZERO);
+                    let arrival = if raw > floor { raw } else { floor + Dur(1) };
+                    self.last_arrival.insert(channel, arrival);
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.heap.push(Reverse(Arrival {
+                        time: arrival,
+                        seq,
+                        dst: to,
+                        from: rank,
+                        tag,
+                        msg,
+                    }));
+                }
+                MpiOp::Recv { from, tag, label } => {
+                    let available = self.ranks[rank as usize]
+                        .mailbox
+                        .get_mut(&(from, tag))
+                        .and_then(|q| q.pop_front());
+                    let Some((msg, arrival)) = available else {
+                        self.ranks[rank as usize].blocked =
+                            Some(RecvSpec { from: Some(from), tag });
+                        return;
+                    };
+                    self.complete_recv(rank, label, msg, arrival);
+                }
+                MpiOp::RecvAny { tag, label } => {
+                    // Pop arrival-log entries until one still has its
+                    // message (targeted receives may have consumed some).
+                    let matched = loop {
+                        let state = &mut self.ranks[rank as usize];
+                        let Some(from) =
+                            state.arrival_log.get_mut(&tag).and_then(|q| q.pop_front())
+                        else {
+                            break None;
+                        };
+                        if let Some(found) =
+                            state.mailbox.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+                        {
+                            break Some(found);
+                        }
+                    };
+                    let Some((msg, arrival)) = matched else {
+                        self.ranks[rank as usize].blocked = Some(RecvSpec { from: None, tag });
+                        return;
+                    };
+                    self.complete_recv(rank, label, msg, arrival);
+                }
+            }
+            self.ranks[rank as usize].pc += 1;
+        }
+    }
+
+    /// Finishes a matched receive: waits for the arrival (recording
+    /// idle), opens and closes the receive task.
+    fn complete_recv(&mut self, rank: u32, label: OpLabel, msg: MsgId, arrival: Time) {
+        let cursor = self.ranks[rank as usize].cursor;
+        let begin = if arrival > cursor {
+            self.builder.add_idle(PeId(rank), cursor, arrival);
+            arrival
+        } else {
+            cursor
+        };
+        let chare = self.ranks[rank as usize].chare;
+        let entry = self.entry_for(label);
+        let task = self.builder.begin_task_from(chare, entry, PeId(rank), begin, msg);
+        let end = begin + self.cfg.op_overhead;
+        self.builder.end_task(task, end);
+        self.ranks[rank as usize].cursor = end;
+    }
+
+    fn run(mut self) -> Trace {
+        for r in 0..self.program.ranks() {
+            self.progress(r);
+        }
+        while let Some(Reverse(a)) = self.heap.pop() {
+            let state = &mut self.ranks[a.dst as usize];
+            state.mailbox.entry((a.from, a.tag)).or_default().push_back((a.msg, a.time));
+            state.arrival_log.entry(a.tag).or_default().push_back(a.from);
+            let unblocks = match state.blocked {
+                Some(RecvSpec { from: Some(f), tag }) => f == a.from && tag == a.tag,
+                Some(RecvSpec { from: None, tag }) => tag == a.tag,
+                None => false,
+            };
+            if unblocks {
+                state.blocked = None;
+                self.progress(a.dst);
+            }
+        }
+        let stuck: Vec<u32> = (0..self.program.ranks())
+            .filter(|&r| self.ranks[r as usize].pc < self.program.script(r).len())
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "message-passing program deadlocked; stuck ranks: {stuck:?}"
+        );
+        self.builder.build().expect("MPI simulator must produce a valid trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{EventKind, TraceStats};
+
+    fn cfg() -> MpiConfig {
+        MpiConfig::new().with_seed(17)
+    }
+
+    #[test]
+    fn simple_send_recv_matches() {
+        let mut p = Program::new(2);
+        p.compute(0, Dur::from_micros(5)).send(0, 1, 1);
+        p.recv(1, 0, 1);
+        let tr = run(&cfg(), &p);
+        assert_eq!(tr.tasks.len(), 2);
+        assert_eq!(tr.msgs.len(), 1);
+        assert!(tr.msgs[0].recv_task.is_some());
+        // Receiver waited: idle must be recorded on rank 1.
+        assert!(tr.idles.iter().any(|i| i.pe == PeId(1)));
+    }
+
+    #[test]
+    fn non_overtaking_same_channel() {
+        // Two same-tag messages 0→1 must be received in send order.
+        let mut p = Program::new(2);
+        p.send(0, 1, 9).send(0, 1, 9);
+        p.recv(1, 0, 9).recv(1, 0, 9);
+        for seed in 0..20 {
+            let tr = run(&cfg().with_seed(seed).with_jitter(0.9), &p);
+            // The first send's message must be matched by the first recv.
+            let sends: Vec<_> = tr
+                .tasks
+                .iter()
+                .filter(|t| t.pe == PeId(0))
+                .flat_map(|t| t.sends.iter())
+                .collect();
+            let recvs: Vec<_> = tr.tasks.iter().filter(|t| t.pe == PeId(1)).collect();
+            assert_eq!(sends.len(), 2);
+            assert_eq!(recvs.len(), 2);
+            let first_msg = match tr.event(*sends[0]).kind {
+                EventKind::Send { msg } => msg,
+                _ => unreachable!(),
+            };
+            let first_recv_sink = recvs[0].sink.unwrap();
+            assert_eq!(
+                tr.event(first_recv_sink).kind,
+                EventKind::Recv { msg: Some(first_msg) },
+                "seed {seed}: channel overtook"
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_completes_and_connects_all_ranks() {
+        let mut p = Program::new(8);
+        for r in 0..8 {
+            p.compute(r, Dur::from_micros(3));
+        }
+        p.allreduce(50);
+        let tr = run(&cfg(), &p);
+        // Every rank participates: 7 up-edges + 7 down-edges = 14 msgs.
+        assert_eq!(tr.msgs.len(), 14);
+        assert!(tr.msgs.iter().all(|m| m.recv_task.is_some()));
+        let s = TraceStats::compute(&tr);
+        assert_eq!(s.pes, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn deadlock_is_detected() {
+        let mut p = Program::new(2);
+        p.recv(0, 1, 1);
+        p.recv(1, 0, 1);
+        run(&cfg(), &p);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut p = Program::new(4);
+        p.allreduce(7);
+        let a = run(&cfg().with_seed(4), &p);
+        let b = run(&cfg().with_seed(4), &p);
+        assert_eq!(a, b);
+        let c = run(&cfg().with_seed(5), &p);
+        assert_ne!(a, c, "different seeds should perturb timings");
+    }
+
+    #[test]
+    fn ring_exchange_validates() {
+        let n = 16u32;
+        let mut p = Program::new(n);
+        for r in 0..n {
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            p.compute(r, Dur::from_micros(2));
+            p.send(r, next, 1);
+            p.recv(r, prev, 1);
+        }
+        let tr = run(&cfg(), &p);
+        assert_eq!(tr.tasks.len(), (2 * n) as usize);
+        assert!(lsr_trace::validate(&tr).is_ok());
+    }
+
+    #[test]
+    fn recv_any_matches_in_arrival_order() {
+        // Ranks 1 and 2 send to rank 0 with the same tag; rank 2 sends
+        // much earlier, so the first wildcard receive must match it.
+        let mut p = Program::new(3);
+        p.compute(1, Dur::from_micros(500)).send(1, 0, 7);
+        p.send(2, 0, 7);
+        p.recv_any(0, 7).recv_any(0, 7);
+        let tr = run(&cfg().with_jitter(0.0), &p);
+        let recvs: Vec<_> = tr.tasks.iter().filter(|t| t.pe == PeId(0)).collect();
+        assert_eq!(recvs.len(), 2);
+        let sender_of = |t: &lsr_trace::TaskRec| {
+            let sink = t.sink.unwrap();
+            match tr.event(sink).kind {
+                EventKind::Recv { msg: Some(m) } => {
+                    let st = tr.event(tr.msg(m).send_event).task;
+                    tr.chare(tr.task(st).chare).index
+                }
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(sender_of(recvs[0]), 2, "earliest arrival matches first");
+        assert_eq!(sender_of(recvs[1]), 1);
+    }
+
+    #[test]
+    fn recv_any_skips_entries_consumed_by_targeted_recv() {
+        // Rank 1 and 2 send tag 5 to rank 0; rank 0 first does a
+        // *targeted* recv from rank 2 (consuming its mailbox entry, but
+        // leaving its arrival-log entry), then a wildcard recv, which
+        // must skip the stale log entry and match rank 1's message.
+        let mut p = Program::new(3);
+        p.compute(1, Dur::from_micros(50)).send(1, 0, 5);
+        p.send(2, 0, 5); // arrives first
+        p.recv(0, 2, 5);
+        p.recv_any(0, 5);
+        let tr = run(&cfg().with_jitter(0.0), &p);
+        let recvs: Vec<_> = tr.tasks.iter().filter(|t| t.pe == PeId(0)).collect();
+        assert_eq!(recvs.len(), 2);
+        assert!(tr.msgs.iter().all(|m| m.recv_task.is_some()), "both matched");
+        // The wildcard (second recv task) got rank 1's message.
+        let sink = recvs[1].sink.unwrap();
+        let m = match tr.event(sink).kind {
+            EventKind::Recv { msg: Some(m) } => m,
+            _ => unreachable!(),
+        };
+        let sender_task = tr.event(tr.msg(m).send_event).task;
+        assert_eq!(tr.chare(tr.task(sender_task).chare).index, 1);
+    }
+
+    #[test]
+    fn recv_any_blocks_until_any_arrival() {
+        let mut p = Program::new(2);
+        p.compute(1, Dur::from_micros(100)).send(1, 0, 3);
+        p.recv_any(0, 3);
+        let tr = run(&cfg(), &p);
+        assert_eq!(tr.msgs.len(), 1);
+        assert!(tr.msgs[0].recv_task.is_some());
+        assert!(tr.idles.iter().any(|i| i.pe == PeId(0)), "rank 0 waited");
+    }
+
+    #[test]
+    fn send_tasks_have_no_sink_recv_tasks_have_one() {
+        let mut p = Program::new(2);
+        p.send(0, 1, 1);
+        p.recv(1, 0, 1);
+        let tr = run(&cfg(), &p);
+        let send_task = tr.tasks.iter().find(|t| t.pe == PeId(0)).unwrap();
+        let recv_task = tr.tasks.iter().find(|t| t.pe == PeId(1)).unwrap();
+        assert!(send_task.sink.is_none());
+        assert_eq!(send_task.sends.len(), 1);
+        assert!(recv_task.sink.is_some());
+        assert!(recv_task.sends.is_empty());
+    }
+}

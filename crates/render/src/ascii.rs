@@ -1,0 +1,180 @@
+//! ASCII renderings of the logical-structure and physical-time views
+//! (the terminal counterpart of the paper's Ravel figures).
+
+use crate::layout::Layout;
+use lsr_core::LogicalStructure;
+use lsr_trace::{EventId, Trace};
+
+/// Character used for a phase id in the grid.
+fn phase_char(p: u32) -> char {
+    const PALETTE: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    PALETTE[(p as usize) % PALETTE.len()] as char
+}
+
+/// Character for a normalized metric value in [0, 1].
+fn metric_char(v: f64) -> char {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let i = ((v.clamp(0.0, 1.0)) * (SHADES.len() - 1) as f64).round() as usize;
+    SHADES[i] as char
+}
+
+/// Maximum grid width before steps/time are downsampled.
+const MAX_COLS: usize = 160;
+
+/// Renders the logical-structure view: one row per lane (application
+/// chares first, runtime PEs at the bottom), one column per global
+/// step, each event shown as its phase letter.
+pub fn logical_by_phase(trace: &Trace, ls: &LogicalStructure) -> String {
+    logical_grid(trace, ls, |e| Some(phase_char(ls.phase_of(e))))
+}
+
+/// Renders the logical view colored by a per-event metric (normalized
+/// internally); zero values print as `.` so structure stays visible.
+pub fn logical_by_metric(trace: &Trace, ls: &LogicalStructure, values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    logical_grid(trace, ls, |e| {
+        let v = values[e.index()];
+        Some(if max > 0.0 && v > 0.0 { metric_char(v / max) } else { '.' })
+    })
+}
+
+fn logical_grid(
+    trace: &Trace,
+    ls: &LogicalStructure,
+    cell: impl Fn(EventId) -> Option<char>,
+) -> String {
+    let layout = Layout::new(trace);
+    if layout.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let steps = ls.max_step() as usize + 1;
+    let cols = steps.min(MAX_COLS);
+    let scale = |s: u64| ((s as usize * cols) / steps.max(1)).min(cols - 1);
+    let mut grid = vec![vec![' '; cols]; layout.len()];
+    // Fill the span of each task with '-' so blocks read as bars.
+    for t in &trace.tasks {
+        if let Some((lo, hi)) = ls.task_step_range(trace, t.id) {
+            let row = layout.row(trace.task_lane(t.id));
+            let (c0, c1) = (scale(lo), scale(hi));
+            for cell in grid[row][c0..=c1].iter_mut() {
+                if *cell == ' ' {
+                    *cell = '-';
+                }
+            }
+        }
+    }
+    for e in trace.event_ids() {
+        let t = trace.event(e).task;
+        let row = layout.row(trace.task_lane(t));
+        if let Some(ch) = cell(e) {
+            grid[row][scale(ls.global_step(e))] = ch;
+        }
+    }
+    render_grid(&layout, &grid, &format!("logical steps 0..{}", steps - 1))
+}
+
+/// Renders the physical-time view: one row per lane, time binned into
+/// columns; cells show the phase of the task executing there, `.` for
+/// recorded idle on runtime rows.
+pub fn physical_by_phase(trace: &Trace, ls: &LogicalStructure) -> String {
+    let layout = Layout::new(trace);
+    if layout.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let (begin, end) = trace.span();
+    let span = (end.nanos() - begin.nanos()).max(1);
+    let cols = MAX_COLS;
+    let scale = |t: lsr_trace::Time| {
+        (((t.nanos() - begin.nanos()) as u128 * cols as u128 / span as u128) as usize)
+            .min(cols - 1)
+    };
+    let mut grid = vec![vec![' '; cols]; layout.len()];
+    for t in &trace.tasks {
+        let row = layout.row(trace.task_lane(t.id));
+        let p = ls.phase_of_task(t.id);
+        let ch = if p == lsr_core::NO_PHASE { '-' } else { phase_char(p) };
+        let (c0, c1) = (scale(t.begin), scale(t.end));
+        for cell in grid[row][c0..=c1].iter_mut() {
+            *cell = ch;
+        }
+    }
+    render_grid(&layout, &grid, &format!("physical time {begin}..{end}"))
+}
+
+fn render_grid(layout: &Layout, grid: &[Vec<char>], header: &str) -> String {
+    let w = layout.label_width();
+    let mut out = String::with_capacity((grid.len() + 2) * (w + grid[0].len() + 3));
+    out.push_str(&format!("{:>w$} | {}\n", "", header, w = w));
+    for (row, label) in grid.iter().zip(&layout.labels) {
+        out.push_str(&format!("{label:>w$} | "));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+
+    fn sample() -> (Trace, LogicalStructure) {
+        let tr = lsr_apps::jacobi2d(&lsr_apps::JacobiParams {
+            chares_x: 2,
+            chares_y: 2,
+            pes: 2,
+            iters: 1,
+            seed: 3,
+            compute: lsr_trace::Dur::from_micros(10),
+            straggler: None,
+        });
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        (tr, ls)
+    }
+
+    #[test]
+    fn logical_view_has_all_lanes_and_steps_header() {
+        let (tr, ls) = sample();
+        let s = logical_by_phase(&tr, &ls);
+        assert!(s.contains("jacobi[0]"));
+        assert!(s.contains("jacobi[3]"));
+        assert!(s.contains("rt@pe0"));
+        assert!(s.contains("logical steps"));
+        // Phase letters present.
+        assert!(s.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn physical_view_renders_time_bars() {
+        let (tr, ls) = sample();
+        let s = physical_by_phase(&tr, &ls);
+        assert!(s.contains("physical time"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn metric_view_shades_by_value() {
+        let (tr, ls) = sample();
+        let mut values = vec![0.0; tr.events.len()];
+        values[0] = 5.0;
+        let s = logical_by_metric(&tr, &ls, &values);
+        assert!(s.contains('@'), "max value renders as densest shade");
+        assert!(s.contains('.'), "zeros render as dots");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let tr = lsr_trace::TraceBuilder::new(1).build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        assert_eq!(logical_by_phase(&tr, &ls), "(empty trace)\n");
+        assert_eq!(physical_by_phase(&tr, &ls), "(empty trace)\n");
+    }
+
+    #[test]
+    fn phase_chars_cycle_and_metric_chars_clamp() {
+        assert_eq!(phase_char(0), 'A');
+        assert_eq!(phase_char(62), 'A');
+        assert_eq!(metric_char(-1.0), ' ');
+        assert_eq!(metric_char(2.0), '@');
+    }
+}

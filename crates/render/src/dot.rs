@@ -1,0 +1,92 @@
+//! GraphViz DOT export of the phase DAG — the representation Wheeler &
+//! Thain used for event description graphs (paper §8); handy for
+//! inspecting how phases chain and branch.
+
+use lsr_core::LogicalStructure;
+use lsr_trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders the phase DAG as a GraphViz `digraph`. Nodes are phases
+/// (labelled with id, kind, step range, chare count); edges are the
+/// happened-before relationships the pipeline derived.
+pub fn phase_dag_dot(trace: &Trace, ls: &LogicalStructure) -> String {
+    let mut out = String::from("digraph phases {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n");
+    for ph in &ls.phases {
+        let (lo, hi) = ph.step_range();
+        let fill = if ph.is_runtime { "#d9d9d9" } else { "#cfe3ff" };
+        // Dominant entry method of the phase, as a content hint.
+        let mut counts: std::collections::HashMap<lsr_trace::EntryId, usize> =
+            std::collections::HashMap::new();
+        for &t in &ph.tasks {
+            *counts.entry(trace.task(t).entry).or_default() += 1;
+        }
+        let dominant = counts
+            .into_iter()
+            .max_by_key(|&(e, c)| (c, std::cmp::Reverse(e)))
+            .map(|(e, _)| trace.entry(e).name.replace('"', "'"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  p{} [label=\"phase {}\\n{} | leap {}\\nsteps {}..{} | {} chares\\n{}\", style=filled, fillcolor=\"{}\"];",
+            ph.id,
+            ph.id,
+            if ph.is_runtime { "runtime" } else { "app" },
+            ph.leap,
+            lo,
+            hi,
+            ph.chares.len(),
+            dominant,
+            fill
+        );
+    }
+    for (p, succs) in ls.phase_succs.iter().enumerate() {
+        for &s in succs {
+            let _ = writeln!(out, "  p{p} -> p{s};");
+        }
+    }
+    // Rank phases by leap so the drawing mirrors logical time.
+    let max_leap = ls.phases.iter().map(|p| p.leap).max().unwrap_or(0);
+    for leap in 0..=max_leap {
+        let ids: Vec<String> = ls
+            .phases
+            .iter()
+            .filter(|p| p.leap == leap)
+            .map(|p| format!("p{}", p.id))
+            .collect();
+        if ids.len() > 1 {
+            let _ = writeln!(out, "  {{ rank=same; {}; }}", ids.join("; "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+
+    #[test]
+    fn dot_lists_all_phases_and_edges() {
+        let tr = lsr_apps::jacobi2d(&lsr_apps::JacobiParams::fig15());
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let dot = phase_dag_dot(&tr, &ls);
+        assert!(dot.starts_with("digraph phases {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for ph in &ls.phases {
+            assert!(dot.contains(&format!("p{} [label=", ph.id)));
+        }
+        let edges: usize = ls.phase_succs.iter().map(|s| s.len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+        assert!(dot.contains("rank=same"));
+    }
+
+    #[test]
+    fn empty_structure_is_a_valid_graph() {
+        let tr = lsr_trace::TraceBuilder::new(1).build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let dot = phase_dag_dot(&tr, &ls);
+        assert!(dot.contains("digraph"));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # lsr-render
+//!
+//! Terminal (ASCII) and SVG renderings of recovered logical structure
+//! and physical timelines — the stand-in for the paper's Ravel /
+//! Projections views. Application chares are drawn one lane each;
+//! runtime chares are grouped per PE at the bottom, as in the paper's
+//! figures. Both views can be colored by phase or by a per-event
+//! metric (idle experienced, differential duration, imbalance).
+
+#![warn(missing_docs)]
+
+mod ascii;
+mod dot;
+mod layout;
+mod report;
+mod svg;
+
+pub use ascii::{logical_by_metric, logical_by_phase, physical_by_phase};
+pub use dot::phase_dag_dot;
+pub use layout::Layout;
+pub use report::html_report;
+pub use svg::{logical_svg, migration_svg, physical_svg, Coloring};

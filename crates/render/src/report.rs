@@ -1,0 +1,158 @@
+//! Self-contained HTML analysis reports: summary, both views as inline
+//! SVG, and metric tables — the artifact a performance analyst would
+//! pass around.
+
+use crate::svg::{logical_svg, physical_svg, Coloring};
+use lsr_core::LogicalStructure;
+use lsr_metrics::{idle_experienced, per_pe_totals, CriticalPath, DifferentialDuration, Imbalance};
+use lsr_trace::{QualityReport, Trace, TraceStats};
+use std::fmt::Write as _;
+
+/// Escapes text for embedding into HTML.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Builds a single-file HTML report for a trace and its recovered
+/// structure. Everything (SVGs, tables) is inlined; no external assets.
+pub fn html_report(title: &str, trace: &Trace, ls: &LogicalStructure) -> String {
+    let stats = TraceStats::compute(trace);
+    let quality = QualityReport::analyze(trace);
+    let idle = idle_experienced(trace);
+    let idle_totals = per_pe_totals(trace, &idle);
+    let dd = DifferentialDuration::compute(trace, ls);
+    let imb = Imbalance::compute(trace, ls);
+    let cp = CriticalPath::compute(trace);
+    let dd_values: Vec<f64> = dd.per_event.iter().map(|d| d.nanos() as f64).collect();
+
+    let mut h = String::with_capacity(64 * 1024);
+    let _ = write!(
+        h,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{t}</title>\n<style>\n\
+         body{{font-family:system-ui,sans-serif;margin:2em auto;max-width:1060px;color:#222}}\n\
+         h1{{border-bottom:2px solid #444}} h2{{margin-top:1.6em}}\n\
+         table{{border-collapse:collapse;margin:0.6em 0}}\n\
+         td,th{{border:1px solid #bbb;padding:0.25em 0.7em;text-align:right}}\n\
+         th{{background:#eee}} td:first-child,th:first-child{{text-align:left}}\n\
+         pre{{background:#f6f6f6;padding:0.8em;overflow-x:auto}}\n\
+         .svgbox{{border:1px solid #ccc;overflow-x:auto;margin:0.5em 0}}\n\
+         </style></head><body>\n<h1>{t}</h1>\n",
+        t = esc(title)
+    );
+
+    // Summary.
+    let _ = writeln!(
+        h,
+        "<h2>Trace</h2><pre>{}</pre><pre>{}</pre>",
+        esc(&stats.to_string()),
+        esc(&quality.to_string())
+    );
+
+    // Structure.
+    let _ = writeln!(h, "<h2>Logical structure</h2><pre>{}</pre>", esc(&ls.summary(trace)));
+    let _ = writeln!(
+        h,
+        "<h3>Per-phase profile</h3><pre>{}</pre>",
+        esc(&lsr_metrics::profile_table(trace, ls))
+    );
+    let _ = writeln!(
+        h,
+        "<h3>Logical time (colored by phase)</h3><div class=\"svgbox\">{}</div>",
+        logical_svg(trace, ls, &Coloring::Phase)
+    );
+    let _ = writeln!(
+        h,
+        "<h3>Physical time (colored by phase)</h3><div class=\"svgbox\">{}</div>",
+        physical_svg(trace, ls, &Coloring::Phase)
+    );
+    let _ = writeln!(
+        h,
+        "<h3>Logical time (differential duration)</h3><div class=\"svgbox\">{}</div>",
+        logical_svg(trace, ls, &Coloring::Metric(dd_values))
+    );
+
+    // Metrics tables.
+    h.push_str("<h2>Metrics</h2>\n<h3>Idle experienced per PE</h3><table>\
+                <tr><th>PE</th><th>idle experienced</th></tr>\n");
+    for (pe, d) in idle_totals.iter().enumerate() {
+        let _ = writeln!(h, "<tr><td>pe{pe}</td><td>{d}</td></tr>");
+    }
+    h.push_str("</table>\n");
+
+    h.push_str(
+        "<h3>Top differential durations</h3><table>\
+         <tr><th>event</th><th>step</th><th>chare</th><th>excess</th></tr>\n",
+    );
+    for (e, d) in dd.outliers(lsr_trace::Dur(1)).into_iter().take(12) {
+        let c = trace.chare(trace.event_chare(e));
+        let _ = writeln!(
+            h,
+            "<tr><td>{e}</td><td>{}</td><td>{}[{}]</td><td>{d}</td></tr>",
+            ls.global_step(e),
+            esc(&trace.array(c.array).name),
+            c.index
+        );
+    }
+    h.push_str("</table>\n");
+
+    h.push_str(
+        "<h3>Imbalance per phase</h3><table>\
+         <tr><th>phase</th><th>kind</th><th>leap</th><th>max − min load</th></tr>\n",
+    );
+    for &p in &ls.phases_by_offset() {
+        let ph = &ls.phases[p as usize];
+        let _ = writeln!(
+            h,
+            "<tr><td>{p}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            if ph.is_runtime { "runtime" } else { "app" },
+            ph.leap,
+            imb.per_phase[p as usize]
+        );
+    }
+    let _ = write!(
+        h,
+        "</table>\n<p>overall PE imbalance: <b>{}</b>; critical path: {} tasks, \
+         {} work over {} makespan (ratio {:.2}).</p>\n",
+        imb.overall(),
+        cp.tasks.len(),
+        cp.work,
+        cp.makespan,
+        cp.work_ratio()
+    );
+
+    h.push_str("</body></html>\n");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+
+    #[test]
+    fn report_is_self_contained_html() {
+        let tr = lsr_apps::jacobi2d(&lsr_apps::JacobiParams::fig15());
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let html = html_report("Jacobi fig15", &tr, &ls);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert!(html.matches("<svg").count() == 3, "three embedded views");
+        assert!(html.contains("Idle experienced"));
+        assert!(html.contains("Imbalance per phase"));
+        assert!(html.contains("critical path"));
+        assert!(!html.contains("src="), "no external assets");
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let tr = lsr_apps::jacobi2d(&lsr_apps::JacobiParams {
+            iters: 1,
+            ..lsr_apps::JacobiParams::fig15()
+        });
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let html = html_report("<script>alert(1)</script>", &tr, &ls);
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+}

@@ -1,0 +1,244 @@
+//! SVG renderings: publication-style logical-structure and physical
+//! timelines with per-phase or per-metric coloring.
+
+use crate::layout::Layout;
+use lsr_core::LogicalStructure;
+use lsr_trace::Trace;
+use std::fmt::Write as _;
+
+/// How task rectangles are colored.
+#[derive(Debug, Clone)]
+pub enum Coloring {
+    /// Hue derived from the phase id (golden-angle spacing).
+    Phase,
+    /// Heat color from a per-event value, normalized to the maximum.
+    /// Tasks take the maximum value over their events.
+    Metric(Vec<f64>),
+}
+
+const ROW_H: f64 = 12.0;
+const ROW_GAP: f64 = 2.0;
+const WIDTH: f64 = 960.0;
+const MARGIN: f64 = 4.0;
+/// Width reserved for lane labels on the left.
+const LABEL_W: f64 = 90.0;
+
+fn phase_color(p: u32) -> String {
+    let hue = (p as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.1},65%,55%)")
+}
+
+fn metric_color(v: f64) -> String {
+    // White → orange → red ramp.
+    let v = v.clamp(0.0, 1.0);
+    let g = (220.0 - 170.0 * v) as u8;
+    let b = (200.0 * (1.0 - v)) as u8;
+    format!("rgb(235,{g},{b})")
+}
+
+/// Renders the logical-structure view as an SVG document.
+pub fn logical_svg(trace: &Trace, ls: &LogicalStructure, coloring: &Coloring) -> String {
+    let layout = Layout::new(trace);
+    let steps = ls.max_step() as f64 + 1.0;
+    render(trace, &layout, coloring, ls, |t| {
+        ls.task_step_range(trace, t).map(|(lo, hi)| {
+            let x0 = lo as f64 / steps * WIDTH;
+            let x1 = (hi as f64 + 1.0) / steps * WIDTH;
+            (x0, x1)
+        })
+    })
+}
+
+/// Renders the physical-time view as an SVG document.
+pub fn physical_svg(trace: &Trace, ls: &LogicalStructure, coloring: &Coloring) -> String {
+    let layout = Layout::new(trace);
+    let (begin, end) = trace.span();
+    let span = ((end.nanos() - begin.nanos()) as f64).max(1.0);
+    render(trace, &layout, coloring, ls, |t| {
+        let task = trace.task(t);
+        let x0 = (task.begin.nanos() - begin.nanos()) as f64 / span * WIDTH;
+        let x1 = (task.end.nanos() - begin.nanos()) as f64 / span * WIDTH;
+        Some((x0, x1.max(x0 + 0.5)))
+    })
+}
+
+/// Renders the migration view the paper's §9 future work asks for:
+/// chare lanes over physical time, with each task colored by the PE
+/// that executed it — a migrating chare's lane visibly changes color
+/// where the load balancer moved it.
+pub fn migration_svg(trace: &Trace) -> String {
+    let layout = Layout::new(trace);
+    let (begin, end) = trace.span();
+    let span = ((end.nanos() - begin.nanos()) as f64).max(1.0);
+    let height = layout.len() as f64 * (ROW_H + ROW_GAP) + 2.0 * MARGIN;
+    let total_w = LABEL_W + WIDTH + 2.0 * MARGIN;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" height="{height:.0}" viewBox="0 0 {total_w} {height:.0}">"#,
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if layout.len() <= 64 {
+        for (row, label) in layout.labels.iter().enumerate() {
+            let y = MARGIN + row as f64 * (ROW_H + ROW_GAP) + ROW_H - 2.5;
+            let _ = writeln!(
+                out,
+                r##"<text x="{x:.1}" y="{y:.1}" font-size="9" font-family="monospace" text-anchor="end" fill="#444">{label}</text>"##,
+                x = LABEL_W - 4.0,
+            );
+        }
+    }
+    for t in &trace.tasks {
+        let row = layout.row(trace.task_lane(t.id));
+        let y = MARGIN + row as f64 * (ROW_H + ROW_GAP);
+        let x0 = (t.begin.nanos() - begin.nanos()) as f64 / span * WIDTH;
+        let x1 = (t.end.nanos() - begin.nanos()) as f64 / span * WIDTH;
+        let fill = phase_color(t.pe.0); // one hue per PE
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.2}" y="{y:.1}" width="{:.2}" height="{ROW_H}" fill="{fill}" stroke="#333" stroke-width="0.3"><title>pe{}</title></rect>"##,
+            LABEL_W + MARGIN + x0,
+            (x1 - x0).max(0.8),
+            t.pe.0,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn render(
+    trace: &Trace,
+    layout: &Layout,
+    coloring: &Coloring,
+    ls: &LogicalStructure,
+    extent: impl Fn(lsr_trace::TaskId) -> Option<(f64, f64)>,
+) -> String {
+    let metric_max = match coloring {
+        Coloring::Metric(values) => values.iter().copied().fold(0.0f64, f64::max),
+        Coloring::Phase => 0.0,
+    };
+    let height = layout.len() as f64 * (ROW_H + ROW_GAP) + 2.0 * MARGIN;
+    let total_w = LABEL_W + WIDTH + 2.0 * MARGIN;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" height="{height:.0}" viewBox="0 0 {total_w} {height:.0}">"#,
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Lane labels (omitted when there are too many rows to read them).
+    if layout.len() <= 64 {
+        for (row, label) in layout.labels.iter().enumerate() {
+            let y = MARGIN + row as f64 * (ROW_H + ROW_GAP) + ROW_H - 2.5;
+            let _ = writeln!(
+                out,
+                r##"<text x="{x:.1}" y="{y:.1}" font-size="9" font-family="monospace" text-anchor="end" fill="#444">{label}</text>"##,
+                x = LABEL_W - 4.0,
+            );
+        }
+    }
+    // A faint separator above the runtime lanes, as in the paper.
+    if layout.runtime_start < layout.len() {
+        let y = MARGIN + layout.runtime_start as f64 * (ROW_H + ROW_GAP) - ROW_GAP / 2.0;
+        let _ = writeln!(
+            out,
+            r##"<line x1="0" y1="{y:.1}" x2="{total_w}" y2="{y:.1}" stroke="#888" stroke-dasharray="4 3"/>"##,
+        );
+    }
+    for t in &trace.tasks {
+        let Some((x0, x1)) = extent(t.id) else { continue };
+        let row = layout.row(trace.task_lane(t.id));
+        let y = MARGIN + row as f64 * (ROW_H + ROW_GAP);
+        let fill = match coloring {
+            Coloring::Phase => {
+                let p = ls.phase_of_task(t.id);
+                if p == lsr_core::NO_PHASE {
+                    "#cccccc".to_owned()
+                } else {
+                    phase_color(p)
+                }
+            }
+            Coloring::Metric(values) => {
+                let v = t
+                    .events()
+                    .map(|e| values[e.index()])
+                    .fold(0.0f64, f64::max);
+                metric_color(if metric_max > 0.0 { v / metric_max } else { 0.0 })
+            }
+        };
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.2}" y="{y:.1}" width="{:.2}" height="{ROW_H}" fill="{fill}" stroke="#333" stroke-width="0.3"/>"##,
+            LABEL_W + MARGIN + x0,
+            (x1 - x0).max(0.8),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+
+    fn sample() -> (Trace, LogicalStructure) {
+        let tr = lsr_apps::jacobi2d(&lsr_apps::JacobiParams {
+            chares_x: 2,
+            chares_y: 2,
+            pes: 2,
+            iters: 1,
+            seed: 3,
+            compute: lsr_trace::Dur::from_micros(10),
+            straggler: None,
+        });
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        (tr, ls)
+    }
+
+    #[test]
+    fn logical_svg_is_well_formed() {
+        let (tr, ls) = sample();
+        let svg = logical_svg(&tr, &ls, &Coloring::Phase);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() > tr.tasks.len() / 2);
+        assert!(svg.contains("hsl("));
+    }
+
+    #[test]
+    fn physical_svg_draws_every_task() {
+        let (tr, ls) = sample();
+        let svg = physical_svg(&tr, &ls, &Coloring::Phase);
+        // Background rect + one per task.
+        assert_eq!(svg.matches("<rect").count(), tr.tasks.len() + 1);
+    }
+
+    #[test]
+    fn metric_coloring_uses_heat_ramp() {
+        let (tr, ls) = sample();
+        let mut values = vec![0.0; tr.events.len()];
+        values[0] = 3.0;
+        let svg = logical_svg(&tr, &ls, &Coloring::Metric(values));
+        assert!(svg.contains("rgb(235,50,0)"), "max value is full heat");
+        assert!(svg.contains("rgb(235,220,200)"), "zero value is pale");
+    }
+
+    #[test]
+    fn migration_view_colors_by_pe() {
+        let (tr, _ls) = sample();
+        let svg = migration_svg(&tr);
+        assert!(svg.starts_with("<svg"));
+        // Every task rect carries its PE as a tooltip.
+        assert_eq!(svg.matches("<title>pe").count(), tr.tasks.len());
+        // Both PEs appear.
+        assert!(svg.contains("<title>pe0</title>"));
+        assert!(svg.contains("<title>pe1</title>"));
+    }
+
+    #[test]
+    fn colors_are_deterministic() {
+        assert_eq!(phase_color(0), phase_color(0));
+        assert_ne!(phase_color(0), phase_color(1));
+        assert_eq!(metric_color(0.5), metric_color(0.5));
+    }
+}

@@ -1,0 +1,351 @@
+//! Incremental construction of a [`Trace`].
+//!
+//! Simulators and log parsers drive a [`TraceBuilder`]: register arrays,
+//! chares, and entry methods, then open tasks, record sends inside them,
+//! and close them. [`TraceBuilder::build`] validates the result.
+
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::time::Time;
+use crate::trace::Trace;
+use crate::validate::{validate, ValidationError};
+
+/// Builder for a [`Trace`]. See the module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    open_tasks: Vec<bool>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace for a run on `pe_count` PEs.
+    pub fn new(pe_count: u32) -> TraceBuilder {
+        TraceBuilder {
+            trace: Trace { pe_count, ..Trace::default() },
+            open_tasks: Vec::new(),
+        }
+    }
+
+    /// Registers a chare array (or runtime group).
+    pub fn add_array(&mut self, name: &str, kind: Kind) -> ArrayId {
+        let id = ArrayId::from_index(self.trace.arrays.len());
+        self.trace.arrays.push(ArrayInfo { id, name: name.to_owned(), kind });
+        id
+    }
+
+    /// Registers a chare. Its kind is inherited from the array.
+    pub fn add_chare(&mut self, array: ArrayId, index: u32, home_pe: PeId) -> ChareId {
+        let id = ChareId::from_index(self.trace.chares.len());
+        let kind = self.trace.array(array).kind;
+        self.trace.chares.push(ChareInfo { id, array, index, kind, home_pe });
+        id
+    }
+
+    /// Registers an entry-method type. `sdag_serial` is the SDAG
+    /// parse-order number for compiler-generated serial entries.
+    pub fn add_entry(&mut self, name: &str, sdag_serial: Option<u32>) -> EntryId {
+        let id = EntryId::from_index(self.trace.entries.len());
+        self.trace.entries.push(EntryInfo {
+            id,
+            name: name.to_owned(),
+            sdag_serial,
+            collective: false,
+        });
+        id
+    }
+
+    /// Registers an entry-method type that belongs to an abstracted
+    /// collective operation (e.g. `MPI_Allreduce`).
+    pub fn add_collective_entry(&mut self, name: &str) -> EntryId {
+        let id = EntryId::from_index(self.trace.entries.len());
+        self.trace.entries.push(EntryInfo {
+            id,
+            name: name.to_owned(),
+            sdag_serial: None,
+            collective: true,
+        });
+        id
+    }
+
+    /// Opens a spontaneous task: one with no recorded triggering message
+    /// (the bootstrap task, or a task whose awakening dependency the
+    /// runtime did not trace).
+    pub fn begin_task(&mut self, chare: ChareId, entry: EntryId, pe: PeId, begin: Time) -> TaskId {
+        self.push_task(chare, entry, pe, begin, None)
+    }
+
+    /// Opens a task awakened by the delivery of `msg`. Records the sink
+    /// event and back-patches the message's receive side.
+    pub fn begin_task_from(
+        &mut self,
+        chare: ChareId,
+        entry: EntryId,
+        pe: PeId,
+        begin: Time,
+        msg: MsgId,
+    ) -> TaskId {
+        let task = self.push_task(chare, entry, pe, begin, Some(msg));
+        let sink = self.trace.tasks[task.index()].sink.expect("sink just recorded");
+        let m = &mut self.trace.msgs[msg.index()];
+        debug_assert!(m.recv_task.is_none(), "message {msg} delivered twice");
+        m.recv_task = Some(task);
+        m.recv_time = Some(begin);
+        let _ = sink;
+        task
+    }
+
+    fn push_task(
+        &mut self,
+        chare: ChareId,
+        entry: EntryId,
+        pe: PeId,
+        begin: Time,
+        trigger: Option<MsgId>,
+    ) -> TaskId {
+        let id = TaskId::from_index(self.trace.tasks.len());
+        let sink = trigger.map(|msg| {
+            let ev = EventId::from_index(self.trace.events.len());
+            self.trace.events.push(EventRec {
+                id: ev,
+                task: id,
+                time: begin,
+                kind: EventKind::Recv { msg: Some(msg) },
+            });
+            ev
+        });
+        self.trace.tasks.push(TaskRec {
+            id,
+            chare,
+            entry,
+            pe,
+            begin,
+            end: begin,
+            sink,
+            sends: Vec::new(),
+        });
+        self.open_tasks.push(true);
+        id
+    }
+
+    /// Records a point-to-point send inside an open task. Returns the
+    /// message id to be passed to [`TraceBuilder::begin_task_from`] when
+    /// the receive side executes.
+    pub fn record_send(
+        &mut self,
+        task: TaskId,
+        time: Time,
+        dst_chare: ChareId,
+        dst_entry: EntryId,
+    ) -> MsgId {
+        assert!(self.open_tasks[task.index()], "send recorded on closed task {task}");
+        let ev = EventId::from_index(self.trace.events.len());
+        let msg = MsgId::from_index(self.trace.msgs.len());
+        self.trace.events.push(EventRec {
+            id: ev,
+            task,
+            time,
+            kind: EventKind::Send { msg },
+        });
+        self.trace.msgs.push(MsgRec {
+            id: msg,
+            send_event: ev,
+            recv_task: None,
+            dst_chare,
+            dst_entry,
+            send_time: time,
+            recv_time: None,
+        });
+        self.trace.tasks[task.index()].sends.push(ev);
+        msg
+    }
+
+    /// Records a broadcast: one send event fanning out to many messages
+    /// (one per destination). Paper §3.3 notes broadcasts contribute many
+    /// edges that the dependency merge collapses.
+    pub fn record_broadcast(
+        &mut self,
+        task: TaskId,
+        time: Time,
+        dsts: &[(ChareId, EntryId)],
+    ) -> Vec<MsgId> {
+        assert!(!dsts.is_empty(), "broadcast needs at least one destination");
+        assert!(self.open_tasks[task.index()], "send recorded on closed task {task}");
+        let ev = EventId::from_index(self.trace.events.len());
+        let first_msg = MsgId::from_index(self.trace.msgs.len());
+        self.trace.events.push(EventRec {
+            id: ev,
+            task,
+            time,
+            kind: EventKind::Send { msg: first_msg },
+        });
+        self.trace.tasks[task.index()].sends.push(ev);
+        dsts.iter()
+            .map(|&(dst_chare, dst_entry)| {
+                let msg = MsgId::from_index(self.trace.msgs.len());
+                self.trace.msgs.push(MsgRec {
+                    id: msg,
+                    send_event: ev,
+                    recv_task: None,
+                    dst_chare,
+                    dst_entry,
+                    send_time: time,
+                    recv_time: None,
+                });
+                msg
+            })
+            .collect()
+    }
+
+    /// Closes an open task at `end`.
+    pub fn end_task(&mut self, task: TaskId, end: Time) {
+        assert!(self.open_tasks[task.index()], "task {task} closed twice");
+        self.open_tasks[task.index()] = false;
+        let t = &mut self.trace.tasks[task.index()];
+        debug_assert!(end >= t.begin, "task {task} ends before it begins");
+        t.end = end;
+    }
+
+    /// Records an idle span on a PE.
+    pub fn add_idle(&mut self, pe: PeId, begin: Time, end: Time) {
+        if end > begin {
+            self.trace.idles.push(IdleRec { pe, begin, end });
+        }
+    }
+
+    /// Number of tasks recorded so far.
+    pub fn task_count(&self) -> usize {
+        self.trace.tasks.len()
+    }
+
+    /// Read access to the partially built trace (for simulators that need
+    /// to inspect registrations).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Finishes the trace: sorts idle spans and validates all invariants.
+    pub fn build(mut self) -> Result<Trace, ValidationError> {
+        if let Some(open) = self.open_tasks.iter().position(|&o| o) {
+            return Err(ValidationError::OpenTask(TaskId::from_index(open)));
+        }
+        self.trace.idles.sort_unstable_by_key(|i| (i.pe, i.begin));
+        validate(&self.trace)?;
+        Ok(self.trace)
+    }
+
+    /// Finishes without validation. Only for tests that need to construct
+    /// deliberately malformed traces.
+    pub fn build_unchecked(mut self) -> Trace {
+        self.trace.idles.sort_unstable_by_key(|i| (i.pe, i.begin));
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_valid_trace() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("main", None);
+        let t = b.begin_task(c, e, PeId(0), Time(0));
+        b.end_task(t, Time(5));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].end, Time(5));
+        assert!(tr.tasks[0].sink.is_none());
+    }
+
+    #[test]
+    fn message_roundtrip_links_endpoints() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c1, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(4), m);
+        b.end_task(t1, Time(6));
+        let tr = b.build().unwrap();
+        let msg = tr.msg(m);
+        assert_eq!(msg.recv_task, Some(t1));
+        assert_eq!(msg.recv_time, Some(Time(4)));
+        assert_eq!(tr.task(t1).sink.map(|e| tr.event(e).kind), Some(EventKind::Recv { msg: Some(m) }));
+        assert_eq!(tr.event(msg.send_event).task, t0);
+    }
+
+    #[test]
+    fn broadcast_shares_one_send_event() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let c2 = b.add_chare(arr, 2, PeId(0));
+        let e = b.add_entry("bc", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let msgs = b.record_broadcast(t0, Time(1), &[(c1, e), (c2, e)]);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(0), Time(3), msgs[0]);
+        b.end_task(t1, Time(4));
+        let t2 = b.begin_task_from(c2, e, PeId(0), Time(5), msgs[1]);
+        b.end_task(t2, Time(6));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.tasks[0].sends.len(), 1);
+        let ev = tr.tasks[0].sends[0];
+        assert_eq!(tr.msg(msgs[0]).send_event, ev);
+        assert_eq!(tr.msg(msgs[1]).send_event, ev);
+    }
+
+    #[test]
+    fn unmatched_message_is_allowed() {
+        // A send whose receive side was never traced (lost dependency).
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c0, e);
+        b.end_task(t0, Time(2));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.msg(m).recv_task, None);
+    }
+
+    #[test]
+    fn open_task_fails_build() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let _t = b.begin_task(c, e, PeId(0), Time(0));
+        assert!(matches!(b.build(), Err(ValidationError::OpenTask(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed task")]
+    fn send_on_closed_task_panics() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t = b.begin_task(c, e, PeId(0), Time(0));
+        b.end_task(t, Time(1));
+        let _ = b.record_send(t, Time(2), c, e);
+    }
+
+    #[test]
+    fn zero_length_idle_is_dropped() {
+        let mut b = TraceBuilder::new(1);
+        b.add_idle(PeId(0), Time(5), Time(5));
+        b.add_idle(PeId(0), Time(9), Time(10));
+        b.add_idle(PeId(0), Time(1), Time(3));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.idles.len(), 2);
+        // sorted by begin
+        assert!(tr.idles[0].begin < tr.idles[1].begin);
+    }
+}

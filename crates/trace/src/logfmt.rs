@@ -1,0 +1,360 @@
+//! A Projections-style plain-text log format.
+//!
+//! Charm++ ships a line-oriented log format consumed by Projections; we
+//! provide an equivalent so traces can be written by the simulators,
+//! stored, and re-read by the analysis independently of serde/JSON.
+//!
+//! One record per line; the record tag comes first; names (which may
+//! contain spaces) always come last on their line.
+
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::time::Time;
+use crate::trace::Trace;
+use crate::validate::validate;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+const HEADER: &str = "LSRTRACE 1";
+
+/// Serializes a trace into the text log format.
+pub fn write_log<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "{HEADER}").unwrap();
+    writeln!(buf, "PES {}", trace.pe_count).unwrap();
+    for a in &trace.arrays {
+        let k = if a.kind.is_runtime() { "R" } else { "A" };
+        writeln!(buf, "ARRAY {} {} {}", a.id.0, k, a.name).unwrap();
+    }
+    for c in &trace.chares {
+        writeln!(buf, "CHARE {} {} {} {}", c.id.0, c.array.0, c.index, c.home_pe.0).unwrap();
+    }
+    for e in &trace.entries {
+        let s = e.sdag_serial.map_or("-".to_owned(), |n| n.to_string());
+        let c = if e.collective { "C" } else { "-" };
+        writeln!(buf, "ENTRY {} {} {} {}", e.id.0, s, c, e.name).unwrap();
+    }
+    for t in &trace.tasks {
+        let sink = t.sink.map_or("-".to_owned(), |s| s.0.to_string());
+        writeln!(
+            buf,
+            "TASK {} {} {} {} {} {} {}",
+            t.id.0, t.chare.0, t.entry.0, t.pe.0, t.begin.0, t.end.0, sink
+        )
+        .unwrap();
+    }
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Recv { msg } => {
+                let m = msg.map_or("-".to_owned(), |m| m.0.to_string());
+                writeln!(buf, "RECV {} {} {} {}", ev.id.0, ev.task.0, ev.time.0, m).unwrap();
+            }
+            EventKind::Send { msg } => {
+                writeln!(buf, "SEND {} {} {} {}", ev.id.0, ev.task.0, ev.time.0, msg.0).unwrap();
+            }
+        }
+    }
+    for m in &trace.msgs {
+        let rt = m.recv_task.map_or("-".to_owned(), |t| t.0.to_string());
+        let rtime = m.recv_time.map_or("-".to_owned(), |t| t.0.to_string());
+        writeln!(
+            buf,
+            "MSG {} {} {} {} {} {} {}",
+            m.id.0, m.send_event.0, m.dst_chare.0, m.dst_entry.0, m.send_time.0, rt, rtime
+        )
+        .unwrap();
+    }
+    for i in &trace.idles {
+        writeln!(buf, "IDLE {} {} {}", i.pe.0, i.begin.0, i.end.0).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Serializes a trace into an in-memory string.
+pub fn to_log_string(trace: &Trace) -> String {
+    let mut out = Vec::new();
+    write_log(trace, &mut out).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("log format is ASCII")
+}
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct LineParser<'a> {
+    line: usize,
+    fields: std::str::SplitWhitespace<'a>,
+    raw: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, msg: msg.into() }
+    }
+
+    fn next_u32(&mut self) -> Result<u32, ParseError> {
+        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+        f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
+    }
+
+    fn next_u64(&mut self) -> Result<u64, ParseError> {
+        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+        f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
+    }
+
+    fn next_opt_u32(&mut self) -> Result<Option<u32>, ParseError> {
+        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+        if f == "-" {
+            Ok(None)
+        } else {
+            f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
+        }
+    }
+
+    fn next_opt_u64(&mut self) -> Result<Option<u64>, ParseError> {
+        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+        if f == "-" {
+            Ok(None)
+        } else {
+            f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
+        }
+    }
+
+    /// Everything after the fields consumed so far (for trailing names).
+    fn rest_name(&mut self, consumed_fields: usize) -> String {
+        // Re-split the raw line: tag + consumed fields, then the rest.
+        let mut it = self.raw.split_whitespace();
+        for _ in 0..=consumed_fields {
+            it.next();
+        }
+        let words: Vec<&str> = it.collect();
+        words.join(" ")
+    }
+}
+
+/// Parses the text log format back into a validated [`Trace`].
+pub fn read_log<R: BufRead>(r: R) -> Result<Trace, ParseError> {
+    let mut trace = Trace::default();
+    let mut saw_header = false;
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| ParseError { line: lineno, msg: e.to_string() })?;
+        let raw = line.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if raw != HEADER {
+                return Err(ParseError { line: lineno, msg: format!("expected {HEADER:?}") });
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut fields = raw.split_whitespace();
+        let tag = fields.next().expect("non-empty line has a tag");
+        let mut p = LineParser { line: lineno, fields, raw };
+        match tag {
+            "PES" => trace.pe_count = p.next_u32()?,
+            "ARRAY" => {
+                let id = ArrayId(p.next_u32()?);
+                let kind = match p.fields.next() {
+                    Some("A") => Kind::Application,
+                    Some("R") => Kind::Runtime,
+                    other => return Err(p.err(format!("bad kind {other:?}"))),
+                };
+                let name = p.rest_name(2);
+                trace.arrays.push(ArrayInfo { id, name, kind });
+            }
+            "CHARE" => {
+                let id = ChareId(p.next_u32()?);
+                let array = ArrayId(p.next_u32()?);
+                let index = p.next_u32()?;
+                let home_pe = PeId(p.next_u32()?);
+                let kind = trace
+                    .arrays
+                    .get(array.index())
+                    .ok_or_else(|| p.err("CHARE references unknown ARRAY"))?
+                    .kind;
+                trace.chares.push(ChareInfo { id, array, index, kind, home_pe });
+            }
+            "ENTRY" => {
+                let id = EntryId(p.next_u32()?);
+                let sdag_serial = p.next_opt_u32()?;
+                let collective = match p.fields.next() {
+                    Some("C") => true,
+                    Some("-") => false,
+                    other => return Err(p.err(format!("bad collective flag {other:?}"))),
+                };
+                let name = p.rest_name(3);
+                trace.entries.push(EntryInfo { id, name, sdag_serial, collective });
+            }
+            "TASK" => {
+                let id = TaskId(p.next_u32()?);
+                let chare = ChareId(p.next_u32()?);
+                let entry = EntryId(p.next_u32()?);
+                let pe = PeId(p.next_u32()?);
+                let begin = Time(p.next_u64()?);
+                let end = Time(p.next_u64()?);
+                let sink = p.next_opt_u32()?.map(EventId);
+                trace.tasks.push(TaskRec {
+                    id,
+                    chare,
+                    entry,
+                    pe,
+                    begin,
+                    end,
+                    sink,
+                    sends: Vec::new(),
+                });
+            }
+            "RECV" => {
+                let id = EventId(p.next_u32()?);
+                let task = TaskId(p.next_u32()?);
+                let time = Time(p.next_u64()?);
+                let msg = p.next_opt_u32()?.map(MsgId);
+                trace.events.push(EventRec { id, task, time, kind: EventKind::Recv { msg } });
+            }
+            "SEND" => {
+                let id = EventId(p.next_u32()?);
+                let task = TaskId(p.next_u32()?);
+                let time = Time(p.next_u64()?);
+                let msg = MsgId(p.next_u32()?);
+                trace.events.push(EventRec { id, task, time, kind: EventKind::Send { msg } });
+                trace
+                    .tasks
+                    .get_mut(task.index())
+                    .ok_or_else(|| p.err("SEND references unknown TASK"))?
+                    .sends
+                    .push(id);
+            }
+            "MSG" => {
+                let id = MsgId(p.next_u32()?);
+                let send_event = EventId(p.next_u32()?);
+                let dst_chare = ChareId(p.next_u32()?);
+                let dst_entry = EntryId(p.next_u32()?);
+                let send_time = Time(p.next_u64()?);
+                let recv_task = p.next_opt_u32()?.map(TaskId);
+                let recv_time = p.next_opt_u64()?.map(Time);
+                trace.msgs.push(MsgRec {
+                    id,
+                    send_event,
+                    recv_task,
+                    dst_chare,
+                    dst_entry,
+                    send_time,
+                    recv_time,
+                });
+            }
+            "IDLE" => {
+                let pe = PeId(p.next_u32()?);
+                let begin = Time(p.next_u64()?);
+                let end = Time(p.next_u64()?);
+                trace.idles.push(IdleRec { pe, begin, end });
+            }
+            other => return Err(p.err(format!("unknown record tag {other:?}"))),
+        }
+    }
+    if !saw_header {
+        return Err(ParseError { line: 0, msg: "empty input (missing header)".to_owned() });
+    }
+    validate(&trace).map_err(|e| ParseError { line: 0, msg: format!("invalid trace: {e}") })?;
+    Ok(trace)
+}
+
+/// Parses a trace from an in-memory string.
+pub fn from_log_str(s: &str) -> Result<Trace, ParseError> {
+    read_log(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("jacobi block", Kind::Application);
+        let rt = b.add_array("CkReductionMgr", Kind::Runtime);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let mgr = b.add_chare(rt, 0, PeId(0));
+        let e = b.add_entry("recvHalo", Some(2));
+        let ctb = b.add_collective_entry("contribute");
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m0 = b.record_send(t0, Time(3), c1, e);
+        let m1 = b.record_send(t0, Time(4), mgr, ctb);
+        b.end_task(t0, Time(5));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(9), m0);
+        b.end_task(t1, Time(12));
+        let t2 = b.begin_task_from(mgr, ctb, PeId(0), Time(7), m1);
+        b.end_task(t2, Time(8));
+        b.add_idle(PeId(1), Time(0), Time(9));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let tr = sample();
+        let text = to_log_string(&tr);
+        let back = from_log_str(&text).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let tr = sample();
+        let back = from_log_str(&to_log_string(&tr)).unwrap();
+        assert_eq!(back.arrays[0].name, "jacobi block");
+        assert_eq!(back.entries[0].sdag_serial, Some(2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let tr = sample();
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&to_log_string(&tr));
+        // from_log_str requires header first; comments before it are fine.
+        let back = from_log_str(&text).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(from_log_str("PES 2\n").is_err());
+        assert!(from_log_str("").is_err());
+    }
+
+    #[test]
+    fn bad_tag_reports_line_number() {
+        let err = from_log_str("LSRTRACE 1\nBOGUS 1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected_at_parse() {
+        // A TASK referencing a chare that doesn't exist.
+        let text = "LSRTRACE 1\nPES 1\nENTRY 0 - - m\nTASK 0 5 0 0 0 1 -\n";
+        let err = from_log_str(text).unwrap_err();
+        assert!(err.to_string().contains("invalid trace"));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let err = from_log_str("LSRTRACE 1\nPES\n").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace-quality reporting per the paper's tracing guidelines (§7.1).
+//!
+//! The paper prescribes three properties a task-based trace should make
+//! retrievable without runtime-specific knowledge:
+//!
+//! 1. the correspondence between events, the data they act on, and the
+//!    runtime elements executing them (chare ↔ array ↔ PE);
+//! 2. control flow between application events that passes through the
+//!    runtime (traced or abstracted);
+//! 3. the sets of events that cannot be divided by runtime scheduling
+//!    (serial blocks).
+//!
+//! [`QualityReport`] measures how well a given trace meets these, which
+//! predicts how much the ordering algorithm will have to *infer*.
+
+use crate::ids::Kind;
+use crate::trace::Trace;
+use std::fmt;
+
+/// How completely a trace records the control information the logical
+/// structure algorithm wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Guideline 1: every chare maps to an array and a home PE. True
+    /// unless tables are empty while tasks exist.
+    pub has_data_correspondence: bool,
+    /// Guideline 2a: fraction of non-bootstrap tasks whose awakening
+    /// message was traced (they have a sink with a message).
+    pub sink_coverage: f64,
+    /// Guideline 2b: fraction of messages whose receive side was traced.
+    pub msg_match_rate: f64,
+    /// Guideline 2c: whether any runtime-chare activity was traced at all
+    /// (e.g. reduction managers). Without it, collective control flow
+    /// must be inferred.
+    pub traces_runtime: bool,
+    /// Guideline 3: serial blocks are explicit in this model; reported as
+    /// the mean number of dependency events per block (granularity).
+    pub mean_events_per_block: f64,
+    /// Number of tasks with no recorded trigger (candidates for missing
+    /// control dependencies, like the PDES completion detector).
+    pub spontaneous_tasks: usize,
+    /// Fraction of entries carrying SDAG serial numbers (enables the
+    /// SDAG happened-before heuristic of §2.1).
+    pub sdag_annotated: f64,
+}
+
+impl QualityReport {
+    /// Analyzes `trace` and scores it against the §7.1 guidelines.
+    pub fn analyze(trace: &Trace) -> QualityReport {
+        let tasks = trace.tasks.len();
+        let spontaneous = trace.tasks.iter().filter(|t| t.sink.is_none()).count();
+        // The very first task on each chare may legitimately be
+        // spontaneous (bootstrap); count non-first spontaneous tasks for
+        // sink coverage.
+        let ix = trace.index();
+        let mut non_first = 0usize;
+        let mut non_first_with_sink = 0usize;
+        for list in &ix.tasks_by_chare {
+            for &t in list.iter().skip(1) {
+                non_first += 1;
+                if trace.task(t).sink.is_some() {
+                    non_first_with_sink += 1;
+                }
+            }
+        }
+        let msgs = trace.msgs.len();
+        let matched = trace.msgs.iter().filter(|m| m.recv_task.is_some()).count();
+        let events = trace.events.len();
+        let entries = trace.entries.len();
+        let sdag = trace.entries.iter().filter(|e| e.sdag_serial.is_some()).count();
+        QualityReport {
+            has_data_correspondence: tasks == 0
+                || (!trace.chares.is_empty() && !trace.arrays.is_empty()),
+            sink_coverage: ratio(non_first_with_sink, non_first),
+            msg_match_rate: ratio(matched, msgs),
+            traces_runtime: trace.chares.iter().any(|c| c.kind == Kind::Runtime),
+            mean_events_per_block: if tasks == 0 { 0.0 } else { events as f64 / tasks as f64 },
+            spontaneous_tasks: spontaneous,
+            sdag_annotated: ratio(sdag, entries),
+        }
+    }
+
+    /// A single 0–100 score summarizing how much of the control flow is
+    /// explicit. Traces scoring low will lean hard on the §3.1.4
+    /// inference heuristics.
+    pub fn score(&self) -> u32 {
+        let mut s = 0.0;
+        if self.has_data_correspondence {
+            s += 20.0;
+        }
+        s += 40.0 * self.sink_coverage;
+        s += 30.0 * self.msg_match_rate;
+        if self.traces_runtime {
+            s += 10.0;
+        }
+        s.round() as u32
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "quality score {}/100 (sinks {:.0}%, matched msgs {:.0}%, runtime traced: {})",
+            self.score(),
+            self.sink_coverage * 100.0,
+            self.msg_match_rate * 100.0,
+            self.traces_runtime
+        )?;
+        write!(
+            f,
+            "blocks: {:.2} events each; {} spontaneous tasks; sdag-annotated entries {:.0}%",
+            self.mean_events_per_block,
+            self.spontaneous_tasks,
+            self.sdag_annotated * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::PeId;
+    use crate::time::Time;
+
+    #[test]
+    fn empty_trace_scores_maximal_ratios() {
+        let tr = TraceBuilder::new(1).build().unwrap();
+        let q = QualityReport::analyze(&tr);
+        assert_eq!(q.sink_coverage, 1.0);
+        assert_eq!(q.msg_match_rate, 1.0);
+        assert!(!q.traces_runtime);
+        assert_eq!(q.score(), 90); // all but the runtime-tracing 10 points
+    }
+
+    #[test]
+    fn untraced_dependencies_lower_the_score() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c, e, PeId(0), Time(0));
+        let _unmatched = b.record_send(t0, Time(1), c, e);
+        b.end_task(t0, Time(2));
+        // Second task on the chare with no sink: a lost dependency.
+        let t1 = b.begin_task(c, e, PeId(0), Time(5));
+        b.end_task(t1, Time(6));
+        let tr = b.build().unwrap();
+        let q = QualityReport::analyze(&tr);
+        assert_eq!(q.sink_coverage, 0.0);
+        assert_eq!(q.msg_match_rate, 0.0);
+        assert_eq!(q.spontaneous_tasks, 2);
+        assert_eq!(q.score(), 20);
+        assert!(q.to_string().contains("spontaneous"));
+    }
+
+    #[test]
+    fn fully_traced_run_scores_100() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let rt = b.add_array("mgr", Kind::Runtime);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let m = b.add_chare(rt, 0, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c, e, PeId(0), Time(0));
+        let msg = b.record_send(t0, Time(1), m, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(m, e, PeId(0), Time(3), msg);
+        b.end_task(t1, Time(4));
+        let tr = b.build().unwrap();
+        let q = QualityReport::analyze(&tr);
+        assert_eq!(q.score(), 100);
+        assert!(q.has_data_correspondence);
+    }
+}

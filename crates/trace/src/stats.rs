@@ -1,0 +1,148 @@
+//! Summary statistics over a trace.
+
+use crate::ids::Kind;
+use crate::time::Dur;
+use crate::trace::Trace;
+use std::fmt;
+
+/// Aggregate counts and durations for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of PEs.
+    pub pes: u32,
+    /// Number of application chares.
+    pub app_chares: usize,
+    /// Number of runtime chares.
+    pub runtime_chares: usize,
+    /// Number of tasks (serial blocks).
+    pub tasks: usize,
+    /// Number of tasks on runtime chares.
+    pub runtime_tasks: usize,
+    /// Number of dependency events.
+    pub events: usize,
+    /// Number of messages.
+    pub msgs: usize,
+    /// Messages whose receive side was traced.
+    pub matched_msgs: usize,
+    /// Total busy time summed over tasks.
+    pub busy: Dur,
+    /// Total recorded idle time summed over PEs.
+    pub idle: Dur,
+    /// Wall-clock span of the run.
+    pub span: Dur,
+    /// Mean task grain size (busy / tasks), zero if no tasks.
+    pub mean_grain: Dur,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace` in one pass per table.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let (begin, end) = trace.span();
+        let busy: Dur = trace.tasks.iter().map(|t| t.end - t.begin).sum();
+        let idle: Dur = trace.idles.iter().map(|i| i.end - i.begin).sum();
+        let tasks = trace.tasks.len();
+        TraceStats {
+            pes: trace.pe_count,
+            app_chares: trace.chares.iter().filter(|c| c.kind == Kind::Application).count(),
+            runtime_chares: trace.chares.iter().filter(|c| c.kind == Kind::Runtime).count(),
+            tasks,
+            runtime_tasks: trace
+                .tasks
+                .iter()
+                .filter(|t| trace.chare(t.chare).kind.is_runtime())
+                .count(),
+            events: trace.events.len(),
+            msgs: trace.msgs.len(),
+            matched_msgs: trace.msgs.iter().filter(|m| m.recv_task.is_some()).count(),
+            busy,
+            idle,
+            span: end - begin,
+            mean_grain: if tasks == 0 { Dur::ZERO } else { Dur(busy.0 / tasks as u64) },
+        }
+    }
+
+    /// Fraction of run time (span × PEs) spent busy; in [0, 1] for
+    /// well-formed traces.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.span.0.saturating_mul(self.pes as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy.0 as f64 / capacity as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pes={} chares={}+{}rt tasks={} ({} rt) events={} msgs={} ({} matched)",
+            self.pes,
+            self.app_chares,
+            self.runtime_chares,
+            self.tasks,
+            self.runtime_tasks,
+            self.events,
+            self.msgs,
+            self.matched_msgs
+        )?;
+        write!(
+            f,
+            "span={} busy={} idle={} grain={} util={:.1}%",
+            self.span,
+            self.busy,
+            self.idle,
+            self.mean_grain,
+            self.utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::PeId;
+    use crate::time::Time;
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let tr = TraceBuilder::new(4).build().unwrap();
+        let s = TraceStats::compute(&tr);
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.mean_grain, Dur::ZERO);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn stats_count_runtime_separately() {
+        let mut b = TraceBuilder::new(2);
+        let app = b.add_array("a", Kind::Application);
+        let rt = b.add_array("r", Kind::Runtime);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let c1 = b.add_chare(rt, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(2), c1, e);
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task_from(c1, e, PeId(0), Time(10), m);
+        b.end_task(t1, Time(20));
+        b.add_idle(PeId(1), Time(0), Time(20));
+        let tr = b.build().unwrap();
+        let s = TraceStats::compute(&tr);
+        assert_eq!(s.app_chares, 1);
+        assert_eq!(s.runtime_chares, 1);
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.runtime_tasks, 1);
+        assert_eq!(s.matched_msgs, 1);
+        assert_eq!(s.busy, Dur(20));
+        assert_eq!(s.idle, Dur(20));
+        assert_eq!(s.span, Dur(20));
+        // 20 busy ns over 2 PEs × 20 ns span = 50%
+        assert!((s.utilization() - 0.5).abs() < 1e-9);
+        let shown = s.to_string();
+        assert!(shown.contains("tasks=2"));
+        assert!(shown.contains("util=50.0%"));
+    }
+}

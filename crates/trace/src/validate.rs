@@ -1,0 +1,351 @@
+//! Structural validation of traces.
+//!
+//! A trace coming out of a simulator or a log parser must satisfy the
+//! invariants the ordering algorithm relies on; [`validate`] checks them
+//! all in one linear pass per table.
+
+use crate::ids::{EventId, MsgId, TaskId};
+use crate::record::EventKind;
+use crate::trace::Trace;
+use std::fmt;
+
+/// Upper bound on `pe_count` accepted by [`validate`]. Per-PE index
+/// structures are allocated eagerly, so an absurd count in a corrupt
+/// or hostile trace file would otherwise exhaust memory before any
+/// cross-reference check runs. Raise this if you genuinely analyze
+/// machines beyond a million processors.
+pub const MAX_PES: u32 = 1 << 20;
+
+/// A violated trace invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A task was never closed with `end_task`.
+    OpenTask(TaskId),
+    /// `pe_count` exceeds [`MAX_PES`].
+    PeCountTooLarge(u32),
+    /// A record's id does not match its table position.
+    IdMismatch(&'static str, usize),
+    /// A record references an out-of-range id.
+    DanglingRef(&'static str, usize),
+    /// A task ends before it begins.
+    NegativeTaskSpan(TaskId),
+    /// An event's timestamp lies outside its task's span.
+    EventOutsideTask(EventId),
+    /// A task's sink event is not at the task's begin time.
+    SinkNotAtBegin(TaskId),
+    /// A task's send events are not in non-decreasing time order.
+    SendsOutOfOrder(TaskId),
+    /// A message's endpoints disagree (send event kind, sink backlink,
+    /// or timestamps inconsistent).
+    InconsistentMessage(MsgId),
+    /// Two tasks overlap on the same PE (serial blocks are
+    /// uninterruptible, so this cannot happen in a well-formed trace).
+    OverlappingTasks(TaskId, TaskId),
+    /// An idle span is empty/inverted or on an out-of-range PE.
+    BadIdleSpan(usize),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OpenTask(t) => write!(f, "task {t} was never closed"),
+            ValidationError::PeCountTooLarge(n) => {
+                write!(f, "pe_count {n} exceeds the supported maximum of {MAX_PES}")
+            }
+            ValidationError::IdMismatch(table, i) => {
+                write!(f, "{table}[{i}] has an id different from its position")
+            }
+            ValidationError::DanglingRef(what, i) => {
+                write!(f, "dangling {what} reference at index {i}")
+            }
+            ValidationError::NegativeTaskSpan(t) => write!(f, "task {t} ends before it begins"),
+            ValidationError::EventOutsideTask(e) => {
+                write!(f, "event {e} is outside its task's time span")
+            }
+            ValidationError::SinkNotAtBegin(t) => {
+                write!(f, "task {t} has a sink event not at its begin time")
+            }
+            ValidationError::SendsOutOfOrder(t) => {
+                write!(f, "task {t} has send events out of time order")
+            }
+            ValidationError::InconsistentMessage(m) => {
+                write!(f, "message {m} has inconsistent endpoints")
+            }
+            ValidationError::OverlappingTasks(a, b) => {
+                write!(f, "tasks {a} and {b} overlap on the same PE")
+            }
+            ValidationError::BadIdleSpan(i) => write!(f, "idle span {i} is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks every structural invariant of `trace`. Returns the first
+/// violation found.
+pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
+    use ValidationError as E;
+
+    // Checked first: everything below allocates per-PE structures.
+    if trace.pe_count > MAX_PES {
+        return Err(E::PeCountTooLarge(trace.pe_count));
+    }
+
+    for (i, a) in trace.arrays.iter().enumerate() {
+        if a.id.index() != i {
+            return Err(E::IdMismatch("arrays", i));
+        }
+    }
+    for (i, c) in trace.chares.iter().enumerate() {
+        if c.id.index() != i {
+            return Err(E::IdMismatch("chares", i));
+        }
+        if c.array.index() >= trace.arrays.len() {
+            return Err(E::DanglingRef("chare.array", i));
+        }
+        if c.home_pe.0 >= trace.pe_count {
+            return Err(E::DanglingRef("chare.home_pe", i));
+        }
+        if c.kind != trace.array(c.array).kind {
+            return Err(E::IdMismatch("chares.kind", i));
+        }
+    }
+    for (i, e) in trace.entries.iter().enumerate() {
+        if e.id.index() != i {
+            return Err(E::IdMismatch("entries", i));
+        }
+    }
+
+    for (i, t) in trace.tasks.iter().enumerate() {
+        if t.id.index() != i {
+            return Err(E::IdMismatch("tasks", i));
+        }
+        if t.chare.index() >= trace.chares.len() {
+            return Err(E::DanglingRef("task.chare", i));
+        }
+        if t.entry.index() >= trace.entries.len() {
+            return Err(E::DanglingRef("task.entry", i));
+        }
+        if t.pe.0 >= trace.pe_count {
+            return Err(E::DanglingRef("task.pe", i));
+        }
+        if t.end < t.begin {
+            return Err(E::NegativeTaskSpan(t.id));
+        }
+        if let Some(sink) = t.sink {
+            if sink.index() >= trace.events.len() {
+                return Err(E::DanglingRef("task.sink", i));
+            }
+            let ev = trace.event(sink);
+            if !ev.is_sink() || ev.task != t.id {
+                return Err(E::DanglingRef("task.sink", i));
+            }
+            if ev.time != t.begin {
+                return Err(E::SinkNotAtBegin(t.id));
+            }
+        }
+        let mut last = t.begin;
+        for &s in &t.sends {
+            if s.index() >= trace.events.len() {
+                return Err(E::DanglingRef("task.sends", i));
+            }
+            let ev = trace.event(s);
+            if !ev.is_source() || ev.task != t.id {
+                return Err(E::DanglingRef("task.sends", i));
+            }
+            if ev.time < last {
+                return Err(E::SendsOutOfOrder(t.id));
+            }
+            last = ev.time;
+        }
+    }
+
+    for (i, ev) in trace.events.iter().enumerate() {
+        if ev.id.index() != i {
+            return Err(E::IdMismatch("events", i));
+        }
+        if ev.task.index() >= trace.tasks.len() {
+            return Err(E::DanglingRef("event.task", i));
+        }
+        let t = trace.task(ev.task);
+        if ev.time < t.begin || ev.time > t.end {
+            return Err(E::EventOutsideTask(ev.id));
+        }
+        match ev.kind {
+            EventKind::Recv { msg: Some(m) } | EventKind::Send { msg: m } => {
+                if m.index() >= trace.msgs.len() {
+                    return Err(E::DanglingRef("event.msg", i));
+                }
+            }
+            EventKind::Recv { msg: None } => {}
+        }
+    }
+
+    for (i, m) in trace.msgs.iter().enumerate() {
+        if m.id.index() != i {
+            return Err(E::IdMismatch("msgs", i));
+        }
+        if m.send_event.index() >= trace.events.len() {
+            return Err(E::DanglingRef("msg.send_event", i));
+        }
+        let sev = trace.event(m.send_event);
+        if !sev.is_source() || sev.time != m.send_time {
+            return Err(E::InconsistentMessage(m.id));
+        }
+        if m.dst_chare.index() >= trace.chares.len() {
+            return Err(E::DanglingRef("msg.dst_chare", i));
+        }
+        if m.dst_entry.index() >= trace.entries.len() {
+            return Err(E::DanglingRef("msg.dst_entry", i));
+        }
+        match (m.recv_task, m.recv_time) {
+            (Some(rt), Some(rtime)) => {
+                if rt.index() >= trace.tasks.len() {
+                    return Err(E::DanglingRef("msg.recv_task", i));
+                }
+                let task = trace.task(rt);
+                if task.begin != rtime {
+                    return Err(E::InconsistentMessage(m.id));
+                }
+                let sink = task.sink.ok_or(E::InconsistentMessage(m.id))?;
+                if trace.event(sink).kind != (EventKind::Recv { msg: Some(m.id) }) {
+                    return Err(E::InconsistentMessage(m.id));
+                }
+            }
+            (None, None) => {}
+            _ => return Err(E::InconsistentMessage(m.id)),
+        }
+    }
+
+    // Serial blocks on one PE may not overlap (touching endpoints allowed).
+    let ix = trace.index();
+    for list in &ix.tasks_by_pe {
+        for pair in list.windows(2) {
+            let (a, b) = (trace.task(pair[0]), trace.task(pair[1]));
+            if b.begin < a.end {
+                return Err(E::OverlappingTasks(a.id, b.id));
+            }
+        }
+    }
+
+    for (i, idle) in trace.idles.iter().enumerate() {
+        if idle.end <= idle.begin || idle.pe.0 >= trace.pe_count {
+            return Err(E::BadIdleSpan(i));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{Kind, PeId};
+    use crate::time::Time;
+
+    fn base() -> TraceBuilder {
+        TraceBuilder::new(2)
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(validate(&base().build_unchecked()), Ok(()));
+    }
+
+    #[test]
+    fn detects_overlapping_tasks_on_pe() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task(c1, e, PeId(0), Time(5));
+        b.end_task(t1, Time(15));
+        let tr = b.build_unchecked();
+        assert!(matches!(validate(&tr), Err(ValidationError::OverlappingTasks(_, _))));
+    }
+
+    #[test]
+    fn touching_tasks_are_fine() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task(c0, e, PeId(0), Time(10));
+        b.end_task(t1, Time(20));
+        assert_eq!(validate(&b.build_unchecked()), Ok(()));
+    }
+
+    #[test]
+    fn detects_event_outside_task() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let _m = b.record_send(t0, Time(50), c0, e);
+        b.end_task(t0, Time(10)); // send at t=50 now outside [0,10]
+        let tr = b.build_unchecked();
+        assert!(matches!(validate(&tr), Err(ValidationError::EventOutsideTask(_))));
+    }
+
+    #[test]
+    fn detects_pe_out_of_range() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(7), Time(0));
+        b.end_task(t0, Time(1));
+        let tr = b.build_unchecked();
+        assert!(matches!(validate(&tr), Err(ValidationError::DanglingRef("task.pe", _))));
+    }
+
+    #[test]
+    fn detects_tampered_message() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c1, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(4), m);
+        b.end_task(t1, Time(5));
+        let mut tr = b.build_unchecked();
+        tr.msgs[m.index()].recv_time = Some(Time(3)); // no longer the task begin
+        assert!(matches!(validate(&tr), Err(ValidationError::InconsistentMessage(_))));
+    }
+
+    #[test]
+    fn detects_malformed_idle() {
+        let mut b = base();
+        b.add_idle(PeId(0), Time(1), Time(5));
+        let mut tr = b.build_unchecked();
+        tr.idles[0].pe = PeId(9);
+        assert_eq!(validate(&tr), Err(ValidationError::BadIdleSpan(0)));
+    }
+
+    #[test]
+    fn absurd_pe_count_is_rejected_before_allocating() {
+        let mut tr = base().build_unchecked();
+        tr.pe_count = u32::MAX;
+        assert_eq!(validate(&tr), Err(ValidationError::PeCountTooLarge(u32::MAX)));
+        let e = ValidationError::PeCountTooLarge(u32::MAX);
+        assert!(e.to_string().contains("maximum"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidationError::OverlappingTasks(crate::ids::TaskId(1), crate::ids::TaskId(2));
+        assert!(e.to_string().contains("overlap"));
+        let e = ValidationError::OpenTask(crate::ids::TaskId(3));
+        assert!(e.to_string().contains("never closed"));
+    }
+}

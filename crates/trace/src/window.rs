@@ -1,0 +1,216 @@
+//! Time-windowing: extracting the slice of a trace inside an interval.
+//!
+//! Long production traces are analyzed a window at a time. [`window`]
+//! keeps every task fully contained in `[from, to]`, remaps all ids
+//! densely, clips idle spans, and degrades messages whose other
+//! endpoint fell outside the window into the corresponding "untraced"
+//! form (an unmatched send, or a receive with no recorded trigger) —
+//! the same shapes the analysis already tolerates for lost
+//! dependencies.
+
+use crate::ids::{EventId, MsgId, TaskId};
+use crate::record::{EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::time::Time;
+use crate::trace::Trace;
+
+/// Returns the sub-trace of tasks fully contained in `[from, to]`.
+/// Metadata tables (arrays, chares, entries) are preserved unchanged so
+/// ids in the window remain meaningful.
+pub fn window(trace: &Trace, from: Time, to: Time) -> Trace {
+    assert!(from <= to, "empty window");
+    const DROP: u32 = u32::MAX;
+
+    // Select tasks and build dense remaps.
+    let mut task_map = vec![DROP; trace.tasks.len()];
+    let mut kept_tasks = Vec::new();
+    for t in &trace.tasks {
+        if t.begin >= from && t.end <= to {
+            task_map[t.id.index()] = kept_tasks.len() as u32;
+            kept_tasks.push(t.id);
+        }
+    }
+    let mut event_map = vec![DROP; trace.events.len()];
+    let mut kept_events = Vec::new();
+    for ev in &trace.events {
+        if task_map[ev.task.index()] != DROP {
+            event_map[ev.id.index()] = kept_events.len() as u32;
+            kept_events.push(ev.id);
+        }
+    }
+    // A message survives iff its send event survives.
+    let mut msg_map = vec![DROP; trace.msgs.len()];
+    let mut kept_msgs = Vec::new();
+    for m in &trace.msgs {
+        if event_map[m.send_event.index()] != DROP {
+            msg_map[m.id.index()] = kept_msgs.len() as u32;
+            kept_msgs.push(m.id);
+        }
+    }
+
+    let tasks = kept_tasks
+        .iter()
+        .map(|&old| {
+            let t = trace.task(old);
+            TaskRec {
+                id: TaskId(task_map[old.index()]),
+                chare: t.chare,
+                entry: t.entry,
+                pe: t.pe,
+                begin: t.begin,
+                end: t.end,
+                sink: t.sink.map(|s| EventId(event_map[s.index()])),
+                sends: t.sends.iter().map(|s| EventId(event_map[s.index()])).collect(),
+            }
+        })
+        .collect();
+
+    let events = kept_events
+        .iter()
+        .map(|&old| {
+            let ev = trace.event(old);
+            let kind = match ev.kind {
+                EventKind::Send { msg } => EventKind::Send { msg: MsgId(msg_map[msg.index()]) },
+                // A receive whose sender fell outside the window becomes
+                // a spontaneous trigger.
+                EventKind::Recv { msg } => EventKind::Recv {
+                    msg: msg
+                        .filter(|m| msg_map[m.index()] != DROP)
+                        .map(|m| MsgId(msg_map[m.index()])),
+                },
+            };
+            EventRec { id: EventId(event_map[old.index()]), task: TaskId(task_map[ev.task.index()]), time: ev.time, kind }
+        })
+        .collect();
+
+    let msgs = kept_msgs
+        .iter()
+        .map(|&old| {
+            let m = trace.msg(old);
+            // Degrade to unmatched if the receiver fell outside.
+            let recv_kept = m.recv_task.filter(|rt| task_map[rt.index()] != DROP);
+            MsgRec {
+                id: MsgId(msg_map[old.index()]),
+                send_event: EventId(event_map[m.send_event.index()]),
+                recv_task: recv_kept.map(|rt| TaskId(task_map[rt.index()])),
+                dst_chare: m.dst_chare,
+                dst_entry: m.dst_entry,
+                send_time: m.send_time,
+                recv_time: recv_kept.map(|rt| trace.task(rt).begin),
+            }
+        })
+        .collect();
+
+    let idles = trace
+        .idles
+        .iter()
+        .filter_map(|i| {
+            let begin = i.begin.max(from);
+            let end = i.end.min(to);
+            (end > begin).then_some(IdleRec { pe: i.pe, begin, end })
+        })
+        .collect();
+
+    Trace {
+        pe_count: trace.pe_count,
+        arrays: trace.arrays.clone(),
+        chares: trace.chares.clone(),
+        entries: trace.entries.clone(),
+        tasks,
+        events,
+        msgs,
+        idles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{Kind, PeId};
+    use crate::validate::validate;
+
+    /// chain t0 --m0--> t1 --m1--> t2 at times [0,10], [20,30], [40,50].
+    fn chain() -> Trace {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("go", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m0 = b.record_send(t0, Time(5), c0, e);
+        b.end_task(t0, Time(10));
+        b.add_idle(PeId(0), Time(10), Time(20));
+        let t1 = b.begin_task_from(c0, e, PeId(0), Time(20), m0);
+        let m1 = b.record_send(t1, Time(25), c0, e);
+        b.end_task(t1, Time(30));
+        b.add_idle(PeId(0), Time(30), Time(40));
+        let t2 = b.begin_task_from(c0, e, PeId(0), Time(40), m1);
+        b.end_task(t2, Time(50));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_window_is_identity_up_to_ids() {
+        let tr = chain();
+        let w = window(&tr, Time(0), Time(100));
+        assert_eq!(w, tr);
+    }
+
+    #[test]
+    fn middle_window_degrades_boundary_messages() {
+        let tr = chain();
+        let w = window(&tr, Time(15), Time(35));
+        validate(&w).expect("windowed trace is valid");
+        assert_eq!(w.tasks.len(), 1, "only t1 fits");
+        let t = &w.tasks[0];
+        // Its trigger's sender fell outside: spontaneous receive.
+        let sink = t.sink.expect("sink event kept");
+        assert_eq!(w.event(sink).kind, EventKind::Recv { msg: None });
+        // Its outgoing message's receiver fell outside: unmatched send.
+        assert_eq!(w.msgs.len(), 1);
+        assert_eq!(w.msgs[0].recv_task, None);
+        assert_eq!(w.msgs[0].recv_time, None);
+    }
+
+    #[test]
+    fn idle_spans_are_clipped() {
+        let tr = chain();
+        let w = window(&tr, Time(15), Time(35));
+        assert_eq!(w.idles.len(), 2);
+        assert_eq!((w.idles[0].begin, w.idles[0].end), (Time(15), Time(20)));
+        assert_eq!((w.idles[1].begin, w.idles[1].end), (Time(30), Time(35)));
+    }
+
+    #[test]
+    fn empty_window_yields_empty_trace_with_metadata() {
+        let tr = chain();
+        let w = window(&tr, Time(11), Time(19));
+        validate(&w).expect("valid");
+        assert!(w.tasks.is_empty() && w.events.is_empty() && w.msgs.is_empty());
+        assert_eq!(w.chares.len(), tr.chares.len());
+    }
+
+    #[test]
+    fn window_of_window_composes() {
+        let tr = chain();
+        let once = window(&tr, Time(10), Time(60));
+        let twice = window(&once, Time(15), Time(35));
+        let direct = window(&tr, Time(15), Time(35));
+        assert_eq!(twice, direct, "windowing composes");
+    }
+
+    #[test]
+    fn point_window_is_allowed_and_empty() {
+        let tr = chain();
+        let w = window(&tr, Time(25), Time(25));
+        // A zero-width window holds no complete task.
+        assert!(w.tasks.is_empty());
+        validate(&w).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn inverted_window_panics() {
+        let tr = chain();
+        let _ = window(&tr, Time(10), Time(5));
+    }
+}

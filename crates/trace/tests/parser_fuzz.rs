@@ -1,0 +1,75 @@
+//! Fuzzing the text-log parser: arbitrary input must never panic —
+//! every malformed document is a clean `ParseError`.
+
+use lsr_trace::logfmt::from_log_str;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary bytes-as-text.
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC*") {
+        let _ = from_log_str(&s);
+    }
+
+    /// Adversarial inputs that look like the format: a valid header
+    /// followed by lines assembled from real tags and random fields.
+    #[test]
+    fn tag_shaped_garbage_never_panics(
+        lines in proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just("PES"), Just("ARRAY"), Just("CHARE"), Just("ENTRY"),
+                    Just("TASK"), Just("RECV"), Just("SEND"), Just("MSG"),
+                    Just("IDLE"), Just("JUNK"),
+                ],
+                proptest::collection::vec(any::<u32>(), 0..8),
+            ),
+            0..40,
+        )
+    ) {
+        let mut doc = String::from("LSRTRACE 1\n");
+        for (tag, fields) in lines {
+            doc.push_str(tag);
+            for f in fields {
+                doc.push(' ');
+                // Mix numerals with the occasional placeholder.
+                if f % 7 == 0 {
+                    doc.push('-');
+                } else {
+                    doc.push_str(&f.to_string());
+                }
+            }
+            doc.push('\n');
+        }
+        let _ = from_log_str(&doc);
+    }
+
+    /// Mutating one byte of a VALID document parses or fails cleanly —
+    /// and if it parses, it still validates (the parser re-validates).
+    #[test]
+    fn single_byte_corruption_is_handled(pos in 0usize..4096, byte in any::<u8>()) {
+        // A small fixed valid trace.
+        let mut b = lsr_trace::TraceBuilder::new(2);
+        let arr = b.add_array("a", lsr_trace::Kind::Application);
+        let c0 = b.add_chare(arr, 0, lsr_trace::PeId(0));
+        let c1 = b.add_chare(arr, 1, lsr_trace::PeId(1));
+        let e = b.add_entry("go", Some(1));
+        let t0 = b.begin_task(c0, e, lsr_trace::PeId(0), lsr_trace::Time(0));
+        let m = b.record_send(t0, lsr_trace::Time(1), c1, e);
+        b.end_task(t0, lsr_trace::Time(2));
+        let t1 = b.begin_task_from(c1, e, lsr_trace::PeId(1), lsr_trace::Time(5), m);
+        b.end_task(t1, lsr_trace::Time(6));
+        let text = lsr_trace::logfmt::to_log_string(&b.build().unwrap());
+        let mut bytes = text.into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] = byte;
+        if let Ok(s) = String::from_utf8(bytes) {
+            if let Ok(trace) = from_log_str(&s) {
+                prop_assert!(lsr_trace::validate(&trace).is_ok(),
+                    "anything the parser accepts must be valid");
+            }
+        }
+    }
+}

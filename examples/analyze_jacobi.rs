@@ -1,0 +1,60 @@
+//! Metric-driven performance analysis of a Jacobi 2D run with an
+//! injected straggler — the paper's §4 workflow: find idling, explain
+//! it with differential duration, confirm with imbalance.
+//!
+//! ```sh
+//! cargo run --release --example analyze_jacobi
+//! ```
+
+use lsr::apps::{jacobi2d, JacobiParams};
+use lsr::core::{extract, Config};
+use lsr::metrics::{idle_experienced, per_pe_totals, DifferentialDuration, Imbalance};
+use lsr::render::logical_by_metric;
+use lsr::trace::Dur;
+
+fn main() {
+    let params = JacobiParams::fig15(); // 16 chares, one 200 µs straggler
+    let trace = jacobi2d(&params);
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("invariants");
+
+    // Step 1: where is the machine idling?
+    let idle = idle_experienced(&trace);
+    println!("== idle experienced per PE ==");
+    for (pe, d) in per_pe_totals(&trace, &idle).iter().enumerate() {
+        println!("  pe{pe}: {d}");
+    }
+
+    // Step 2: which computation is out of line with its peers?
+    let dd = DifferentialDuration::compute(&trace, &ls);
+    let (event, excess) = dd.max().expect("events exist");
+    let chare = trace.chare(trace.event_chare(event));
+    println!("\n== differential duration ==");
+    println!(
+        "worst event: {event} at step {} on chare {}[{}], {excess} over its peers",
+        ls.global_step(event),
+        trace.array(chare.array).name,
+        chare.index
+    );
+    println!("outliers above 20us:");
+    for (e, d) in dd.outliers(Dur::from_micros(20)).into_iter().take(5) {
+        println!("  {e}: {d} (chare index {})", trace.chare(trace.event_chare(e)).index);
+    }
+
+    // Step 3: confirm the load imbalance at phase level.
+    let imb = Imbalance::compute(&trace, &ls);
+    let (phase, worst) = imb
+        .per_phase
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| d)
+        .expect("phases exist");
+    println!("\n== imbalance ==");
+    println!("most imbalanced phase: {phase} ({worst} max-min load)");
+    println!("overall PE imbalance: {}", imb.overall());
+
+    // Step 4: see it in logical time.
+    let per_event: Vec<f64> = dd.per_event.iter().map(|d| d.nanos() as f64).collect();
+    println!("\n== logical view, shaded by differential duration ==");
+    println!("{}", logical_by_metric(&trace, &ls, &per_event));
+}

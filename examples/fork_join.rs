@@ -1,0 +1,63 @@
+//! Fork/join recursion through the pipeline: run the divide-and-conquer
+//! proxy, recover its (single-phase) logical structure, and read the
+//! fork wave and join wave off the step axis — then ask the critical
+//! path which chain actually bounded the run.
+//!
+//! ```sh
+//! cargo run --release --example fork_join
+//! ```
+
+use lsr::apps::{divcon_charm, DivConParams};
+use lsr::core::{extract, Config};
+use lsr::metrics::CriticalPath;
+use lsr::render::logical_by_phase;
+
+fn main() {
+    let params = DivConParams::small();
+    let trace = divcon_charm(&params);
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("invariants");
+
+    println!(
+        "depth {}: {} node chares, {} tasks, {} messages",
+        params.depth,
+        trace.chares.len() - trace.pe_count as usize, // minus runtime mgrs
+        trace.tasks.len(),
+        trace.msgs.len()
+    );
+    println!("{}", ls.summary(&trace));
+    println!("{}", logical_by_phase(&trace, &ls));
+
+    // The fork wave: step of each level's first split send.
+    println!("fork wave (first send per tree level):");
+    for level in 0..=params.depth {
+        let first_node = (1u32 << level) - 1;
+        let last_node = (1u32 << (level + 1)) - 2;
+        let step = trace
+            .tasks
+            .iter()
+            .filter(|t| {
+                let i = trace.chare(t.chare).index;
+                !trace.chare(t.chare).kind.is_runtime()
+                    && i >= first_node
+                    && i <= last_node
+                    && !t.sends.is_empty()
+            })
+            .map(|t| ls.global_step(t.sends[0]))
+            .min();
+        println!("  level {level}: step {step:?}");
+    }
+
+    let cp = CriticalPath::compute(&trace);
+    println!(
+        "\ncritical path: {} tasks, {} work over {} makespan (ratio {:.2})",
+        cp.tasks.len(),
+        cp.work,
+        lsr::trace::Dur(cp.makespan.nanos()),
+        cp.work_ratio()
+    );
+    // In a balanced tree the path goes root → one leaf → back up:
+    // 2*depth + 1 tasks is the dependency-length lower bound.
+    assert!(cp.tasks.len() as u32 > 2 * params.depth);
+    println!("path spans the fork wave down and the join wave back up, as expected");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate a small Charm++-style program, recover its
+//! logical structure, and print both views.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lsr::charm::{Ctx, Placement, RedOp, RedTarget, Sim, SimConfig};
+use lsr::core::{extract, Config};
+use lsr::render::{logical_by_phase, physical_by_phase};
+use lsr::trace::{Dur, EntryId, Time};
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct State {
+    got: u32,
+    iter: u32,
+}
+
+fn main() {
+    // 8 chares on 2 PEs: a 1D ring halo exchange with a reduction
+    // gating each of 2 iterations.
+    let n = 8u32;
+    let iters = 2;
+    let mut sim = Sim::new(SimConfig::new(2));
+    let arr = sim.add_array("ring", n, Placement::Block, |_| State::default());
+    let elems = sim.elements(arr).to_vec();
+
+    let e_next: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
+    let en = e_next.clone();
+    let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut State, _d| {
+        s.got += 1;
+        if s.got == 2 {
+            s.got = 0;
+            ctx.compute(Dur::from_micros(25));
+            ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+        }
+    });
+    let el = elems.clone();
+    let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut State, _d| {
+        s.iter += 1;
+        if s.iter > iters {
+            return;
+        }
+        let i = ctx.my_index();
+        ctx.send(el[((i + n - 1) % n) as usize], halo, vec![]);
+        ctx.send(el[((i + 1) % n) as usize], halo, vec![]);
+    });
+    e_next.set(next);
+    for &c in &elems {
+        sim.inject(c, next, vec![], Time::ZERO);
+    }
+
+    // Run the simulated program and recover the logical structure.
+    let trace = sim.run();
+    println!("trace: {}", lsr::trace::TraceStats::compute(&trace));
+
+    let ls = extract(&trace, &Config::charm());
+    ls.verify(&trace).expect("structure invariants hold");
+    println!("\n{}", ls.summary(&trace));
+    println!("\nLogical structure (rows = chares, columns = steps):");
+    println!("{}", logical_by_phase(&trace, &ls));
+    println!("Physical time (same tasks, wall-clock layout):");
+    println!("{}", physical_by_phase(&trace, &ls));
+}

@@ -1,0 +1,450 @@
+//! `lsr` — command-line front end for logical-structure recovery.
+//!
+//! ```text
+//! lsr gen <preset> --out trace.lsrtrace     generate a proxy-app trace
+//! lsr stats <trace>                          table sizes, utilization
+//! lsr quality <trace>                        §7.1 trace-quality report
+//! lsr extract <trace> [flags]                phases + steps summary
+//! lsr render <trace> [flags]                 ASCII/SVG views
+//! lsr metrics <trace> [flags]                idle/differential/imbalance
+//! lsr critical-path <trace>                  longest dependent chain
+//! ```
+//!
+//! Extraction flags: `--mpi` (message-passing model), `--physical`
+//! (no reordering), `--no-infer`, `--no-split`, `--no-sdag`,
+//! `--parallel`, `--no-process-order`.
+//! Render flags: `--view logical|physical`, `--format ascii|svg`,
+//! `--metric phase|diff|idle|imbalance`, `--out FILE`.
+
+use lsr::core::{extract, Config, LogicalStructure, OrderingPolicy};
+use lsr::metrics::{
+    idle_experienced, per_pe_totals, CriticalPath, DifferentialDuration, Imbalance,
+};
+use lsr::trace::{logfmt, QualityReport, Trace, TraceStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // A CLI is routinely piped into `head`/`less`; restore the default
+    // SIGPIPE disposition so a closed pipe ends the process quietly
+    // instead of panicking mid-print.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `lsr help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "quality" => cmd_quality(rest),
+        "extract" => cmd_extract(rest),
+        "render" => cmd_render(rest),
+        "metrics" => cmd_metrics(rest),
+        "report" => cmd_report(rest),
+        "diff" => cmd_diff(rest),
+        "critical-path" => cmd_critical_path(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "lsr — logical structure recovery for task-based runtime traces\n\
+         (reproduction of Isaacs et al., SC'15)\n\n\
+         USAGE: lsr <command> [args]\n\n\
+         COMMANDS\n\
+         \u{20}  gen <preset> [--out FILE]   generate a proxy-app trace\n\
+         \u{20}      presets: jacobi-fig8 jacobi-fig15 lulesh-charm lulesh-mpi\n\
+         \u{20}               lassen8 lassen64 lassen-mpi pdes mergetree bt divcon\n\
+         \u{20}  stats <trace>               table sizes, span, utilization\n\
+         \u{20}  quality <trace>             trace-quality report (paper §7.1)\n\
+         \u{20}  extract <trace> [flags]     recover phases + logical steps\n\
+         \u{20}  render <trace> [flags]      ASCII/SVG views of the structure\n\
+         \u{20}  metrics <trace> [flags]     idle / differential duration / imbalance\n\
+         \u{20}  report <trace> [flags]      self-contained HTML analysis report\n\
+         \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
+         \u{20}  critical-path <trace>       longest dependent chain\n\n\
+         EXTRACTION FLAGS (extract/render/metrics)\n\
+         \u{20}  --mpi --physical --no-infer --no-split --no-sdag --parallel\n\
+         \u{20}  --no-process-order\n\n\
+         WINDOWING (extract/render/metrics/report)\n\
+         \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
+         RENDER FLAGS\n\
+         \u{20}  --view logical|physical|migration   --format ascii|svg|dot\n\
+         \u{20}  --metric phase|diff|idle|imbalance   --out FILE"
+    );
+}
+
+/// Splits positional arguments from `--flag [value]` options.
+/// Unknown flags are an error, not a silent no-op.
+fn parse_opts(
+    args: &[String],
+) -> Result<(Vec<&str>, std::collections::HashMap<String, String>), String> {
+    const VALUE_FLAGS: &[&str] = &["out", "view", "format", "metric", "from", "to"];
+    const BOOL_FLAGS: &[&str] = &[
+        "mpi",
+        "physical",
+        "no-infer",
+        "no-split",
+        "no-sdag",
+        "parallel",
+        "no-process-order",
+    ];
+    let mut pos = Vec::new();
+    let mut opts = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if VALUE_FLAGS.contains(&name) {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                opts.insert(name.to_owned(), value.clone());
+                i += 2;
+            } else if BOOL_FLAGS.contains(&name) {
+                opts.insert(name.to_owned(), String::new());
+                i += 1;
+            } else {
+                return Err(format!("unknown flag --{name} (run `lsr help`)"));
+            }
+        } else {
+            pos.push(a.as_str());
+            i += 1;
+        }
+    }
+    Ok((pos, opts))
+}
+
+fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
+    let mut cfg = if opts.contains_key("mpi") { Config::mpi() } else { Config::charm() };
+    if opts.contains_key("physical") {
+        cfg = cfg.with_ordering(OrderingPolicy::PhysicalTime);
+    }
+    if opts.contains_key("no-infer") {
+        cfg = cfg.with_inference(false);
+    }
+    if opts.contains_key("no-split") {
+        cfg = cfg.with_split(false);
+    }
+    if opts.contains_key("no-sdag") {
+        cfg = cfg.with_sdag(false);
+    }
+    if opts.contains_key("parallel") {
+        cfg = cfg.with_parallel(true);
+    }
+    if opts.contains_key("no-process-order") {
+        cfg = cfg.with_process_order(false);
+    }
+    cfg
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    // `<base>.sts` selects the multi-file per-PE layout.
+    if let Some(base) = path.strip_suffix(".sts") {
+        let p = std::path::Path::new(base);
+        let dir = p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
+        let stem = p.file_name().and_then(|f| f.to_str()).ok_or("bad sts path")?;
+        if !std::path::Path::new(path).exists() {
+            return Err(format!("cannot open {path}: not found"));
+        }
+        return lsr::trace::multifile::read_split(dir, stem)
+            .map_err(|e| format!("cannot parse split trace {path}: {e}"));
+    }
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    logfmt::read_log(std::io::BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Loads a trace and applies an optional `--from`/`--to` time window
+/// (nanoseconds since run start).
+fn load_windowed(
+    path: &str,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<Trace, String> {
+    let trace = load(path)?;
+    let parse = |key: &str, default: u64| -> Result<u64, String> {
+        match opts.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants nanoseconds, got {v:?}")),
+        }
+    };
+    let from = parse("from", 0)?;
+    let to = parse("to", u64::MAX)?;
+    if from == 0 && to == u64::MAX {
+        return Ok(trace);
+    }
+    if from > to {
+        return Err(format!("--from {from} exceeds --to {to}"));
+    }
+    Ok(lsr::trace::window(&trace, lsr::trace::Time(from), lsr::trace::Time(to)))
+}
+
+fn extract_from(args: &[String]) -> Result<(Trace, LogicalStructure), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts)?;
+    let cfg = config_from(&opts);
+    let ls = extract(&trace, &cfg);
+    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    Ok((trace, ls))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use lsr::apps::*;
+    let (pos, opts) = parse_opts(args)?;
+    let preset = *pos.first().ok_or("missing preset name")?;
+    let trace = match preset {
+        "jacobi-fig8" => jacobi2d(&JacobiParams::fig8()),
+        "jacobi-fig15" => jacobi2d(&JacobiParams::fig15()),
+        "lulesh-charm" => lulesh_charm(&LuleshParams::fig16_charm()),
+        "lulesh-mpi" => lulesh_mpi(&LuleshParams::fig16_mpi()),
+        "lassen8" => lassen_charm(&LassenParams::chares8()),
+        "lassen64" => lassen_charm(&LassenParams::chares64()),
+        "lassen-mpi" => lassen_mpi(&LassenParams::mpi(4, 2)),
+        "pdes" => pdes_charm(&PdesParams::fig24()),
+        "mergetree" => mergetree_mpi(&MergeTreeParams::small()),
+        "bt" => bt_mpi(&BtParams::fig1()),
+        "divcon" => divcon_charm(&DivConParams::small()),
+        other => return Err(format!("unknown preset {other:?} (run `lsr help`)")),
+    };
+    let default = format!("{preset}.lsrtrace");
+    let out = opts.get("out").map(String::as_str).unwrap_or(&default);
+    if let Some(base) = out.strip_suffix(".sts") {
+        // Multi-file per-PE layout (Projections-style).
+        let p = std::path::Path::new(base);
+        let dir = p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
+        let stem = p.file_name().and_then(|f| f.to_str()).ok_or("bad sts path")?;
+        let files = lsr::trace::multifile::write_split(&trace, dir, stem)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote {files} files ({out} + per-PE logs): {} tasks, {} events, {} messages on {} PEs",
+            trace.tasks.len(),
+            trace.events.len(),
+            trace.msgs.len(),
+            trace.pe_count
+        );
+        return Ok(());
+    }
+    let f = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    logfmt::write_log(&trace, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} tasks, {} events, {} messages on {} PEs",
+        trace.tasks.len(),
+        trace.events.len(),
+        trace.msgs.len(),
+        trace.pe_count
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    println!("{}", TraceStats::compute(&trace));
+    Ok(())
+}
+
+fn cmd_quality(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    println!("{}", QualityReport::analyze(&trace));
+    Ok(())
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let (trace, ls) = extract_from(args)?;
+    println!("{}", ls.summary(&trace));
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts)?;
+    let cfg = config_from(&opts);
+    let ls = extract(&trace, &cfg);
+    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+
+    let view = opts.get("view").map(String::as_str).unwrap_or("logical");
+    let format = opts.get("format").map(String::as_str).unwrap_or("ascii");
+    let metric = opts.get("metric").map(String::as_str).unwrap_or("phase");
+
+    let metric_values: Option<Vec<f64>> = match metric {
+        "phase" => None,
+        "diff" => Some(
+            DifferentialDuration::compute(&trace, &ls)
+                .per_event
+                .iter()
+                .map(|d| d.nanos() as f64)
+                .collect(),
+        ),
+        "idle" => {
+            let idle = idle_experienced(&trace);
+            Some(
+                trace
+                    .event_ids()
+                    .map(|e| idle[trace.event(e).task.index()].nanos() as f64)
+                    .collect(),
+            )
+        }
+        "imbalance" => {
+            let imb = Imbalance::compute(&trace, &ls);
+            Some(
+                trace
+                    .event_ids()
+                    .map(|e| imb.event_value(&trace, &ls, e).nanos() as f64)
+                    .collect(),
+            )
+        }
+        other => return Err(format!("unknown metric {other:?}")),
+    };
+
+    let output = match (format, view) {
+        ("ascii", "logical") => match &metric_values {
+            None => lsr::render::logical_by_phase(&trace, &ls),
+            Some(v) => lsr::render::logical_by_metric(&trace, &ls, v),
+        },
+        ("ascii", "physical") => lsr::render::physical_by_phase(&trace, &ls),
+        ("dot", _) => lsr::render::phase_dag_dot(&trace, &ls),
+        (_, "migration") => lsr::render::migration_svg(&trace),
+        ("svg", view) => {
+            let coloring = match metric_values {
+                None => lsr::render::Coloring::Phase,
+                Some(v) => lsr::render::Coloring::Metric(v),
+            };
+            match view {
+                "logical" => lsr::render::logical_svg(&trace, &ls, &coloring),
+                "physical" => lsr::render::physical_svg(&trace, &ls, &coloring),
+                other => return Err(format!("unknown view {other:?}")),
+            }
+        }
+        (f, v) => return Err(format!("unsupported format/view {f:?}/{v:?}")),
+    };
+    match opts.get("out") {
+        Some(out) => {
+            std::fs::write(out, output).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let (trace, ls) = extract_from(args)?;
+    let idle = idle_experienced(&trace);
+    println!("== idle experienced per PE ==");
+    for (pe, d) in per_pe_totals(&trace, &idle).iter().enumerate() {
+        println!("  pe{pe}: {d}");
+    }
+    let dd = DifferentialDuration::compute(&trace, &ls);
+    println!("\n== differential duration: top events ==");
+    for (e, d) in dd.outliers(lsr::trace::Dur(1)).into_iter().take(10) {
+        let c = trace.chare(trace.event_chare(e));
+        println!(
+            "  {e} step {:>5} {}[{}]: {d}",
+            ls.global_step(e),
+            trace.array(c.array).name,
+            c.index
+        );
+    }
+    println!("\n== per-phase profile ==");
+    print!("{}", lsr::metrics::profile_table(&trace, &ls));
+    let imb = Imbalance::compute(&trace, &ls);
+    println!("\n== imbalance ==");
+    println!("  per-phase sum: {}", imb.total());
+    println!("  overall (max PE − min PE): {}", imb.overall());
+    println!("  mean relative per phase: {:.1}%", imb.mean_relative() * 100.0);
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts)?;
+    let cfg = config_from(&opts);
+    let ls = extract(&trace, &cfg);
+    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    let html = lsr::render::html_report(path, &trace, &ls);
+    let default = format!("{path}.html");
+    let out = opts.get("out").map(String::as_str).unwrap_or(&default);
+    std::fs::write(out, html).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let (pa, pb) = match pos.as_slice() {
+        [a, b] => (*a, *b),
+        _ => return Err("diff wants exactly two trace files".into()),
+    };
+    let cfg = config_from(&opts);
+    let (ta, tb) = (load(pa)?, load(pb)?);
+    let la = extract(&ta, &cfg);
+    la.verify(&ta).map_err(|e| format!("{pa}: {e}"))?;
+    let lb = extract(&tb, &cfg);
+    lb.verify(&tb).map_err(|e| format!("{pb}: {e}"))?;
+    let d = lsr::metrics::StructureDiff::compute(&ta, &la, &tb, &lb);
+    print!("{d}");
+    if d.same_structure() {
+        println!("=> structurally identical runs");
+    } else {
+        println!("=> structures diverge; inspect the ! rows above");
+    }
+    Ok(())
+}
+
+fn cmd_critical_path(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    let cp = CriticalPath::compute(&trace);
+    println!(
+        "critical path: {} tasks, {} work over {} makespan (ratio {:.2})",
+        cp.tasks.len(),
+        cp.work,
+        lsr::trace::Dur(cp.makespan.nanos()),
+        cp.work_ratio()
+    );
+    println!("PE shares of path work:");
+    for (pe, share) in cp.pe_shares(&trace).iter().enumerate() {
+        if *share > 0.0 {
+            println!("  pe{pe}: {:.1}%", share * 100.0);
+        }
+    }
+    println!("last 10 tasks on the path:");
+    let tail: Vec<_> = cp.tasks.iter().rev().take(10).copied().collect();
+    for &t in tail.iter().rev() {
+        let rec = trace.task(t);
+        let c = trace.chare(rec.chare);
+        println!(
+            "  {t} {}[{}] {} on {} [{} .. {}]",
+            trace.array(c.array).name,
+            c.index,
+            trace.entry(rec.entry).name,
+            rec.pe,
+            rec.begin,
+            rec.end
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # lsr — Logical Structure Recovery for task-based runtime traces
+//!
+//! Umbrella crate re-exporting the whole `lsr` workspace: a reproduction
+//! of Isaacs et al., *"Recovering Logical Structure from Charm++ Event
+//! Traces"* (SC '15).
+//!
+//! * [`trace`] — the event-trace data model ([`lsr_trace`]).
+//! * [`charm`] — a Charm++-like discrete-event runtime simulator.
+//! * [`mpi`] — a message-passing process simulator.
+//! * [`core`] — phase finding, step assignment, and reordering (the
+//!   paper's contribution).
+//! * [`metrics`] — idle experienced, differential duration, imbalance.
+//! * [`apps`] — proxy applications (Jacobi 2D, LULESH-like, LASSEN-like,
+//!   PDES, merge tree, BT stencil).
+//! * [`render`] — ASCII/SVG views of logical structure and physical time.
+
+pub use lsr_apps as apps;
+pub use lsr_charm as charm;
+pub use lsr_core as core;
+pub use lsr_metrics as metrics;
+pub use lsr_mpi as mpi;
+pub use lsr_render as render;
+pub use lsr_trace as trace;

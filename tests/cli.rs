@@ -1,0 +1,216 @@
+//! End-to-end tests of the `lsr` command-line tool, driving the real
+//! binary the way a user would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lsr(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lsr"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn lsr")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsr_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let dir = temp_dir("help");
+    let out = lsr(&["help"], &dir);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["gen", "stats", "quality", "extract", "render", "metrics", "critical-path"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+    // No arguments behaves like help.
+    let out = lsr(&[], &dir);
+    assert!(out.status.success());
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let dir = temp_dir("unknown");
+    let out = lsr(&["frobnicate"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_quality_extract_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let out = lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("tasks"));
+    assert!(dir.join("j.lsrtrace").exists());
+
+    let out = lsr(&["stats", "j.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("util="));
+
+    let out = lsr(&["quality", "j.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("quality score"));
+
+    let out = lsr(&["extract", "j.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("phases"));
+
+    // Ablation flags are accepted and still verify.
+    let out = lsr(&["extract", "j.lsrtrace", "--physical", "--no-sdag"], &dir);
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn render_ascii_and_svg() {
+    let dir = temp_dir("render");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+
+    let out = lsr(&["render", "j.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("logical steps"));
+
+    let out = lsr(&["render", "j.lsrtrace", "--view", "physical"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("physical time"));
+
+    let out = lsr(
+        &["render", "j.lsrtrace", "--format", "svg", "--metric", "diff", "--out", "j.svg"],
+        &dir,
+    );
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(dir.join("j.svg")).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+
+    let out = lsr(
+        &["render", "j.lsrtrace", "--view", "physical", "--format", "svg", "--metric", "idle",
+          "--out", "p.svg"],
+        &dir,
+    );
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(dir.join("p.svg")).unwrap().starts_with("<svg"));
+
+    let out = lsr(&["render", "j.lsrtrace", "--view", "migration", "--out", "m.svg"], &dir);
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(dir.join("m.svg")).unwrap().contains("<title>pe"));
+
+    let out = lsr(&["render", "j.lsrtrace", "--format", "dot"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("digraph phases"));
+
+    let out = lsr(&["render", "j.lsrtrace", "--metric", "bogus"], &dir);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_and_critical_path_run_on_mpi_traces() {
+    let dir = temp_dir("mpi");
+    assert!(lsr(&["gen", "lulesh-mpi", "--out", "l.lsrtrace"], &dir).status.success());
+
+    let out = lsr(&["metrics", "l.lsrtrace", "--mpi"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("imbalance"));
+
+    let out = lsr(&["critical-path", "l.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("critical path:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn windowing_flags_restrict_the_analysis() {
+    let dir = temp_dir("window");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+    let full = lsr(&["stats", "j.lsrtrace"], &dir);
+    assert!(full.status.success());
+    // Analyze only the first 200 microseconds.
+    let out = lsr(&["extract", "j.lsrtrace", "--from", "0", "--to", "200000"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("phases"));
+    // Inverted window is a clean error.
+    let out = lsr(&["extract", "j.lsrtrace", "--from", "9", "--to", "1"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_produces_self_contained_html() {
+    let dir = temp_dir("report");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+    let out = lsr(&["report", "j.lsrtrace", "--out", "r.html"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let html = std::fs::read_to_string(dir.join("r.html")).expect("html written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"));
+    assert!(html.contains("Imbalance per phase"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_compares_two_runs() {
+    let dir = temp_dir("diff");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "a.lsrtrace"], &dir).status.success());
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "b.lsrtrace"], &dir).status.success());
+    let out = lsr(&["diff", "a.lsrtrace", "b.lsrtrace"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("structurally identical"), "{text}");
+    // Different programs diverge.
+    assert!(lsr(&["gen", "lulesh-charm", "--out", "c.lsrtrace"], &dir).status.success());
+    let out = lsr(&["diff", "a.lsrtrace", "c.lsrtrace"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("diverge"));
+    // Wrong arity errors.
+    let out = lsr(&["diff", "a.lsrtrace"], &dir);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn split_trace_layout_roundtrips_through_cli() {
+    let dir = temp_dir("split");
+    let out = lsr(&["gen", "jacobi-fig15", "--out", "run.sts"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("per-PE logs"));
+    assert!(dir.join("run.sts").exists());
+    assert!(dir.join("run.0.log").exists());
+    assert!(dir.join("run.3.log").exists());
+    let out = lsr(&["extract", "run.sts"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("phases"));
+    // Split and single-file forms give identical structure summaries.
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+    let a = stdout(&lsr(&["extract", "run.sts"], &dir));
+    let b = stdout(&lsr(&["extract", "j.lsrtrace"], &dir));
+    assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_without_out_uses_preset_name() {
+    let dir = temp_dir("gendefault");
+    let out = lsr(&["gen", "divcon"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("divcon.lsrtrace").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let dir = temp_dir("missing");
+    let out = lsr(&["stats", "nope.lsrtrace"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,93 @@
+//! Golden snapshots of the recovered structure for committed seeds.
+//!
+//! The invariant checks (`verify`) catch *inconsistent* structures;
+//! these tests catch *silently different but consistent* ones — a
+//! pipeline change that shifts phase boundaries or step assignments
+//! without breaking any invariant. The proxies use fixed seeds, so
+//! these values are fully deterministic; if you change the pipeline or
+//! the simulators deliberately, re-derive the constants and say so in
+//! the commit.
+
+use lsr_apps::*;
+use lsr_core::{extract, Config};
+
+struct Golden {
+    name: &'static str,
+    phases: usize,
+    app_phases: usize,
+    steps: u64,
+    tasks: usize,
+    msgs: usize,
+}
+
+fn check(g: &Golden, trace: &lsr_trace::Trace, cfg: &Config) {
+    let ls = extract(trace, cfg);
+    ls.verify(trace).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+    let got = Golden {
+        name: g.name,
+        phases: ls.num_phases(),
+        app_phases: ls.app_phase_count(),
+        steps: ls.max_step() + 1,
+        tasks: trace.tasks.len(),
+        msgs: trace.msgs.len(),
+    };
+    assert_eq!(
+        (got.phases, got.app_phases, got.steps, got.tasks, got.msgs),
+        (g.phases, g.app_phases, g.steps, g.tasks, g.msgs),
+        "{}: structure drifted from the golden snapshot \
+         (phases, app, steps, tasks, msgs)",
+        g.name
+    );
+}
+
+#[test]
+fn jacobi_fig15_structure_is_stable() {
+    let trace = jacobi2d(&JacobiParams::fig15());
+    check(
+        &Golden { name: "jacobi-fig15", phases: 12, app_phases: 4, steps: 67, tasks: 265, msgs: 249 },
+        &trace,
+        &Config::charm(),
+    );
+}
+
+#[test]
+fn lulesh_charm_structure_is_stable() {
+    let trace = lulesh_charm(&LuleshParams::fig16_charm());
+    check(
+        &Golden { name: "lulesh-charm", phases: 10, app_phases: 5, steps: 59, tasks: 195, msgs: 171 },
+        &trace,
+        &Config::charm(),
+    );
+}
+
+#[test]
+fn lulesh_mpi_structure_is_stable() {
+    let trace = lulesh_mpi(&LuleshParams::fig16_mpi());
+    check(
+        &Golden { name: "lulesh-mpi", phases: 10, app_phases: 10, steps: 78, tasks: 420, msgs: 210 },
+        &trace,
+        &Config::mpi(),
+    );
+}
+
+#[test]
+fn divcon_structure_is_stable() {
+    let trace = divcon_charm(&DivConParams::small());
+    check(
+        &Golden { name: "divcon", phases: 1, app_phases: 1, steps: 20, tasks: 61, msgs: 60 },
+        &trace,
+        &Config::charm(),
+    );
+}
+
+#[test]
+fn mergetree_structure_is_stable() {
+    let trace = mergetree_mpi(&MergeTreeParams::small());
+    let cfg = Config::mpi().with_process_order(false);
+    let ls = extract(&trace, &cfg);
+    ls.verify(&trace).unwrap();
+    // 32 ranks: 31 messages, level structure spans ≥ 2·log2(32) steps
+    // under reordering.
+    assert_eq!(trace.msgs.len(), 31);
+    assert!(ls.max_step() + 1 >= 10);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over randomly generated workloads: the
+//! DESIGN.md invariants must hold for *any* valid trace, not just the
+//! proxy apps.
+
+mod support;
+
+use lsr_core::{extract, Config, OrderingPolicy};
+use lsr_metrics::{attributes_whole_task, idle_experienced, sub_block_durations};
+use lsr_trace::Dur;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1–7 of DESIGN.md, checked by `verify`, hold for all
+    /// configurations on arbitrary tape-generated traces.
+    #[test]
+    fn extraction_invariants_hold(
+        pes in 1u32..5,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        prop_assert!(lsr_trace::validate(&trace).is_ok());
+        for (name, cfg) in support::all_configs() {
+            let ls = extract(&trace, &cfg);
+            if let Err(e) = ls.verify(&trace) {
+                prop_assert!(false, "{name}: {e}");
+            }
+        }
+    }
+
+    /// Reordering only permutes steps within lanes: the set of phases
+    /// and the per-phase event membership are ordering-independent.
+    #[test]
+    fn ordering_policy_does_not_change_phases(
+        pes in 1u32..4,
+        chares in 1u32..6,
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let a = extract(&trace, &Config::charm());
+        let b = extract(&trace, &Config::charm().with_ordering(OrderingPolicy::PhysicalTime));
+        prop_assert_eq!(a.num_phases(), b.num_phases());
+        prop_assert_eq!(&a.phase_of_event, &b.phase_of_event);
+        prop_assert_eq!(&a.task_phase, &b.task_phase);
+    }
+
+    /// Parallel ordering is an implementation detail: identical output.
+    #[test]
+    fn parallel_ordering_is_deterministic(
+        pes in 1u32..4,
+        chares in 1u32..6,
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let serial = extract(&trace, &Config::charm());
+        let parallel = extract(&trace, &Config::charm().with_parallel(true));
+        prop_assert_eq!(serial.step, parallel.step);
+        prop_assert_eq!(serial.local_step, parallel.local_step);
+    }
+
+    /// Sub-blocks always partition task time exactly.
+    #[test]
+    fn sub_blocks_partition_tasks(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let subs = sub_block_durations(&trace);
+        prop_assert!(attributes_whole_task(&trace, &subs));
+    }
+
+    /// Idle experienced is bounded by the PE's recorded idle total and
+    /// is zero on PEs that never idled.
+    #[test]
+    fn idle_experienced_is_bounded(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let idle = idle_experienced(&trace);
+        let mut per_pe = vec![Dur::ZERO; trace.pe_count as usize];
+        for i in &trace.idles {
+            per_pe[i.pe.index()] += i.end - i.begin;
+        }
+        for t in &trace.tasks {
+            prop_assert!(idle[t.id.index()] <= per_pe[t.pe.index()]);
+        }
+    }
+
+    /// Critical path: its work is at least the longest single task, at
+    /// most the total busy time, and never exceeds the makespan × PEs.
+    #[test]
+    fn critical_path_bounds(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let cp = lsr_metrics::CriticalPath::compute(&trace);
+        if trace.tasks.is_empty() {
+            prop_assert!(cp.tasks.is_empty());
+        } else {
+            let longest = trace.tasks.iter().map(|t| t.end - t.begin).max().unwrap();
+            let busy: Dur = trace.tasks.iter().map(|t| t.end - t.begin).sum();
+            prop_assert!(cp.work >= longest);
+            prop_assert!(cp.work <= busy);
+            prop_assert!(cp.makespan <= trace.span().1);
+            let shares: f64 = cp.pe_shares(&trace).iter().sum();
+            prop_assert!(cp.work == Dur::ZERO || (shares - 1.0).abs() < 1e-9);
+            // The path is a real dependency chain: begin times are
+            // non-decreasing along it.
+            for w in cp.tasks.windows(2) {
+                prop_assert!(trace.task(w[0]).begin <= trace.task(w[1]).begin);
+            }
+        }
+    }
+
+    /// Lateness is non-negative with a zero witness at every step.
+    #[test]
+    fn lateness_has_zero_witness_per_step(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..250),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let ls = extract(&trace, &Config::charm());
+        let late = lsr_metrics::lateness(&trace, &ls);
+        let mut min_per_step: std::collections::HashMap<u64, Dur> =
+            std::collections::HashMap::new();
+        for e in trace.event_ids() {
+            let s = ls.global_step(e);
+            let v = late[e.index()];
+            min_per_step.entry(s).and_modify(|m| *m = (*m).min(v)).or_insert(v);
+        }
+        prop_assert!(min_per_step.values().all(|&m| m == Dur::ZERO));
+    }
+
+    /// Topology tie-breaking never violates the structural invariants.
+    #[test]
+    fn topology_tiebreak_preserves_invariants(
+        pes in 1u32..4,
+        chares in 1u32..6,
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+        ranks in proptest::collection::vec(any::<u64>(), 0..16),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let ls = extract(&trace, &Config::charm().with_topology(ranks));
+        prop_assert!(ls.verify(&trace).is_ok());
+    }
+
+    /// Time-windowed slices of valid traces are valid and extractable.
+    #[test]
+    fn windowed_traces_stay_valid(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..250),
+        lo in 0u64..200,
+        len in 0u64..300,
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let w = lsr_trace::window(&trace, lsr_trace::Time(lo), lsr_trace::Time(lo + len));
+        prop_assert!(lsr_trace::validate(&w).is_ok());
+        let ls = extract(&w, &Config::charm());
+        prop_assert!(ls.verify(&w).is_ok());
+        prop_assert!(w.tasks.len() <= trace.tasks.len());
+    }
+
+    /// The text log format round-trips arbitrary valid traces.
+    #[test]
+    fn logfmt_roundtrips(
+        pes in 1u32..4,
+        chares in 1u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..250),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let text = lsr_trace::logfmt::to_log_string(&trace);
+        let back = lsr_trace::logfmt::from_log_str(&text).expect("parse");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Global steps respect every matched message (already in verify,
+    /// but stated directly here as the paper's core guarantee).
+    #[test]
+    fn messages_always_advance_steps(
+        pes in 1u32..4,
+        chares in 2u32..8,
+        tape in proptest::collection::vec(any::<u8>(), 0..250),
+    ) {
+        let trace = support::trace_from_tape(pes, chares, &tape);
+        let ls = extract(&trace, &Config::charm());
+        for m in &trace.msgs {
+            if let Some(rt) = m.recv_task {
+                let sink = trace.task(rt).sink.unwrap();
+                prop_assert!(ls.global_step(sink) > ls.global_step(m.send_event));
+            }
+        }
+    }
+}

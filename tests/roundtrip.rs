@@ -1,0 +1,69 @@
+//! Serialization round trips on real application traces: the
+//! Projections-style text log and serde JSON must both reproduce the
+//! trace exactly, and the recovered structure must be identical.
+
+mod support;
+
+use lsr_apps::{jacobi2d, lulesh_mpi, JacobiParams, LuleshParams};
+use lsr_core::{extract, Config};
+use lsr_trace::logfmt;
+
+#[test]
+fn text_log_roundtrip_preserves_app_traces() {
+    let traces = [
+        jacobi2d(&JacobiParams::fig8()),
+        lulesh_mpi(&LuleshParams::fig16_mpi()),
+        support::trace_from_tape(2, 4, &[7, 1, 9, 200, 3, 44, 5, 6, 1, 0, 255, 13, 21, 34]),
+    ];
+    for tr in traces {
+        let text = logfmt::to_log_string(&tr);
+        let back = logfmt::from_log_str(&text).expect("parse back");
+        assert_eq!(tr, back);
+    }
+}
+
+#[test]
+fn json_roundtrip_preserves_traces() {
+    let tr = jacobi2d(&JacobiParams::fig15());
+    let json = serde_json::to_string(&tr).expect("serialize");
+    let back: lsr_trace::Trace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(tr, back);
+    assert!(lsr_trace::validate(&back).is_ok());
+}
+
+#[test]
+fn structure_of_roundtripped_trace_is_identical() {
+    let tr = jacobi2d(&JacobiParams::fig8());
+    let back = logfmt::from_log_str(&logfmt::to_log_string(&tr)).unwrap();
+    let a = extract(&tr, &Config::charm());
+    let b = extract(&back, &Config::charm());
+    assert_eq!(a.step, b.step);
+    assert_eq!(a.phase_of_event, b.phase_of_event);
+    assert_eq!(a.task_phase, b.task_phase);
+}
+
+#[test]
+fn log_files_survive_disk_io() {
+    let tr = jacobi2d(&JacobiParams::fig15());
+    let dir = std::env::temp_dir().join("lsr_roundtrip_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("jacobi.lsrtrace");
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        logfmt::write_log(&tr, std::io::BufWriter::new(f)).unwrap();
+    }
+    let f = std::fs::File::open(&path).unwrap();
+    let back = logfmt::read_log(std::io::BufReader::new(f)).unwrap();
+    assert_eq!(tr, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn collective_flag_survives_roundtrip() {
+    let tr = lulesh_mpi(&LuleshParams::fig16_mpi());
+    let back = logfmt::from_log_str(&logfmt::to_log_string(&tr)).unwrap();
+    let allred = back.entries.iter().find(|e| e.name == "MPI_Allreduce").unwrap();
+    assert!(allred.collective);
+    let send = back.entries.iter().find(|e| e.name == "MPI_Send").unwrap();
+    assert!(!send.collective);
+}
