@@ -113,10 +113,7 @@ mod tests {
         assert_eq!(ls.num_phases(), 1, "{}", ls.summary(&tr));
         // Fork wave down (depth sends) + join wave up.
         let max = ls.max_step();
-        assert!(
-            max >= 2 * p.depth as u64,
-            "fork+join must span at least 2*depth steps, got {max}"
-        );
+        assert!(max >= 2 * p.depth as u64, "fork+join must span at least 2*depth steps, got {max}");
         // Leaf sends sit deeper than the root's forks.
         let leaves_from = (1u32 << p.depth) - 1;
         let root_fork = ls.global_step(tr.tasks[0].sends[0]);
@@ -136,11 +133,7 @@ mod tests {
         let p = DivConParams::small();
         let tr = divcon_charm(&p);
         // The root (index 0) receives exactly two join messages.
-        let joins_to_root = tr
-            .msgs
-            .iter()
-            .filter(|m| tr.chare(m.dst_chare).index == 0)
-            .count();
+        let joins_to_root = tr.msgs.iter().filter(|m| tr.chare(m.dst_chare).index == 0).count();
         assert_eq!(joins_to_root, 2);
         // Total messages: forks (nodes - 1... each internal node forks 2)
         // + joins (every non-root node reports once).

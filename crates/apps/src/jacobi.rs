@@ -159,8 +159,7 @@ mod tests {
         // Halo messages in iteration 1: sum over cells of deg4 = 24 for
         // 3x3. Plus reduction traffic (contribute/tree/broadcast).
         let halo_entry = tr.entries.iter().find(|e| e.name == "recvHalo").unwrap().id;
-        let halos =
-            tr.msgs.iter().filter(|m| m.dst_entry == halo_entry).count();
+        let halos = tr.msgs.iter().filter(|m| m.dst_entry == halo_entry).count();
         assert_eq!(halos, 24);
     }
 

@@ -96,10 +96,8 @@ pub fn front_shares(grid: Grid2D, iter: u32, front_speed: f64) -> (Vec<f64>, f64
         }
     }
     let arc_len = r * std::f64::consts::FRAC_PI_2 * inside as f64 / SAMPLES as f64;
-    let shares = counts
-        .iter()
-        .map(|&c| if inside == 0 { 0.0 } else { c as f64 / SAMPLES as f64 })
-        .collect();
+    let shares =
+        counts.iter().map(|&c| if inside == 0 { 0.0 } else { c as f64 / SAMPLES as f64 }).collect();
     (shares, arc_len)
 }
 
@@ -125,8 +123,7 @@ pub fn lassen_charm(p: &LassenParams) -> Trace {
     // Over-decomposed runs scatter chares across PEs (standing in for
     // the load balancer) — the §6.2 mechanism behind the 64-chare run's
     // lower imbalance.
-    let arr =
-        sim.add_array("lassen", grid.len(), p.placement, |_| LassenState::default());
+    let arr = sim.add_array("lassen", grid.len(), p.placement, |_| LassenState::default());
     let elems = sim.elements(arr).to_vec();
 
     let e_facet: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
@@ -138,32 +135,37 @@ pub fn lassen_charm(p: &LassenParams) -> Trace {
     // which "each chare invokes itself". The continuation from
     // recvFacet into this serial is runtime-internal and untraced.
     let ea = e_advance.clone();
-    let control =
-        sim.add_entry("_sdag_cycleControl", Some(2), move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
+    let control = sim.add_entry(
+        "_sdag_cycleControl",
+        Some(2),
+        move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
             ctx.compute(Dur::from_micros(1));
             let me = ctx.my_chare();
             ctx.send(me, ea.get(), vec![]);
-        });
+        },
+    );
 
     // recvFacet: count neighbor facet messages, then continue into the
     // control serial.
     let g = grid;
-    let facet = sim.add_entry("recvFacet", Some(1), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
-        s.got += 1;
-        if s.got == g.neighbors8(ctx.my_index()).len() as u32 {
-            s.got = 0;
-            let me = ctx.my_chare();
-            ctx.send_untraced(me, control, vec![]);
-        }
-    });
+    let facet =
+        sim.add_entry("recvFacet", Some(1), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
+            s.got += 1;
+            if s.got == g.neighbors8(ctx.my_index()).len() as u32 {
+                s.got = 0;
+                let me = ctx.my_chare();
+                ctx.send_untraced(me, control, vec![]);
+            }
+        });
     e_facet.set(facet);
 
     // advance: short control step ending in the timestep allreduce.
     let en = e_next.clone();
-    let advance = sim.add_entry("advance", Some(3), move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
-        ctx.compute(Dur::from_micros(2));
-        ctx.contribute(1, RedOp::Min, RedTarget::Broadcast(en.get()));
-    });
+    let advance =
+        sim.add_entry("advance", Some(3), move |ctx: &mut Ctx, _s: &mut LassenState, _d| {
+            ctx.compute(Dur::from_micros(2));
+            ctx.contribute(1, RedOp::Min, RedTarget::Broadcast(en.get()));
+        });
     e_advance.set(advance);
 
     // nextCycle: main computation (front-dependent) then facet sends in
@@ -171,24 +173,25 @@ pub fn lassen_charm(p: &LassenParams) -> Trace {
     let (ef, g2, el) = (e_facet.clone(), grid, elems.clone());
     let pp = p.clone();
     let iters = p.iters;
-    let next = sim.add_entry("nextCycle", Some(4), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
-        s.iter += 1;
-        if s.iter > iters {
-            return;
-        }
-        ctx.compute(pp.base);
-        let extra = front_extra(&pp, g2, ctx.my_index(), s.iter - 1);
-        if extra > Dur::ZERO {
-            ctx.compute_exact(extra);
-        }
-        let mut nbs = g2.neighbors8(ctx.my_index());
-        if s.iter.is_multiple_of(2) {
-            nbs.reverse(); // the alternating data-structure order
-        }
-        for nb in nbs {
-            ctx.send(el[nb as usize], ef.get(), vec![s.iter as i64]);
-        }
-    });
+    let next =
+        sim.add_entry("nextCycle", Some(4), move |ctx: &mut Ctx, s: &mut LassenState, _d| {
+            s.iter += 1;
+            if s.iter > iters {
+                return;
+            }
+            ctx.compute(pp.base);
+            let extra = front_extra(&pp, g2, ctx.my_index(), s.iter - 1);
+            if extra > Dur::ZERO {
+                ctx.compute_exact(extra);
+            }
+            let mut nbs = g2.neighbors8(ctx.my_index());
+            if s.iter.is_multiple_of(2) {
+                nbs.reverse(); // the alternating data-structure order
+            }
+            for nb in nbs {
+                ctx.send(el[nb as usize], ef.get(), vec![s.iter as i64]);
+            }
+        });
     e_next.set(next);
 
     for &c in &elems {

@@ -220,11 +220,7 @@ mod tests {
         ls.verify(&tr).expect("lulesh charm invariants");
         // Setup + 2 app phases per iteration.
         let app = ls.app_phase_count();
-        assert!(
-            app > 2 * 2,
-            "expected setup + 2 phases x 2 iters, got {app}: {}",
-            ls.summary(&tr)
-        );
+        assert!(app > 2 * 2, "expected setup + 2 phases x 2 iters, got {app}: {}", ls.summary(&tr));
         // Runtime (reduction) phases: one per reduction = iters + setup.
         assert!(ls.phases.iter().filter(|p| p.is_runtime).count() >= 3);
     }
@@ -236,11 +232,7 @@ mod tests {
         ls.verify(&tr).expect("lulesh mpi invariants");
         // Setup phase + allreduce + per iteration (3 p2p + 1 allreduce).
         let total = ls.num_phases();
-        assert!(
-            total >= 2 + 4 * 2,
-            "expected >= 10 phases, got {total}: {}",
-            ls.summary(&tr)
-        );
+        assert!(total >= 2 + 4 * 2, "expected >= 10 phases, got {total}: {}", ls.summary(&tr));
     }
 
     #[test]
@@ -260,9 +252,7 @@ mod tests {
                 .collect();
             ls.phases
                 .iter()
-                .filter(|p| {
-                    p.tasks.iter().any(|&t| ids.contains(&tr.task(t).entry))
-                })
+                .filter(|p| p.tasks.iter().any(|&t| ids.contains(&tr.task(t).entry)))
                 .count()
         };
         let charm_p2p = halo_phases(&c, &lc, &["recvNodal", "recvForce"]);

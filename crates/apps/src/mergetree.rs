@@ -110,11 +110,8 @@ mod tests {
     #[test]
     fn structure_verifies_under_both_orderings() {
         let tr = mergetree_mpi(&MergeTreeParams::small());
-        for cfg in [
-            Config::mpi(),
-            Config::mpi_baseline(),
-            Config::mpi().with_process_order(false),
-        ] {
+        for cfg in [Config::mpi(), Config::mpi_baseline(), Config::mpi().with_process_order(false)]
+        {
             let ls = extract(&tr, &cfg);
             ls.verify(&tr).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -144,8 +141,7 @@ mod tests {
             })
             .collect();
         let distinct = |ls: &lsr_core::LogicalStructure| {
-            let mut steps: Vec<u64> =
-                level0_sinks.iter().map(|&s| ls.global_step(s)).collect();
+            let mut steps: Vec<u64> = level0_sinks.iter().map(|&s| ls.global_step(s)).collect();
             steps.sort_unstable();
             steps.dedup();
             steps.len()
@@ -172,9 +168,6 @@ mod tests {
                 .map(|t| tr.event(t.sends[0]).time)
                 .unwrap()
         };
-        assert!(
-            send_time(5) < send_time(1),
-            "light-block rank must send before heavy-block rank"
-        );
+        assert!(send_time(5) < send_time(1), "light-block rank must send before heavy-block rank");
     }
 }

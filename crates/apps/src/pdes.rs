@@ -70,17 +70,19 @@ pub fn pdes_charm(p: &PdesParams) -> Trace {
     // detector 0 (traced among detector chares themselves).
     let det0 = detector_elems[0];
     let e_tally: Rc<Cell<EntryId>> = Rc::new(Cell::new(EntryId(0)));
-    let tally = sim.add_entry("recvTally", None, move |ctx: &mut Ctx, _s: &mut DetectorState, _d| {
-        ctx.compute(Dur::from_micros(1));
-    });
+    let tally =
+        sim.add_entry("recvTally", None, move |ctx: &mut Ctx, _s: &mut DetectorState, _d| {
+            ctx.compute(Dur::from_micros(1));
+        });
     e_tally.set(tally);
     let et = e_tally.clone();
-    let done = sim.add_entry("workerDone", None, move |ctx: &mut Ctx, _s: &mut DetectorState, d| {
-        ctx.compute(Dur::from_micros(1));
-        if ctx.my_chare() != det0 {
-            ctx.send(det0, et.get(), vec![d.first().copied().unwrap_or(1)]);
-        }
-    });
+    let done =
+        sim.add_entry("workerDone", None, move |ctx: &mut Ctx, _s: &mut DetectorState, d| {
+            ctx.compute(Dur::from_micros(1));
+            if ctx.my_chare() != det0 {
+                ctx.send(det0, et.get(), vec![d.first().copied().unwrap_or(1)]);
+            }
+        });
 
     // Workers: process an event, forward it with one fewer hop, or on a
     // terminal hop notify the local detector (possibly untraced).

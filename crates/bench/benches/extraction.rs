@@ -23,13 +23,9 @@ fn bench_chares(c: &mut Criterion) {
     group.sample_size(10);
     for side in [4u32, 6, 8] {
         let trace = lulesh_charm(&LuleshParams::scaling(side, 8));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side * side),
-            &trace,
-            |b, tr| {
-                b.iter(|| extract(tr, &Config::charm()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side * side), &trace, |b, tr| {
+            b.iter(|| extract(tr, &Config::charm()));
+        });
     }
     group.finish();
 }

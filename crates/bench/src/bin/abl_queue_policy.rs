@@ -52,19 +52,13 @@ fn jacobi_with_policy(policy: QueuePolicy) -> Trace {
 fn main() {
     banner("abl_queue_policy", "structure invariance across scheduler policies");
     let mut rows = Vec::new();
-    for (name, policy) in [
-        ("FIFO", QueuePolicy::Fifo),
-        ("LIFO", QueuePolicy::Lifo),
-        ("Random", QueuePolicy::Random),
-    ] {
+    for (name, policy) in
+        [("FIFO", QueuePolicy::Fifo), ("LIFO", QueuePolicy::Lifo), ("Random", QueuePolicy::Random)]
+    {
         let trace = jacobi_with_policy(policy);
         let ls = extract(&trace, &Config::charm());
         ls.verify(&trace).expect("invariants");
-        let full = ls
-            .phases
-            .iter()
-            .filter(|p| !p.is_runtime && p.chares.len() >= 16)
-            .count();
+        let full = ls.phases.iter().filter(|p| !p.is_runtime && p.chares.len() >= 16).count();
         println!(
             "{name:>6}: {} phases ({} app), {} full halo phases, {} steps, span {:?}",
             ls.num_phases(),

@@ -76,7 +76,9 @@ fn distinct_receive_orders(trace: &Trace, ls: &LogicalStructure) -> usize {
     let mut per_chare: HashMap<u32, Vec<(u64, i64)>> = HashMap::new();
     for t in &trace.tasks {
         let Some(sink) = t.sink else { continue };
-        let EventKind::Recv { msg: Some(m) } = trace.event(sink).kind else { continue };
+        let EventKind::Recv { msg: Some(m) } = trace.event(sink).kind else {
+            continue;
+        };
         if trace.entry(t.entry).name != "recvHalo" {
             continue;
         }

@@ -43,8 +43,7 @@ fn main() {
         let q = QualityReport::analyze(&w);
         // Application phases covering all 64 chares = whole iterations
         // inside the window.
-        let full_app =
-            ls.phases.iter().filter(|p| !p.is_runtime && p.chares.len() >= 64).count();
+        let full_app = ls.phases.iter().filter(|p| !p.is_runtime && p.chares.len() >= 64).count();
         println!(
             "{k:>6} | {:>6} | {:>6} ({:>3}) | {:>3}/100 | {full_app}",
             w.tasks.len(),

@@ -28,7 +28,9 @@ fn receive_patterns(trace: &Trace, ls: &LogicalStructure, gx: u32) -> Vec<HashSe
             continue;
         }
         let Some(sink) = t.sink else { continue };
-        let EventKind::Recv { msg: Some(m) } = trace.event(sink).kind else { continue };
+        let EventKind::Recv { msg: Some(m) } = trace.event(sink).kind else {
+            continue;
+        };
         let sender_task = trace.event(trace.msg(m).send_event).task;
         let sender = trace.chare(trace.task(sender_task).chare).index;
         let me = trace.chare(t.chare).index;
@@ -61,7 +63,10 @@ fn report(name: &str, trace: &Trace, ls: &LogicalStructure, gx: u32) -> Vec<Hash
     println!("{}", ls.summary(trace));
     let patterns = receive_patterns(trace, ls, gx);
     for (i, set) in patterns.iter().enumerate() {
-        println!("  halo phase {i}: {} distinct receive patterns across interior chares", set.len());
+        println!(
+            "  halo phase {i}: {} distinct receive patterns across interior chares",
+            set.len()
+        );
     }
     patterns
 }
@@ -72,8 +77,7 @@ fn main() {
     let trace = jacobi2d(&params);
 
     let reordered = extract(&trace, &Config::charm());
-    let recorded =
-        extract(&trace, &Config::charm().with_ordering(OrderingPolicy::PhysicalTime));
+    let recorded = extract(&trace, &Config::charm().with_ordering(OrderingPolicy::PhysicalTime));
     reordered.verify(&trace).expect("invariants");
     recorded.verify(&trace).expect("invariants");
 
@@ -83,13 +87,13 @@ fn main() {
     let distinct = |p: &[HashSet<Vec<i64>>]| p.iter().map(|s| s.len()).sum::<usize>();
     let (d_rec, d_reo) = (distinct(&pat_rec), distinct(&pat_reo));
     println!("\ntotal distinct receive patterns: recorded={d_rec}, reordered={d_reo}");
-    assert!(
-        d_reo < d_rec,
-        "reordering must reveal a shared pattern (fewer distinct orders)"
-    );
+    assert!(d_reo < d_rec, "reordering must reveal a shared pattern (fewer distinct orders)");
     // The shared pattern across iterations: reordered phases agree.
     let shared = pat_reo.windows(2).filter(|w| w[0] == w[1]).count();
-    println!("reordered iterations sharing the same pattern set: {shared}/{}", pat_reo.len().saturating_sub(1));
+    println!(
+        "reordered iterations sharing the same pattern set: {shared}/{}",
+        pat_reo.len().saturating_sub(1)
+    );
 
     println!("\nReordered logical view:\n{}", logical_by_phase(&trace, &reordered));
     write_artifact("fig08_recorded.svg", &logical_svg(&trace, &recorded, &Coloring::Phase));

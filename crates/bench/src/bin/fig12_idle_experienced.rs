@@ -16,10 +16,8 @@ fn main() {
 
     let idle = idle_experienced(&trace);
     // Map task metric onto events for rendering.
-    let per_event: Vec<f64> = trace
-        .event_ids()
-        .map(|e| idle[trace.event(e).task.index()].nanos() as f64)
-        .collect();
+    let per_event: Vec<f64> =
+        trace.event_ids().map(|e| idle[trace.event(e).task.index()].nanos() as f64).collect();
 
     println!("{}", logical_by_metric(&trace, &ls, &per_event));
 
@@ -36,8 +34,5 @@ fn main() {
         "fig12_logical.svg",
         &logical_svg(&trace, &ls, &Coloring::Metric(per_event.clone())),
     );
-    write_artifact(
-        "fig12_physical.svg",
-        &physical_svg(&trace, &ls, &Coloring::Metric(per_event)),
-    );
+    write_artifact("fig12_physical.svg", &physical_svg(&trace, &ls, &Coloring::Metric(per_event)));
 }

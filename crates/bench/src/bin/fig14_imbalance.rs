@@ -46,10 +46,8 @@ fn main() {
         "imbalance must reflect the injected {straggler_extra}, got {worst}"
     );
 
-    let per_event: Vec<f64> = trace
-        .event_ids()
-        .map(|e| imb.event_value(&trace, &ls, e).nanos() as f64)
-        .collect();
+    let per_event: Vec<f64> =
+        trace.event_ids().map(|e| imb.event_value(&trace, &ls, e).nanos() as f64).collect();
     println!("\n{}", logical_by_metric(&trace, &ls, &per_event));
     write_artifact("fig14_imbalance.svg", &logical_svg(&trace, &ls, &Coloring::Metric(per_event)));
     println!("total imbalance: {}", imb.total());

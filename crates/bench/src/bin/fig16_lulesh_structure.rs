@@ -36,7 +36,10 @@ fn report(name: &str, trace: &Trace, ls: &LogicalStructure) -> Vec<usize> {
 }
 
 fn main() {
-    banner("Fig 16", "LULESH logical structure: MPI (3 phases + allreduce) vs Charm++ (2 + allreduce)");
+    banner(
+        "Fig 16",
+        "LULESH logical structure: MPI (3 phases + allreduce) vs Charm++ (2 + allreduce)",
+    );
 
     let mpi = lulesh_mpi(&LuleshParams::fig16_mpi());
     let mpi_ls = extract(&mpi, &Config::mpi());
@@ -75,8 +78,7 @@ fn main() {
     let charm_counts = report("(b) Charm++, 8 chares / 2 processors", &charm, &charm_ls);
     // Repeating pattern: after setup, each Charm++ iteration shows two
     // application phases before its reduction.
-    let steady: Vec<usize> =
-        charm_counts.iter().copied().filter(|&c| c > 0).skip(1).collect();
+    let steady: Vec<usize> = charm_counts.iter().copied().filter(|&c| c > 0).skip(1).collect();
     println!("\nCharm++ steady-state p2p phases per iteration: {steady:?}");
     assert!(
         steady.iter().all(|&c| c == 2),

@@ -18,7 +18,11 @@ fn main() {
     ablated.verify(&trace).expect("ablated invariants");
 
     println!("\nfull algorithm:   {} phases ({} app)", full.num_phases(), full.app_phase_count());
-    println!("no inference:     {} phases ({} app)", ablated.num_phases(), ablated.app_phase_count());
+    println!(
+        "no inference:     {} phases ({} app)",
+        ablated.num_phases(),
+        ablated.app_phase_count()
+    );
     println!("\nfull diagnostics:    {:?}", full.diagnostics);
     println!("ablated diagnostics: {:?}", ablated.diagnostics);
 
@@ -28,9 +32,8 @@ fn main() {
     );
     // "Forced in sequence": the ablated phase DAG is deeper relative to
     // its phase count (ordering edges string overlaps out in leaps).
-    let depth = |ls: &lsr_core::LogicalStructure| {
-        ls.phases.iter().map(|p| p.leap).max().unwrap_or(0) + 1
-    };
+    let depth =
+        |ls: &lsr_core::LogicalStructure| ls.phases.iter().map(|p| p.leap).max().unwrap_or(0) + 1;
     println!(
         "\nphase-DAG depth: full={} over {} phases, ablated={} over {} phases",
         depth(&full),

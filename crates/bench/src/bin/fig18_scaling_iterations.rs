@@ -10,11 +10,8 @@ use lsr_core::{extract, Config};
 
 fn main() {
     banner("Fig 18", "extraction time vs iterations (64-chare LULESH)");
-    let iters: Vec<u32> = if full_scale() {
-        vec![8, 16, 32, 64, 128, 256, 512]
-    } else {
-        vec![8, 16, 32, 64, 128]
-    };
+    let iters: Vec<u32> =
+        if full_scale() { vec![8, 16, 32, 64, 128, 256, 512] } else { vec![8, 16, 32, 64, 128] };
     let mut points = Vec::new();
     let mut csv = String::from("iterations,tasks,events,phases,seconds\n");
     println!("iterations | tasks    | events   | phases | extraction time");
@@ -41,8 +38,5 @@ fn main() {
     let slope = loglog_slope(&points);
     println!("\nlog-log slope: {slope:.2} (paper: ~1.0, directly proportional)");
     write_artifact("fig18_scaling_iterations.csv", &csv);
-    assert!(
-        slope < 1.5,
-        "iteration scaling must stay near-linear, got exponent {slope:.2}"
-    );
+    assert!(slope < 1.5, "iteration scaling must stay near-linear, got exponent {slope:.2}");
 }

@@ -14,37 +14,53 @@ fn main() {
     // 24^3=13824 (the paper's 13.8k) with LSR_FULL=1.
     let sides: Vec<u32> = if full_scale() { vec![4, 6, 8, 12, 16, 24] } else { vec![4, 6, 8, 12] };
     let mut points = Vec::new();
-    let mut csv = String::from("chares,tasks,events,phases,seconds,leap_share\n");
-    println!("chares | tasks    | events    | phases | extraction time | §3.1.4 share");
+    let mut csv = String::from(
+        "chares,tasks,events,phases,seconds,leap_share,verify_seconds,verify_overhead\n",
+    );
+    println!(
+        "chares | tasks    | events    | phases | extraction time | §3.1.4 share | verify-on (overhead)"
+    );
     let mut leap_shares = Vec::new();
+    let mut worst_overhead = 0.0f64;
     for &side in &sides {
         let chares = side * side * side;
         let trace = lulesh_charm(&LuleshParams::scaling(side, 8));
         let ((ls, stages), dt) = timed(|| extract_timed(&trace, &Config::charm()));
         ls.verify(&trace).expect("invariants");
+        // The same extraction with Config::verify_invariants: the
+        // promoted assertions plus the final StructureVerifier pass.
+        // Its cost must stay a small constant factor.
+        let (_, dt_verify) = timed(|| extract_timed(&trace, &Config::charm().with_verify(true)));
+        let overhead = dt_verify.as_secs_f64() / dt.as_secs_f64().max(1e-12) - 1.0;
+        worst_overhead = worst_overhead.max(overhead);
         // "The amount of time performing the merge of Section 3.1.4
         // comprises the bulk of the additional time" — measure it.
         let leap_share = (stages.infer + stages.leap_resolution + stages.enforce).as_secs_f64()
             / stages.total().as_secs_f64().max(1e-12);
         println!(
-            "{chares:>6} | {:>8} | {:>9} | {:>6} | {:>15} | {:>11.1}%",
+            "{chares:>6} | {:>8} | {:>9} | {:>6} | {:>15} | {:>11.1}% | {:>9} ({:>+5.1}%)",
             trace.tasks.len(),
             trace.events.len(),
             ls.num_phases(),
             secs(dt),
-            leap_share * 100.0
+            leap_share * 100.0,
+            secs(dt_verify),
+            overhead * 100.0
         );
         csv.push_str(&format!(
-            "{chares},{},{},{},{:.6},{:.4}\n",
+            "{chares},{},{},{},{:.6},{:.4},{:.6},{:.4}\n",
             trace.tasks.len(),
             trace.events.len(),
             ls.num_phases(),
             dt.as_secs_f64(),
-            leap_share
+            leap_share,
+            dt_verify.as_secs_f64(),
+            overhead
         ));
         points.push((chares as f64, dt.as_secs_f64()));
         leap_shares.push(leap_share);
     }
+    println!("verify-on worst-case overhead: {:+.1}% (target: <= 15%)", worst_overhead * 100.0);
     println!(
         "§3.1.4 share of pipeline time: {:.1}% at the smallest count, {:.1}% at the largest \
          (the paper's implementation saw this stage dominate; ours keeps it bounded)",

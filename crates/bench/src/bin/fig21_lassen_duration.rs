@@ -31,8 +31,7 @@ fn run(label: &str, params: &LassenParams, file_prefix: &str, max_chares: usize)
     println!("\n--- {label} ---");
     println!("phase offset | long-duration chares (differential)");
     for (off, list) in &by_phase {
-        let s: Vec<String> =
-            list.iter().map(|(c, d)| format!("chare {c}: {d}")).collect();
+        let s: Vec<String> = list.iter().map(|(c, d)| format!("chare {c}: {d}")).collect();
         println!("{off:>12} | {}", s.join(", "));
     }
     let per_event: Vec<f64> = dd.per_event.iter().map(|d| d.nanos() as f64).collect();

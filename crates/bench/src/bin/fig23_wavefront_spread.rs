@@ -4,8 +4,8 @@
 //! maximum differential duration is roughly a quarter of the 8-chare
 //! run's, and its overall imbalance is less than half.
 
-use lsr_apps::{front_shares, lassen_charm, LassenParams};
 use lsr_apps::grid::Grid2D;
+use lsr_apps::{front_shares, lassen_charm, LassenParams};
 use lsr_bench::{banner, write_artifact};
 use lsr_core::{extract, Config};
 use lsr_metrics::{DifferentialDuration, Imbalance};
@@ -34,7 +34,8 @@ fn main() {
 
     // Measured: the front chare count grows over the run.
     let early8 = front_shares(g8, 0, p8.front_speed).0.iter().filter(|&&s| s > 0.0).count();
-    let late64 = front_shares(g64, iters - 1, p64.front_speed).0.iter().filter(|&&s| s > 0.0).count();
+    let late64 =
+        front_shares(g64, iters - 1, p64.front_speed).0.iter().filter(|&&s| s > 0.0).count();
     assert!(late64 > early8, "the front must spread over more chares");
 
     let t8 = lassen_charm(&p8);

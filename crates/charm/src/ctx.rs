@@ -9,29 +9,10 @@ use rand::Rng;
 /// handler returns (so the handler never borrows the engine).
 #[derive(Debug, Clone)]
 pub(crate) enum Action {
-    Send {
-        at: Time,
-        dst: ChareId,
-        entry: EntryId,
-        data: Vec<i64>,
-        traced: bool,
-        prio: i32,
-    },
-    Broadcast {
-        at: Time,
-        dsts: Vec<ChareId>,
-        entry: EntryId,
-        data: Vec<i64>,
-    },
-    Contribute {
-        at: Time,
-        value: i64,
-        op: RedOp,
-        target: RedTarget,
-    },
-    MigrateSelf {
-        to: PeId,
-    },
+    Send { at: Time, dst: ChareId, entry: EntryId, data: Vec<i64>, traced: bool, prio: i32 },
+    Broadcast { at: Time, dsts: Vec<ChareId>, entry: EntryId, data: Vec<i64> },
+    Contribute { at: Time, value: i64, op: RedOp, target: RedTarget },
+    MigrateSelf { to: PeId },
 }
 
 /// Context for one entry-method execution (one serial block).
@@ -64,17 +45,7 @@ impl<'a> Ctx<'a> {
         elems: &'a [ChareId],
         pe: PeId,
     ) -> Ctx<'a> {
-        Ctx {
-            cursor: begin,
-            begin,
-            actions: Vec::new(),
-            rng,
-            jitter,
-            chare,
-            index,
-            elems,
-            pe,
-        }
+        Ctx { cursor: begin, begin, actions: Vec::new(), rng, jitter, chare, index, elems, pe }
     }
 
     /// Current simulated time inside the task.
@@ -142,29 +113,34 @@ impl<'a> Ctx<'a> {
 
     /// Invokes `entry` on `dst` with `data`; recorded in the trace.
     pub fn send(&mut self, dst: ChareId, entry: EntryId, data: Vec<i64>) {
-        self.actions
-            .push(Action::Send { at: self.cursor, dst, entry, data, traced: true, prio: 0 });
+        self.actions.push(Action::Send {
+            at: self.cursor,
+            dst,
+            entry,
+            data,
+            traced: true,
+            prio: 0,
+        });
     }
 
     /// Like [`Ctx::send`], with a queue priority: smaller values are
     /// scheduled first on the destination PE (Charm++'s prioritized
     /// messages), letting urgent work overtake queued messages.
-    pub fn send_with_priority(
-        &mut self,
-        dst: ChareId,
-        entry: EntryId,
-        data: Vec<i64>,
-        prio: i32,
-    ) {
-        self.actions
-            .push(Action::Send { at: self.cursor, dst, entry, data, traced: true, prio });
+    pub fn send_with_priority(&mut self, dst: ChareId, entry: EntryId, data: Vec<i64>, prio: i32) {
+        self.actions.push(Action::Send { at: self.cursor, dst, entry, data, traced: true, prio });
     }
 
     /// Invokes `entry` on `dst` without recording the send in the trace:
     /// a control dependency lost to the runtime (paper Fig. 24).
     pub fn send_untraced(&mut self, dst: ChareId, entry: EntryId, data: Vec<i64>) {
-        self.actions
-            .push(Action::Send { at: self.cursor, dst, entry, data, traced: false, prio: 0 });
+        self.actions.push(Action::Send {
+            at: self.cursor,
+            dst,
+            entry,
+            data,
+            traced: false,
+            prio: 0,
+        });
     }
 
     /// Broadcasts to an explicit set of chares as a single send event

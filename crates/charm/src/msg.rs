@@ -51,21 +51,9 @@ pub(crate) enum Payload {
     /// An application message: opaque words handed to the user handler.
     User(Vec<i64>),
     /// Application chare → local `CkReductionMgr` contribution (§5).
-    ContribLocal {
-        array: lsr_trace::ArrayId,
-        seq: u32,
-        value: i64,
-        op: RedOp,
-        target: RedTarget,
-    },
+    ContribLocal { array: lsr_trace::ArrayId, seq: u32, value: i64, op: RedOp, target: RedTarget },
     /// Child mgr → parent mgr partial reduction along the PE tree.
-    ReduceUp {
-        array: lsr_trace::ArrayId,
-        seq: u32,
-        value: i64,
-        op: RedOp,
-        target: RedTarget,
-    },
+    ReduceUp { array: lsr_trace::ArrayId, seq: u32, value: i64, op: RedOp, target: RedTarget },
 }
 
 /// A message sitting in flight or in a PE queue.

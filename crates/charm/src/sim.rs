@@ -60,8 +60,13 @@ struct PeState {
 
 #[derive(Debug)]
 enum Work {
-    Deliver { pe: PeId, qm: QMsg },
-    PeFree { pe: PeId },
+    Deliver {
+        pe: PeId,
+        qm: QMsg,
+    },
+    PeFree {
+        pe: PeId,
+    },
     /// Periodic load-balance tick.
     LoadBalance,
 }
@@ -421,9 +426,7 @@ impl Sim {
                     let pick = match self.cfg.policy {
                         QueuePolicy::Fifo => candidates[0],
                         QueuePolicy::Lifo => *candidates.last().expect("non-empty"),
-                        QueuePolicy::Random => {
-                            candidates[self.rng.gen_range(0..candidates.len())]
-                        }
+                        QueuePolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
                     };
                     q.remove(pick)
                 }
@@ -590,14 +593,14 @@ impl Sim {
             }
             let child: Vec<u32> = (0..pes)
                 .map(|p| {
-                    [2 * p + 1, 2 * p + 2]
-                        .into_iter()
-                        .filter(|&c| c < pes && weight[c] > 0)
-                        .count() as u32
+                    [2 * p + 1, 2 * p + 2].into_iter().filter(|&c| c < pes && weight[c] > 0).count()
+                        as u32
                 })
                 .collect();
-            self.red_plans
-                .insert((array, seq), RedPlan { local_expected: local, child_expected: child, home });
+            self.red_plans.insert(
+                (array, seq),
+                RedPlan { local_expected: local, child_expected: child, home },
+            );
         }
         &self.red_plans[&(array, seq)]
     }
@@ -753,19 +756,14 @@ mod tests {
     }
 
     fn reduction_trace(pes: u32, chares: u32, traced: bool) -> Trace {
-        let mut sim =
-            Sim::new(SimConfig::new(pes).with_seed(11).with_trace_reductions(traced));
+        let mut sim = Sim::new(SimConfig::new(pes).with_seed(11).with_trace_reductions(traced));
         let arr = sim.add_array("red", chares, Placement::Block, |_| ());
         let done: std::rc::Rc<std::cell::Cell<EntryId>> =
             std::rc::Rc::new(std::cell::Cell::new(EntryId(0)));
         let done_c = done.clone();
         let start = sim.add_entry("start", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
             ctx.compute(Dur::from_micros(2));
-            ctx.contribute(
-                ctx.my_index() as i64,
-                RedOp::Sum,
-                RedTarget::Broadcast(done_c.get()),
-            );
+            ctx.contribute(ctx.my_index() as i64, RedOp::Sum, RedTarget::Broadcast(done_c.get()));
         });
         let got: std::rc::Rc<std::cell::RefCell<Vec<i64>>> =
             std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
@@ -811,11 +809,7 @@ mod tests {
         let root = sim.elements(arr)[2];
         let start = sim.add_entry("start", None, move |ctx: &mut Ctx, _s: &mut (), _d| {
             ctx.compute(Dur::from_micros(1));
-            ctx.contribute(
-                ctx.my_index() as i64 + 1,
-                RedOp::Max,
-                RedTarget::Send(root, e_done),
-            );
+            ctx.contribute(ctx.my_index() as i64 + 1, RedOp::Max, RedTarget::Send(root, e_done));
         });
         for &c in sim.elements(arr).to_vec().iter() {
             sim.inject(c, start, vec![], Time::ZERO);
@@ -841,10 +835,7 @@ mod tests {
             .iter()
             .filter(|t| tr.chare(t.chare).kind.is_runtime() && t.sink.is_none())
             .count();
-        assert!(
-            spontaneous_rt > 0,
-            "without §5 tracing, local contributions leave no trigger"
-        );
+        assert!(spontaneous_rt > 0, "without §5 tracing, local contributions leave no trigger");
     }
 
     #[test]

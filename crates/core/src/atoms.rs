@@ -113,31 +113,31 @@ pub(crate) fn build_atoms(trace: &Trace, ix: &TraceIndex, cfg: &Config) -> AtomG
         let own_runtime = trace.chare(chare).kind.is_runtime();
         let mut prev_atom: Option<u32> = None;
         let mut current: Option<(bool, Vec<EventId>)> = None;
-        let mut flush =
-            |current: &mut Option<(bool, Vec<EventId>)>, prev_atom: &mut Option<u32>| {
-                if let Some((flavor, events)) = current.take() {
-                    let a = atoms.len() as u32;
-                    for &e in &events {
-                        atom_of_event[e.index()] = a;
-                    }
-                    atoms.push(Atom {
-                        task: t.id,
-                        first_time: trace.event(events[0]).time,
-                        events,
-                        is_runtime: flavor,
-                        chare,
-                        lane,
-                    });
-                    if first_atom_of_task[t.id.index()] == NONE {
-                        first_atom_of_task[t.id.index()] = a;
-                    }
-                    last_atom_of_task[t.id.index()] = a;
-                    if let Some(p) = *prev_atom {
-                        edges.push((p, a, EdgeKind::IntraBlock));
-                    }
-                    *prev_atom = Some(a);
+        let mut flush = |current: &mut Option<(bool, Vec<EventId>)>,
+                         prev_atom: &mut Option<u32>| {
+            if let Some((flavor, events)) = current.take() {
+                let a = atoms.len() as u32;
+                for &e in &events {
+                    atom_of_event[e.index()] = a;
                 }
-            };
+                atoms.push(Atom {
+                    task: t.id,
+                    first_time: trace.event(events[0]).time,
+                    events,
+                    is_runtime: flavor,
+                    chare,
+                    lane,
+                });
+                if first_atom_of_task[t.id.index()] == NONE {
+                    first_atom_of_task[t.id.index()] = a;
+                }
+                last_atom_of_task[t.id.index()] = a;
+                if let Some(p) = *prev_atom {
+                    edges.push((p, a, EdgeKind::IntraBlock));
+                }
+                *prev_atom = Some(a);
+            }
+        };
         for ev in evs {
             let flavor = if cfg.split_app_runtime { event_flavor(ev) } else { own_runtime };
             match &mut current {
@@ -157,7 +157,18 @@ pub(crate) fn build_atoms(trace: &Trace, ix: &TraceIndex, cfg: &Config) -> AtomG
             let send_atom = atom_of_event[m.send_event.index()];
             let sink = trace.task(rt).sink.expect("validated: matched msg has sink");
             let recv_atom = atom_of_event[sink.index()];
+            // Both endpoints of a matched message must lie in atoms;
+            // re-checked in release builds under
+            // `Config::verify_invariants`.
             debug_assert!(send_atom != NONE && recv_atom != NONE);
+            if cfg.verify_invariants {
+                assert!(
+                    send_atom != NONE && recv_atom != NONE,
+                    "message {} endpoints missing from the atom graph \
+                     (send atom {send_atom:#x}, recv atom {recv_atom:#x})",
+                    m.id
+                );
+            }
             edges.push((send_atom, recv_atom, EdgeKind::Message));
         }
     }
@@ -264,12 +275,9 @@ mod tests {
         assert!(!ag.atoms[t0_first].is_runtime);
         assert!(ag.atoms[t0_last].is_runtime);
         // Intra-block edge between the two fragments.
-        assert!(ag
-            .edges
-            .iter()
-            .any(|&(u, v, k)| k == EdgeKind::IntraBlock
-                && u == t0_first as u32
-                && v == t0_last as u32));
+        assert!(ag.edges.iter().any(|&(u, v, k)| k == EdgeKind::IntraBlock
+            && u == t0_first as u32
+            && v == t0_last as u32));
         // Two message edges.
         assert_eq!(ag.edges.iter().filter(|e| e.2 == EdgeKind::Message).count(), 2);
     }

@@ -83,6 +83,13 @@ pub struct Config {
     /// the assumption "is not always true, e.g., Figure 10" — the
     /// merge-tree analysis turns it off. Ignored for task-based traces.
     pub mp_process_order: bool,
+    /// Re-check the DESIGN §7 invariants in release builds: promotes
+    /// the pipeline's internal `debug_assert!`s to real assertions and
+    /// verifies the final structure with
+    /// [`StructureVerifier`](crate::StructureVerifier), panicking on
+    /// any violation. Off by default (the checks cost a few percent;
+    /// see the Fig. 19 bench's `verify` column).
+    pub verify_invariants: bool,
 }
 
 impl Config {
@@ -97,6 +104,7 @@ impl Config {
             parallel_ordering: false,
             tiebreak: TieBreak::ChareId,
             mp_process_order: true,
+            verify_invariants: false,
         }
     }
 
@@ -146,6 +154,14 @@ impl Config {
     /// for message-passing traces.
     pub fn with_process_order(mut self, on: bool) -> Config {
         self.mp_process_order = on;
+        self
+    }
+
+    /// Enables/disables release-mode invariant verification during
+    /// extraction (promoted `debug_assert!`s plus a final
+    /// [`StructureVerifier`](crate::StructureVerifier) pass).
+    pub fn with_verify(mut self, on: bool) -> Config {
+        self.verify_invariants = on;
         self
     }
 

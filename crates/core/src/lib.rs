@@ -28,12 +28,14 @@ mod merges;
 mod stage;
 mod step;
 mod structure;
+mod verify;
 
 pub use config::{Config, OrderingPolicy, TieBreak, TraceModel};
 pub use stage::Diagnostics;
 pub use structure::{
     intra_phase_messages, is_source, phase_signature, LogicalStructure, Phase, NO_PHASE,
 };
+pub use verify::{InvariantViolation, StructureVerifier, DEFAULT_VIOLATION_LIMIT};
 
 use lsr_trace::{TaskId, Trace};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,6 +74,22 @@ impl StageTimings {
     }
 }
 
+/// One observation of the partition state after a pipeline stage,
+/// reported to the [`extract_observed`] callback. Used by the lint
+/// framework to check invariant 1 (the partition graph is a DAG after
+/// every merge stage) without exposing the internal `Stage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage name (matches the [`StageTimings`] field names plus the
+    /// sub-stages they aggregate).
+    pub stage: &'static str,
+    /// Number of partitions after the stage.
+    pub partitions: usize,
+    /// Whether the condensed partition graph is acyclic. Every merge
+    /// stage ends with a cycle merge, so this must hold after each.
+    pub is_dag: bool,
+}
+
 /// Runs the full logical-structure pipeline on `trace`.
 pub fn extract(trace: &Trace, cfg: &Config) -> LogicalStructure {
     extract_timed(trace, cfg).0
@@ -79,47 +97,104 @@ pub fn extract(trace: &Trace, cfg: &Config) -> LogicalStructure {
 
 /// [`extract`], also reporting per-stage wall-clock times.
 pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTimings) {
+    extract_observed(trace, cfg, None)
+}
+
+/// [`extract_timed`], additionally reporting a [`StageSnapshot`] after
+/// each pipeline stage to `observer`. Snapshot construction costs a
+/// partition-view rebuild per stage, so it only happens when an
+/// observer is present; timings therefore exclude observation.
+///
+/// With [`Config::verify_invariants`] set, the final structure is
+/// re-checked with [`StructureVerifier`] and the pipeline's internal
+/// `debug_assert!`s run in release builds too; any violation panics.
+pub fn extract_observed(
+    trace: &Trace,
+    cfg: &Config,
+    mut observer: Option<&mut dyn FnMut(StageSnapshot)>,
+) -> (LogicalStructure, StageTimings) {
     use std::time::Instant;
     let mut t = StageTimings::default();
-    let mark = Instant::now();
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut mark = Instant::now();
+    // Pauses the stage clock while an observer inspects the stage.
+    macro_rules! observe {
+        ($stage:expr, $name:literal) => {
+            if let Some(obs) = observer.as_deref_mut() {
+                elapsed += mark.elapsed();
+                let v = $stage.view();
+                obs(StageSnapshot {
+                    stage: $name,
+                    partitions: v.len(),
+                    is_dag: v.graph.topo_order().is_some(),
+                });
+                mark = Instant::now();
+            }
+        };
+    }
 
     let ix = trace.index();
     let ag = atoms::build_atoms(trace, &ix, cfg);
     let mut stage = stage::Stage::new(trace, ag);
-    let mark = stamp(mark, &mut t.atoms);
+    observe!(stage, "atoms");
+    stamp(&mut mark, &mut elapsed, &mut t.atoms);
 
     merges::dependency_merge(&mut stage);
+    observe!(stage, "dependency_merge");
     merges::collective_merge(&mut stage, &ix);
-    let mark = stamp(mark, &mut t.dependency_merge);
+    observe!(stage, "collective_merge");
+    stamp(&mut mark, &mut elapsed, &mut t.dependency_merge);
 
     if cfg.split_app_runtime {
         merges::repair_merge(&mut stage);
+        observe!(stage, "repair");
     }
     if cfg.sdag_inference {
         merges::neighbor_serial_merge(&mut stage);
+        observe!(stage, "neighbor_serial");
     }
-    let mark = stamp(mark, &mut t.repair);
+    stamp(&mut mark, &mut elapsed, &mut t.repair);
 
     if cfg.infer_dependencies {
         merges::infer_dependencies(&mut stage);
+        observe!(stage, "infer");
     }
-    let mark = stamp(mark, &mut t.infer);
+    stamp(&mut mark, &mut elapsed, &mut t.infer);
 
     merges::resolve_leap_overlaps(&mut stage, cfg.infer_dependencies);
-    let mark = stamp(mark, &mut t.leap_resolution);
+    observe!(stage, "leap_resolution");
+    stamp(&mut mark, &mut elapsed, &mut t.leap_resolution);
 
     merges::enforce_chare_paths(&mut stage);
-    merges::chain_chare_phases(&mut stage);
-    let mark = stamp(mark, &mut t.enforce);
+    merges::chain_chare_phases(&mut stage, cfg.verify_invariants);
+    observe!(stage, "enforce");
+    stamp(&mut mark, &mut elapsed, &mut t.enforce);
 
     let ls = assemble(trace, &ix, stage, cfg);
-    let _ = stamp(mark, &mut t.ordering);
+    stamp(&mut mark, &mut elapsed, &mut t.ordering);
+
+    if cfg.verify_invariants {
+        let violations = StructureVerifier::new().check_structure(trace, &ls);
+        assert!(
+            violations.is_empty(),
+            "extracted structure violates {} invariant(s): {}",
+            violations.len(),
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+        );
+    }
     (ls, t)
 }
 
-fn stamp(mark: std::time::Instant, slot: &mut std::time::Duration) -> std::time::Instant {
-    *slot = mark.elapsed();
-    std::time::Instant::now()
+/// Accumulates `elapsed + mark.elapsed()` into `slot` and restarts
+/// both the mark and the running tally for the next stage.
+fn stamp(
+    mark: &mut std::time::Instant,
+    elapsed: &mut std::time::Duration,
+    slot: &mut std::time::Duration,
+) {
+    *slot = *elapsed + mark.elapsed();
+    *elapsed = std::time::Duration::ZERO;
+    *mark = std::time::Instant::now();
 }
 
 fn assemble(
@@ -151,10 +226,8 @@ fn assemble(
     let ag_ref = &stage.ag;
     let poe_ref = &phase_of_event;
     let mut results: Vec<step::PhaseResult> = if cfg.parallel_ordering && inputs.len() > 1 {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(inputs.len());
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(inputs.len());
         let next = AtomicUsize::new(0);
         let collected = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
         crossbeam::thread::scope(|s| {
@@ -292,30 +365,32 @@ mod tests {
         let e_next: Rc<Cell<lsr_trace::EntryId>> = Rc::new(Cell::new(lsr_trace::EntryId(0)));
 
         let en = e_next.clone();
-        let halo = sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut RingState, _d| {
-            s.got += 1;
-            if s.got == 2 {
-                s.got = 0;
-                ctx.compute(Dur::from_micros(20));
-                ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
-            }
-        });
+        let halo =
+            sim.add_entry("recvHalo", Some(1), move |ctx: &mut Ctx, s: &mut RingState, _d| {
+                s.got += 1;
+                if s.got == 2 {
+                    s.got = 0;
+                    ctx.compute(Dur::from_micros(20));
+                    ctx.contribute(1, RedOp::Sum, RedTarget::Broadcast(en.get()));
+                }
+            });
         e_halo.set(halo);
         let elems2 = elems.clone();
         let ehh = e_halo.clone();
         let n = chares;
-        let next = sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut RingState, d| {
-            s.iter += 1;
-            if s.iter > iters {
-                return;
-            }
-            ctx.compute(Dur::from_micros(5));
-            let i = ctx.my_index();
-            let left = elems2[((i + n - 1) % n) as usize];
-            let right = elems2[((i + 1) % n) as usize];
-            ctx.send(left, ehh.get(), vec![d[0]]);
-            ctx.send(right, ehh.get(), vec![d[0]]);
-        });
+        let next =
+            sim.add_entry("nextIter", Some(2), move |ctx: &mut Ctx, s: &mut RingState, d| {
+                s.iter += 1;
+                if s.iter > iters {
+                    return;
+                }
+                ctx.compute(Dur::from_micros(5));
+                let i = ctx.my_index();
+                let left = elems2[((i + n - 1) % n) as usize];
+                let right = elems2[((i + 1) % n) as usize];
+                ctx.send(left, ehh.get(), vec![d[0]]);
+                ctx.send(right, ehh.get(), vec![d[0]]);
+            });
         e_next.set(next);
         for &c in &elems {
             sim.inject(c, next, vec![0], Time::ZERO);

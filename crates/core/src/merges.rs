@@ -134,8 +134,7 @@ pub(crate) fn neighbor_serial_merge(stage: &mut Stage<'_>) {
 /// a rank (two consecutive collective tasks with nothing in between).
 pub(crate) fn collective_merge(stage: &mut Stage<'_>, ix: &lsr_trace::TraceIndex) {
     let trace = stage.trace;
-    let is_coll =
-        |t: lsr_trace::TaskId| trace.entry(trace.task(t).entry).collective;
+    let is_coll = |t: lsr_trace::TaskId| trace.entry(trace.task(t).entry).collective;
     let mut merges = 0;
     let mut union_tasks = |stage: &mut Stage<'_>, a: lsr_trace::TaskId, b: lsr_trace::TaskId| {
         let (fa, fb) =
@@ -303,9 +302,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
     for p in 0..v.len() as u32 {
         for &c in &chares[p as usize] {
             if let Some(&q) = by_leap.get(&(leaps[p as usize], c)) {
-                if q != p
-                    && stage.uf.union(v.atoms_in[p as usize][0], v.atoms_in[q as usize][0])
-                {
+                if q != p && stage.uf.union(v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]) {
                     merges += 1;
                 }
             } else {
@@ -414,11 +411,8 @@ pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
                 .collect();
             covered.sort_unstable();
             covered.dedup();
-            let mut missing: Vec<ChareId> = p_chares
-                .iter()
-                .copied()
-                .filter(|c| covered.binary_search(c).is_err())
-                .collect();
+            let mut missing: Vec<ChareId> =
+                p_chares.iter().copied().filter(|c| covered.binary_search(c).is_err()).collect();
             if missing.is_empty() {
                 continue;
             }
@@ -466,7 +460,7 @@ pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
 /// skipped phase then overlaps in steps), so every chare's phases are
 /// chained explicitly in leap order. All added edges run from a
 /// strictly lower leap to a higher one, so the graph stays a DAG.
-pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>) {
+pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) {
     let v = stage.view();
     if v.len() == 0 {
         return;
@@ -492,7 +486,17 @@ pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>) {
         list.sort_unstable();
         for w in list.windows(2) {
             let (p, q) = (w[0].1, w[1].1);
+            // Property 1 must hold before chaining; re-checked in
+            // release builds under `Config::verify_invariants`.
             debug_assert!(w[0].0 < w[1].0, "property 1 must hold before chaining");
+            if verify {
+                assert!(
+                    w[0].0 < w[1].0,
+                    "property 1 must hold before chaining: phases {p} and {q} \
+                     share chare {c} at leap {}",
+                    w[0].0
+                );
+            }
             if !existing.contains(&(p, q)) {
                 stage.extra_edges.push((v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]));
                 added += 1;
@@ -873,8 +877,7 @@ mod tests {
         let last_task = tr.tasks.len() - 1;
         let second_coll_atom = stage.ag.first_atom_of_task[last_task];
         assert_ne!(
-            v.part_of_atom[first_coll_atom as usize],
-            v.part_of_atom[second_coll_atom as usize],
+            v.part_of_atom[first_coll_atom as usize], v.part_of_atom[second_coll_atom as usize],
             "separate collectives stay separate phases"
         );
     }
@@ -925,10 +928,8 @@ mod tests {
         let chares = v.chares(&stage);
         let max_leap = *leaps.iter().max().unwrap();
         for p in 0..v.len() {
-            let covered: std::collections::HashSet<_> = v.graph.succs[p]
-                .iter()
-                .flat_map(|&s| chares[s as usize].iter().copied())
-                .collect();
+            let covered: std::collections::HashSet<_> =
+                v.graph.succs[p].iter().flat_map(|&s| chares[s as usize].iter().copied()).collect();
             for &c in &chares[p] {
                 if covered.contains(&c) {
                     continue;

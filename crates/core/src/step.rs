@@ -73,7 +73,12 @@ fn try_assign(
         events.extend(ag.atoms[a as usize].events.iter().copied());
     }
     if events.is_empty() {
-        return Some(PhaseResult { id: input.id, local: Vec::new(), max_local: 0, fallback: false });
+        return Some(PhaseResult {
+            id: input.id,
+            local: Vec::new(),
+            max_local: 0,
+            fallback: false,
+        });
     }
     let local_of: HashMap<EventId, u32> =
         events.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
@@ -100,7 +105,19 @@ fn try_assign(
             .atoms
             .iter()
             .map(|&a| {
-                (a, source_chain_key(trace, ag, phase_of_event, input.id, w, &local_of, a, &cfg.tiebreak))
+                (
+                    a,
+                    source_chain_key(
+                        trace,
+                        ag,
+                        phase_of_event,
+                        input.id,
+                        w,
+                        &local_of,
+                        a,
+                        &cfg.tiebreak,
+                    ),
+                )
             })
             .collect()
     });
@@ -231,9 +248,7 @@ fn compute_w(
                 from_send.unwrap_or(0)
             }
             EventKind::Send { .. } => match model {
-                TraceModel::TaskBased => {
-                    last_in_task.get(&ev.task).map_or(0, |&prev| prev + 1)
-                }
+                TraceModel::TaskBased => last_in_task.get(&ev.task).map_or(0, |&prev| prev + 1),
                 TraceModel::MessagePassing => {
                     let lane = ag.atoms[ag.atom_of_event[e.index()] as usize].lane;
                     max_recv_in_lane.get(&lane).map_or(0, |&m| m + 1)

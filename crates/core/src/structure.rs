@@ -3,7 +3,6 @@
 
 use crate::stage::Diagnostics;
 use lsr_trace::{ChareId, EventId, EventKind, TaskId, Trace};
-use std::collections::HashMap;
 
 /// Sentinel for "no phase" (only used for tasks when a trace has no
 /// events at all).
@@ -102,91 +101,20 @@ impl LogicalStructure {
     /// Checks the structural invariants the paper requires. Returns a
     /// description of the first violation, if any. Used heavily by the
     /// test suite and the property tests.
+    ///
+    /// This is a thin wrapper over
+    /// [`StructureVerifier`](crate::StructureVerifier), which collects
+    /// *all* violations as typed values for the lint framework.
     pub fn verify(&self, trace: &Trace) -> Result<(), String> {
-        // Every event has a phase and consistent step arrays.
-        if self.phase_of_event.len() != trace.events.len()
-            || self.step.len() != trace.events.len()
-            || self.local_step.len() != trace.events.len()
+        match crate::verify::StructureVerifier::new()
+            .with_limit(1)
+            .check_structure(trace, self)
+            .into_iter()
+            .next()
         {
-            return Err("event table sizes mismatch".into());
+            Some(v) => Err(v.to_string()),
+            None => Ok(()),
         }
-        for e in trace.event_ids() {
-            let p = self.phase_of_event[e.index()];
-            if p as usize >= self.phases.len() {
-                return Err(format!("event {e} has no phase"));
-            }
-            let ph = &self.phases[p as usize];
-            if self.local_step[e.index()] > ph.max_local {
-                return Err(format!("event {e} exceeds its phase's max local step"));
-            }
-            if self.step[e.index()] != ph.offset + self.local_step[e.index()] {
-                return Err(format!("event {e} global step != offset + local"));
-            }
-        }
-        // Phase DAG is acyclic and offsets respect it.
-        let g = crate::graph::DiGraph::from_edges(
-            self.phases.len(),
-            self.phase_succs
-                .iter()
-                .enumerate()
-                .flat_map(|(p, ss)| ss.iter().map(move |&s| (p as u32, s))),
-        );
-        let Some(_) = g.topo_order() else {
-            return Err("phase graph has a cycle".into());
-        };
-        for (p, succs) in self.phase_succs.iter().enumerate() {
-            let pend = self.phases[p].offset + self.phases[p].max_local;
-            for &s in succs {
-                if self.phases[s as usize].offset <= pend {
-                    return Err(format!(
-                        "phase {s} starts at {} but predecessor {p} ends at {pend}",
-                        self.phases[s as usize].offset
-                    ));
-                }
-            }
-        }
-        // Property (1): phases at the same leap never share a chare.
-        let mut seen: HashMap<(u32, ChareId), u32> = HashMap::new();
-        for ph in &self.phases {
-            for &c in &ph.chares {
-                if let Some(&other) = seen.get(&(ph.leap, c)) {
-                    return Err(format!(
-                        "phases {other} and {} overlap on chare {c} at leap {}",
-                        ph.id, ph.leap
-                    ));
-                }
-                seen.insert((ph.leap, c), ph.id);
-            }
-        }
-        // Matched messages step forward (they are always intra-phase
-        // after the dependency merge).
-        for m in &trace.msgs {
-            if let Some(rt) = m.recv_task {
-                let sink = trace.task(rt).sink.expect("matched msg has sink");
-                let (ps, pr) = (
-                    self.phase_of_event[m.send_event.index()],
-                    self.phase_of_event[sink.index()],
-                );
-                if ps != pr {
-                    return Err(format!("message {} spans phases {ps} and {pr}", m.id));
-                }
-                if self.step[sink.index()] < self.step[m.send_event.index()] + 1 {
-                    return Err(format!("message {} does not advance a step", m.id));
-                }
-            }
-        }
-        // Per chare, global steps are unique (single path through the
-        // phase DAG per chare — the point of the §3.1.4 properties).
-        let mut per_chare: HashMap<(ChareId, u64), EventId> = HashMap::new();
-        for e in trace.event_ids() {
-            let c = trace.event_chare(e);
-            let s = self.step[e.index()];
-            if let Some(&other) = per_chare.get(&(c, s)) {
-                return Err(format!("events {other} and {e} of chare {c} share step {s}"));
-            }
-            per_chare.insert((c, s), e);
-        }
-        Ok(())
     }
 
     /// Convenience: phase ids in a deterministic topological order of

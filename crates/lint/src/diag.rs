@@ -1,0 +1,153 @@
+//! Diagnostics: coded findings with severity, location, and an
+//! explanation, renderable for humans and as JSON.
+
+use lsr_trace::{EventId, MsgId, PeId, TaskId};
+use serde::Serialize;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Suspicious but possibly benign (e.g. an untraced dependency
+    /// candidate — the paper's Fig. 24 class).
+    Warning,
+    /// The trace or structure violates an invariant the analysis
+    /// relies on.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where a finding points. Trace-level lints reference trace entities;
+/// structure-level lints reference phases; pipeline lints reference a
+/// merge stage by name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Location {
+    /// No specific location (whole-trace findings).
+    Global,
+    /// A task (serial block).
+    Task {
+        /// The task id.
+        task: TaskId,
+    },
+    /// A dependency event.
+    Event {
+        /// The event id.
+        event: EventId,
+    },
+    /// A message.
+    Msg {
+        /// The message id.
+        msg: MsgId,
+    },
+    /// A processing element.
+    Pe {
+        /// The PE id.
+        pe: PeId,
+    },
+    /// An idle-span table index.
+    Idle {
+        /// Index into `Trace::idles`.
+        index: usize,
+    },
+    /// A phase of the recovered structure.
+    Phase {
+        /// The phase id.
+        phase: u32,
+    },
+    /// A pipeline merge stage (see `lsr_core::StageSnapshot`).
+    Stage {
+        /// The stage name.
+        stage: String,
+    },
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Global => write!(f, "trace"),
+            Location::Task { task } => write!(f, "task {task}"),
+            Location::Event { event } => write!(f, "event {event}"),
+            Location::Msg { msg } => write!(f, "msg {msg}"),
+            Location::Pe { pe } => write!(f, "{pe}"),
+            Location::Idle { index } => write!(f, "idle[{index}]"),
+            Location::Phase { phase } => write!(f, "phase {phase}"),
+            Location::Stage { stage } => write!(f, "stage {stage}"),
+        }
+    }
+}
+
+/// One coded finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Stable lint code (`T…` trace, `H…` happened-before, `S…`
+    /// structure, `P…` pipeline); the full table is in `docs/lints.md`.
+    pub code: &'static str,
+    /// Short name of the lint (e.g. `DanglingMessage`).
+    pub name: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub location: Location,
+    /// Instance-specific message.
+    pub message: String,
+    /// What the code means and its likely cause (same for every
+    /// instance of the code).
+    pub explanation: &'static str,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} [{}] {}: {}",
+            self.severity, self.code, self.name, self.location, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic {
+            code: "T004",
+            name: "DanglingRef",
+            severity: Severity::Error,
+            location: Location::Task { task: TaskId(3) },
+            message: "task t3 references entry 99 of 2".into(),
+            explanation: "a record references an out-of-range id",
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("error T004 [DanglingRef] task t3:"), "{s}");
+    }
+
+    #[test]
+    fn severities_order_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let d = Diagnostic {
+            code: "H002",
+            name: "HbCycle",
+            severity: Severity::Warning,
+            location: Location::Msg { msg: MsgId(7) },
+            message: "m".into(),
+            explanation: "e",
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"H002\""), "{json}");
+        assert!(json.contains("\"Warning\""), "{json}");
+        assert!(json.contains("\"msg\":7"), "{json}");
+    }
+}

@@ -53,9 +53,8 @@ impl CriticalPath {
             if let Some(prev) = ix.prev_on_pe(trace, t) {
                 candidates.push(prev);
             }
-            let chosen = candidates
-                .into_iter()
-                .max_by_key(|&c| (best[c.index()], std::cmp::Reverse(c)));
+            let chosen =
+                candidates.into_iter().max_by_key(|&c| (best[c.index()], std::cmp::Reverse(c)));
             let base = chosen.map_or(Dur::ZERO, |c| best[c.index()]);
             best[t.index()] = base + dur;
             pred[t.index()] = chosen;
@@ -87,7 +86,13 @@ impl CriticalPath {
         }
         per_pe
             .into_iter()
-            .map(|d| if self.work == Dur::ZERO { 0.0 } else { d.nanos() as f64 / self.work.nanos() as f64 })
+            .map(|d| {
+                if self.work == Dur::ZERO {
+                    0.0
+                } else {
+                    d.nanos() as f64 / self.work.nanos() as f64
+                }
+            })
             .collect()
     }
 

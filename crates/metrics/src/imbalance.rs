@@ -62,9 +62,8 @@ impl Imbalance {
     /// processors").
     pub fn overall(&self) -> Dur {
         let pes = self.loads.first().map_or(0, |r| r.len());
-        let totals: Vec<Dur> = (0..pes)
-            .map(|pe| self.loads.iter().map(|row| row[pe]).sum())
-            .collect();
+        let totals: Vec<Dur> =
+            (0..pes).map(|pe| self.loads.iter().map(|row| row[pe]).sum()).collect();
         match (totals.iter().max(), totals.iter().min()) {
             (Some(&max), Some(&min)) => max.saturating_sub(min),
             _ => Dur::ZERO,

@@ -181,7 +181,10 @@ mod tests {
         p.allreduce(100);
         // rank 3 is a leaf: send up, recv result.
         assert_eq!(p.script(3).len(), 2);
-        assert!(matches!(p.script(3)[0], MpiOp::Send { to: 1, tag: 100, label: OpLabel::Allreduce }));
+        assert!(matches!(
+            p.script(3)[0],
+            MpiOp::Send { to: 1, tag: 100, label: OpLabel::Allreduce }
+        ));
         assert!(matches!(p.script(3)[1], MpiOp::Recv { from: 1, tag: 101, .. }));
     }
 
@@ -220,9 +223,7 @@ mod tests {
         for r in 0..6 {
             for op in p.script(r) {
                 match op {
-                    MpiOp::Recv { .. } | MpiOp::RecvAny { .. } => {
-                        recvs_per_rank[r as usize] += 1
-                    }
+                    MpiOp::Recv { .. } | MpiOp::RecvAny { .. } => recvs_per_rank[r as usize] += 1,
                     MpiOp::Send { .. } => sends += 1,
                     MpiOp::Compute(_) => {}
                 }
@@ -237,8 +238,7 @@ mod tests {
     fn reduce_mirrors_bcast() {
         let mut p = Program::new(6);
         p.reduce(41);
-        let root_recvs =
-            p.script(0).iter().filter(|op| matches!(op, MpiOp::Recv { .. })).count();
+        let root_recvs = p.script(0).iter().filter(|op| matches!(op, MpiOp::Recv { .. })).count();
         assert_eq!(root_recvs, 2, "root gathers from its tree children");
         let leaf_ops = p.script(5);
         assert_eq!(leaf_ops.len(), 1);

@@ -287,10 +287,7 @@ impl<'p> Runner<'p> {
         let stuck: Vec<u32> = (0..self.program.ranks())
             .filter(|&r| self.ranks[r as usize].pc < self.program.script(r).len())
             .collect();
-        assert!(
-            stuck.is_empty(),
-            "message-passing program deadlocked; stuck ranks: {stuck:?}"
-        );
+        assert!(stuck.is_empty(), "message-passing program deadlocked; stuck ranks: {stuck:?}");
         self.builder.build().expect("MPI simulator must produce a valid trace")
     }
 }
@@ -326,12 +323,8 @@ mod tests {
         for seed in 0..20 {
             let tr = run(&cfg().with_seed(seed).with_jitter(0.9), &p);
             // The first send's message must be matched by the first recv.
-            let sends: Vec<_> = tr
-                .tasks
-                .iter()
-                .filter(|t| t.pe == PeId(0))
-                .flat_map(|t| t.sends.iter())
-                .collect();
+            let sends: Vec<_> =
+                tr.tasks.iter().filter(|t| t.pe == PeId(0)).flat_map(|t| t.sends.iter()).collect();
             let recvs: Vec<_> = tr.tasks.iter().filter(|t| t.pe == PeId(1)).collect();
             assert_eq!(sends.len(), 2);
             assert_eq!(recvs.len(), 2);

@@ -85,8 +85,7 @@ pub fn physical_by_phase(trace: &Trace, ls: &LogicalStructure) -> String {
     let span = (end.nanos() - begin.nanos()).max(1);
     let cols = MAX_COLS;
     let scale = |t: lsr_trace::Time| {
-        (((t.nanos() - begin.nanos()) as u128 * cols as u128 / span as u128) as usize)
-            .min(cols - 1)
+        (((t.nanos() - begin.nanos()) as u128 * cols as u128 / span as u128) as usize).min(cols - 1)
     };
     let mut grid = vec![vec![' '; cols]; layout.len()];
     for t in &trace.tasks {

@@ -47,12 +47,8 @@ pub fn phase_dag_dot(trace: &Trace, ls: &LogicalStructure) -> String {
     // Rank phases by leap so the drawing mirrors logical time.
     let max_leap = ls.phases.iter().map(|p| p.leap).max().unwrap_or(0);
     for leap in 0..=max_leap {
-        let ids: Vec<String> = ls
-            .phases
-            .iter()
-            .filter(|p| p.leap == leap)
-            .map(|p| format!("p{}", p.id))
-            .collect();
+        let ids: Vec<String> =
+            ls.phases.iter().filter(|p| p.leap == leap).map(|p| format!("p{}", p.id)).collect();
         if ids.len() > 1 {
             let _ = writeln!(out, "  {{ rank=same; {}; }}", ids.join("; "));
         }

@@ -73,8 +73,10 @@ pub fn html_report(title: &str, trace: &Trace, ls: &LogicalStructure) -> String 
     );
 
     // Metrics tables.
-    h.push_str("<h2>Metrics</h2>\n<h3>Idle experienced per PE</h3><table>\
-                <tr><th>PE</th><th>idle experienced</th></tr>\n");
+    h.push_str(
+        "<h2>Metrics</h2>\n<h3>Idle experienced per PE</h3><table>\
+                <tr><th>PE</th><th>idle experienced</th></tr>\n",
+    );
     for (pe, d) in idle_totals.iter().enumerate() {
         let _ = writeln!(h, "<tr><td>pe{pe}</td><td>{d}</td></tr>");
     }

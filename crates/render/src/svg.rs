@@ -145,7 +145,9 @@ fn render(
         );
     }
     for t in &trace.tasks {
-        let Some((x0, x1)) = extent(t.id) else { continue };
+        let Some((x0, x1)) = extent(t.id) else {
+            continue;
+        };
         let row = layout.row(trace.task_lane(t.id));
         let y = MARGIN + row as f64 * (ROW_H + ROW_GAP);
         let fill = match coloring {
@@ -158,10 +160,7 @@ fn render(
                 }
             }
             Coloring::Metric(values) => {
-                let v = t
-                    .events()
-                    .map(|e| values[e.index()])
-                    .fold(0.0f64, f64::max);
+                let v = t.events().map(|e| values[e.index()]).fold(0.0f64, f64::max);
                 metric_color(if metric_max > 0.0 { v / metric_max } else { 0.0 })
             }
         };

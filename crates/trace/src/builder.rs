@@ -5,10 +5,12 @@
 //! and close them. [`TraceBuilder::build`] validates the result.
 
 use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
-use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::record::{
+    ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec,
+};
 use crate::time::Time;
 use crate::trace::Trace;
-use crate::validate::{validate, ValidationError};
+use crate::validate::{validate_fast, ValidationError};
 
 /// Builder for a [`Trace`]. See the module docs for the protocol.
 #[derive(Debug, Default)]
@@ -20,10 +22,7 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Starts a trace for a run on `pe_count` PEs.
     pub fn new(pe_count: u32) -> TraceBuilder {
-        TraceBuilder {
-            trace: Trace { pe_count, ..Trace::default() },
-            open_tasks: Vec::new(),
-        }
+        TraceBuilder { trace: Trace { pe_count, ..Trace::default() }, open_tasks: Vec::new() }
     }
 
     /// Registers a chare array (or runtime group).
@@ -140,12 +139,7 @@ impl TraceBuilder {
         assert!(self.open_tasks[task.index()], "send recorded on closed task {task}");
         let ev = EventId::from_index(self.trace.events.len());
         let msg = MsgId::from_index(self.trace.msgs.len());
-        self.trace.events.push(EventRec {
-            id: ev,
-            task,
-            time,
-            kind: EventKind::Send { msg },
-        });
+        self.trace.events.push(EventRec { id: ev, task, time, kind: EventKind::Send { msg } });
         self.trace.msgs.push(MsgRec {
             id: msg,
             send_event: ev,
@@ -229,7 +223,7 @@ impl TraceBuilder {
             return Err(ValidationError::OpenTask(TaskId::from_index(open)));
         }
         self.trace.idles.sort_unstable_by_key(|i| (i.pe, i.begin));
-        validate(&self.trace)?;
+        validate_fast(&self.trace)?;
         Ok(self.trace)
     }
 
@@ -275,7 +269,10 @@ mod tests {
         let msg = tr.msg(m);
         assert_eq!(msg.recv_task, Some(t1));
         assert_eq!(msg.recv_time, Some(Time(4)));
-        assert_eq!(tr.task(t1).sink.map(|e| tr.event(e).kind), Some(EventKind::Recv { msg: Some(m) }));
+        assert_eq!(
+            tr.task(t1).sink.map(|e| tr.event(e).kind),
+            Some(EventKind::Recv { msg: Some(m) })
+        );
         assert_eq!(tr.event(msg.send_event).task, t0);
     }
 

@@ -51,5 +51,7 @@ pub use record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, 
 pub use stats::TraceStats;
 pub use time::{Dur, Time};
 pub use trace::{Lane, Trace, TraceIndex};
-pub use validate::{validate, ValidationError};
+pub use validate::{
+    validate, validate_fast, validate_with_limit, ValidationError, DEFAULT_ERROR_LIMIT,
+};
 pub use window::window;

@@ -8,10 +8,12 @@
 //! contain spaces) always come last on their line.
 
 use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
-use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::record::{
+    ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec,
+};
 use crate::time::Time;
 use crate::trace::Trace;
-use crate::validate::validate;
+use crate::validate::validate_fast;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
@@ -147,6 +149,17 @@ impl<'a> LineParser<'a> {
 
 /// Parses the text log format back into a validated [`Trace`].
 pub fn read_log<R: BufRead>(r: R) -> Result<Trace, ParseError> {
+    let trace = read_log_unchecked(r)?;
+    validate_fast(&trace)
+        .map_err(|e| ParseError { line: 0, msg: format!("invalid trace: {e}") })?;
+    Ok(trace)
+}
+
+/// [`read_log`] without the final validation pass: accepts any
+/// syntactically well-formed log, even one whose records violate the
+/// structural invariants. For diagnostic tooling (`lsr lint`) that
+/// reports the violations itself instead of refusing the load.
+pub fn read_log_unchecked<R: BufRead>(r: R) -> Result<Trace, ParseError> {
     let mut trace = Trace::default();
     let mut saw_header = false;
     for (i, line) in r.lines().enumerate() {
@@ -270,7 +283,6 @@ pub fn read_log<R: BufRead>(r: R) -> Result<Trace, ParseError> {
     if !saw_header {
         return Err(ParseError { line: 0, msg: "empty input (missing header)".to_owned() });
     }
-    validate(&trace).map_err(|e| ParseError { line: 0, msg: format!("invalid trace: {e}") })?;
     Ok(trace)
 }
 

@@ -70,7 +70,13 @@ pub fn write_split(trace: &Trace, dir: &Path, base: &str) -> std::io::Result<usi
         writeln!(
             logs[sender_pe.index()],
             "MSG {} {} {} {} {} {} {}",
-            m.id.0, m.send_event.0, m.dst_chare.0, m.dst_entry.0, m.send_time.0, rt, rtime
+            m.id.0,
+            m.send_event.0,
+            m.dst_chare.0,
+            m.dst_entry.0,
+            m.send_time.0,
+            rt,
+            rtime
         )
         .unwrap();
     }

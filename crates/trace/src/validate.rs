@@ -1,8 +1,21 @@
 //! Structural validation of traces.
 //!
 //! A trace coming out of a simulator or a log parser must satisfy the
-//! invariants the ordering algorithm relies on; [`validate`] checks them
-//! all in one linear pass per table.
+//! invariants the ordering algorithm relies on. Two entry points cover
+//! the two consumers:
+//!
+//! * [`validate`] / [`validate_with_limit`] collect **every** violation
+//!   (capped at a configurable limit), so diagnostic tools like
+//!   `lsr lint` can report a corrupt trace in one pass;
+//! * [`validate_fast`] short-circuits at the first violation — the hot
+//!   path used by [`crate::TraceBuilder::build`] and the log parsers.
+//!
+//! Checks run in two phases: first table/id/reference integrity, then —
+//! only when every reference resolves — the semantic cross-checks that
+//! must dereference those ids. When the integrity phase finds errors,
+//! the semantic phase is skipped (its dereferences would be out of
+//! bounds), so a collect-all run on a refs-corrupt trace reports all
+//! integrity violations but no semantic ones.
 
 use crate::ids::{EventId, MsgId, TaskId};
 use crate::record::EventKind;
@@ -15,6 +28,9 @@ use std::fmt;
 /// cross-reference check runs. Raise this if you genuinely analyze
 /// machines beyond a million processors.
 pub const MAX_PES: u32 = 1 << 20;
+
+/// Default cap on the number of violations collected by [`validate`].
+pub const DEFAULT_ERROR_LIMIT: usize = 64;
 
 /// A violated trace invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,139 +97,211 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
-/// Checks every structural invariant of `trace`. Returns the first
-/// violation found.
-pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
+/// Checks every structural invariant of `trace`, collecting all
+/// violations up to [`DEFAULT_ERROR_LIMIT`].
+pub fn validate(trace: &Trace) -> Result<(), Vec<ValidationError>> {
+    validate_with_limit(trace, DEFAULT_ERROR_LIMIT)
+}
+
+/// [`validate`] with an explicit cap on the number of collected
+/// violations (`limit` is clamped to at least 1).
+pub fn validate_with_limit(trace: &Trace, limit: usize) -> Result<(), Vec<ValidationError>> {
+    let mut errs = Vec::new();
+    collect(trace, limit.max(1), &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Checks every structural invariant of `trace`, returning the first
+/// violation found. The short-circuiting path for pipeline code that
+/// only needs a go/no-go answer.
+pub fn validate_fast(trace: &Trace) -> Result<(), ValidationError> {
+    let mut errs = Vec::new();
+    collect(trace, 1, &mut errs);
+    match errs.pop() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Pushes `$e` and returns from the enclosing function once the cap is
+/// reached (with `limit == 1` this is exactly the short-circuit path).
+macro_rules! emit {
+    ($errs:ident, $limit:ident, $e:expr) => {
+        $errs.push($e);
+        if $errs.len() >= $limit {
+            return;
+        }
+    };
+}
+
+fn collect(trace: &Trace, limit: usize, errs: &mut Vec<ValidationError>) {
     use ValidationError as E;
 
-    // Checked first: everything below allocates per-PE structures.
+    // Checked first: everything below allocates per-PE structures. An
+    // absurd count also makes further collection pointless.
     if trace.pe_count > MAX_PES {
-        return Err(E::PeCountTooLarge(trace.pe_count));
+        errs.push(E::PeCountTooLarge(trace.pe_count));
+        return;
     }
+
+    // ---- Phase 1: table positions and reference integrity. ----------
+    let before_refs = errs.len();
 
     for (i, a) in trace.arrays.iter().enumerate() {
         if a.id.index() != i {
-            return Err(E::IdMismatch("arrays", i));
+            emit!(errs, limit, E::IdMismatch("arrays", i));
         }
     }
     for (i, c) in trace.chares.iter().enumerate() {
         if c.id.index() != i {
-            return Err(E::IdMismatch("chares", i));
+            emit!(errs, limit, E::IdMismatch("chares", i));
         }
         if c.array.index() >= trace.arrays.len() {
-            return Err(E::DanglingRef("chare.array", i));
+            emit!(errs, limit, E::DanglingRef("chare.array", i));
+            continue;
         }
         if c.home_pe.0 >= trace.pe_count {
-            return Err(E::DanglingRef("chare.home_pe", i));
+            emit!(errs, limit, E::DanglingRef("chare.home_pe", i));
         }
         if c.kind != trace.array(c.array).kind {
-            return Err(E::IdMismatch("chares.kind", i));
+            emit!(errs, limit, E::IdMismatch("chares.kind", i));
         }
     }
     for (i, e) in trace.entries.iter().enumerate() {
         if e.id.index() != i {
-            return Err(E::IdMismatch("entries", i));
+            emit!(errs, limit, E::IdMismatch("entries", i));
         }
     }
-
     for (i, t) in trace.tasks.iter().enumerate() {
         if t.id.index() != i {
-            return Err(E::IdMismatch("tasks", i));
+            emit!(errs, limit, E::IdMismatch("tasks", i));
         }
         if t.chare.index() >= trace.chares.len() {
-            return Err(E::DanglingRef("task.chare", i));
+            emit!(errs, limit, E::DanglingRef("task.chare", i));
         }
         if t.entry.index() >= trace.entries.len() {
-            return Err(E::DanglingRef("task.entry", i));
+            emit!(errs, limit, E::DanglingRef("task.entry", i));
         }
         if t.pe.0 >= trace.pe_count {
-            return Err(E::DanglingRef("task.pe", i));
-        }
-        if t.end < t.begin {
-            return Err(E::NegativeTaskSpan(t.id));
+            emit!(errs, limit, E::DanglingRef("task.pe", i));
         }
         if let Some(sink) = t.sink {
             if sink.index() >= trace.events.len() {
-                return Err(E::DanglingRef("task.sink", i));
-            }
-            let ev = trace.event(sink);
-            if !ev.is_sink() || ev.task != t.id {
-                return Err(E::DanglingRef("task.sink", i));
-            }
-            if ev.time != t.begin {
-                return Err(E::SinkNotAtBegin(t.id));
+                emit!(errs, limit, E::DanglingRef("task.sink", i));
             }
         }
-        let mut last = t.begin;
         for &s in &t.sends {
             if s.index() >= trace.events.len() {
-                return Err(E::DanglingRef("task.sends", i));
+                emit!(errs, limit, E::DanglingRef("task.sends", i));
             }
-            let ev = trace.event(s);
-            if !ev.is_source() || ev.task != t.id {
-                return Err(E::DanglingRef("task.sends", i));
-            }
-            if ev.time < last {
-                return Err(E::SendsOutOfOrder(t.id));
-            }
-            last = ev.time;
         }
     }
-
     for (i, ev) in trace.events.iter().enumerate() {
         if ev.id.index() != i {
-            return Err(E::IdMismatch("events", i));
+            emit!(errs, limit, E::IdMismatch("events", i));
         }
         if ev.task.index() >= trace.tasks.len() {
-            return Err(E::DanglingRef("event.task", i));
-        }
-        let t = trace.task(ev.task);
-        if ev.time < t.begin || ev.time > t.end {
-            return Err(E::EventOutsideTask(ev.id));
+            emit!(errs, limit, E::DanglingRef("event.task", i));
         }
         match ev.kind {
             EventKind::Recv { msg: Some(m) } | EventKind::Send { msg: m } => {
                 if m.index() >= trace.msgs.len() {
-                    return Err(E::DanglingRef("event.msg", i));
+                    emit!(errs, limit, E::DanglingRef("event.msg", i));
                 }
             }
             EventKind::Recv { msg: None } => {}
         }
     }
-
     for (i, m) in trace.msgs.iter().enumerate() {
         if m.id.index() != i {
-            return Err(E::IdMismatch("msgs", i));
+            emit!(errs, limit, E::IdMismatch("msgs", i));
         }
         if m.send_event.index() >= trace.events.len() {
-            return Err(E::DanglingRef("msg.send_event", i));
-        }
-        let sev = trace.event(m.send_event);
-        if !sev.is_source() || sev.time != m.send_time {
-            return Err(E::InconsistentMessage(m.id));
+            emit!(errs, limit, E::DanglingRef("msg.send_event", i));
         }
         if m.dst_chare.index() >= trace.chares.len() {
-            return Err(E::DanglingRef("msg.dst_chare", i));
+            emit!(errs, limit, E::DanglingRef("msg.dst_chare", i));
         }
         if m.dst_entry.index() >= trace.entries.len() {
-            return Err(E::DanglingRef("msg.dst_entry", i));
+            emit!(errs, limit, E::DanglingRef("msg.dst_entry", i));
+        }
+        if let Some(rt) = m.recv_task {
+            if rt.index() >= trace.tasks.len() {
+                emit!(errs, limit, E::DanglingRef("msg.recv_task", i));
+            }
+        }
+    }
+
+    // The semantic phase dereferences ids freely; it only runs when the
+    // integrity phase found every reference in range.
+    if errs.len() > before_refs {
+        return;
+    }
+
+    // ---- Phase 2: semantic cross-checks. ----------------------------
+    for (i, t) in trace.tasks.iter().enumerate() {
+        if t.end < t.begin {
+            emit!(errs, limit, E::NegativeTaskSpan(t.id));
+        }
+        if let Some(sink) = t.sink {
+            let ev = trace.event(sink);
+            if !ev.is_sink() || ev.task != t.id {
+                emit!(errs, limit, E::DanglingRef("task.sink", i));
+            } else if ev.time != t.begin {
+                emit!(errs, limit, E::SinkNotAtBegin(t.id));
+            }
+        }
+        let mut last = t.begin;
+        let mut order_reported = false;
+        for &s in &t.sends {
+            let ev = trace.event(s);
+            if !ev.is_source() || ev.task != t.id {
+                emit!(errs, limit, E::DanglingRef("task.sends", i));
+                continue;
+            }
+            if ev.time < last && !order_reported {
+                emit!(errs, limit, E::SendsOutOfOrder(t.id));
+                order_reported = true;
+            }
+            last = last.max(ev.time);
+        }
+    }
+
+    for ev in &trace.events {
+        let t = trace.task(ev.task);
+        if ev.time < t.begin || ev.time > t.end {
+            emit!(errs, limit, E::EventOutsideTask(ev.id));
+        }
+    }
+
+    for m in &trace.msgs {
+        let sev = trace.event(m.send_event);
+        if !sev.is_source() || sev.time != m.send_time {
+            emit!(errs, limit, E::InconsistentMessage(m.id));
         }
         match (m.recv_task, m.recv_time) {
             (Some(rt), Some(rtime)) => {
-                if rt.index() >= trace.tasks.len() {
-                    return Err(E::DanglingRef("msg.recv_task", i));
-                }
                 let task = trace.task(rt);
                 if task.begin != rtime {
-                    return Err(E::InconsistentMessage(m.id));
+                    emit!(errs, limit, E::InconsistentMessage(m.id));
+                    continue;
                 }
-                let sink = task.sink.ok_or(E::InconsistentMessage(m.id))?;
+                let Some(sink) = task.sink else {
+                    emit!(errs, limit, E::InconsistentMessage(m.id));
+                    continue;
+                };
                 if trace.event(sink).kind != (EventKind::Recv { msg: Some(m.id) }) {
-                    return Err(E::InconsistentMessage(m.id));
+                    emit!(errs, limit, E::InconsistentMessage(m.id));
                 }
             }
             (None, None) => {}
-            _ => return Err(E::InconsistentMessage(m.id)),
+            _ => {
+                emit!(errs, limit, E::InconsistentMessage(m.id));
+            }
         }
     }
 
@@ -223,18 +311,16 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
         for pair in list.windows(2) {
             let (a, b) = (trace.task(pair[0]), trace.task(pair[1]));
             if b.begin < a.end {
-                return Err(E::OverlappingTasks(a.id, b.id));
+                emit!(errs, limit, E::OverlappingTasks(a.id, b.id));
             }
         }
     }
 
     for (i, idle) in trace.idles.iter().enumerate() {
         if idle.end <= idle.begin || idle.pe.0 >= trace.pe_count {
-            return Err(E::BadIdleSpan(i));
+            emit!(errs, limit, E::BadIdleSpan(i));
         }
     }
-
-    Ok(())
 }
 
 #[cfg(test)]
@@ -250,7 +336,9 @@ mod tests {
 
     #[test]
     fn empty_trace_is_valid() {
-        assert_eq!(validate(&base().build_unchecked()), Ok(()));
+        let tr = base().build_unchecked();
+        assert_eq!(validate(&tr), Ok(()));
+        assert_eq!(validate_fast(&tr), Ok(()));
     }
 
     #[test]
@@ -265,7 +353,7 @@ mod tests {
         let t1 = b.begin_task(c1, e, PeId(0), Time(5));
         b.end_task(t1, Time(15));
         let tr = b.build_unchecked();
-        assert!(matches!(validate(&tr), Err(ValidationError::OverlappingTasks(_, _))));
+        assert!(matches!(validate_fast(&tr), Err(ValidationError::OverlappingTasks(_, _))));
     }
 
     #[test]
@@ -291,7 +379,7 @@ mod tests {
         let _m = b.record_send(t0, Time(50), c0, e);
         b.end_task(t0, Time(10)); // send at t=50 now outside [0,10]
         let tr = b.build_unchecked();
-        assert!(matches!(validate(&tr), Err(ValidationError::EventOutsideTask(_))));
+        assert!(matches!(validate_fast(&tr), Err(ValidationError::EventOutsideTask(_))));
     }
 
     #[test]
@@ -303,7 +391,7 @@ mod tests {
         let t0 = b.begin_task(c0, e, PeId(7), Time(0));
         b.end_task(t0, Time(1));
         let tr = b.build_unchecked();
-        assert!(matches!(validate(&tr), Err(ValidationError::DanglingRef("task.pe", _))));
+        assert!(matches!(validate_fast(&tr), Err(ValidationError::DanglingRef("task.pe", _))));
     }
 
     #[test]
@@ -320,7 +408,7 @@ mod tests {
         b.end_task(t1, Time(5));
         let mut tr = b.build_unchecked();
         tr.msgs[m.index()].recv_time = Some(Time(3)); // no longer the task begin
-        assert!(matches!(validate(&tr), Err(ValidationError::InconsistentMessage(_))));
+        assert!(matches!(validate_fast(&tr), Err(ValidationError::InconsistentMessage(_))));
     }
 
     #[test]
@@ -329,16 +417,73 @@ mod tests {
         b.add_idle(PeId(0), Time(1), Time(5));
         let mut tr = b.build_unchecked();
         tr.idles[0].pe = PeId(9);
-        assert_eq!(validate(&tr), Err(ValidationError::BadIdleSpan(0)));
+        assert_eq!(validate(&tr), Err(vec![ValidationError::BadIdleSpan(0)]));
     }
 
     #[test]
     fn absurd_pe_count_is_rejected_before_allocating() {
         let mut tr = base().build_unchecked();
         tr.pe_count = u32::MAX;
-        assert_eq!(validate(&tr), Err(ValidationError::PeCountTooLarge(u32::MAX)));
+        assert_eq!(validate(&tr), Err(vec![ValidationError::PeCountTooLarge(u32::MAX)]));
         let e = ValidationError::PeCountTooLarge(u32::MAX);
         assert!(e.to_string().contains("maximum"));
+    }
+
+    #[test]
+    fn collects_multiple_violations_in_one_pass() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        b.end_task(t0, Time(10));
+        let t1 = b.begin_task(c1, e, PeId(1), Time(0));
+        b.end_task(t1, Time(10));
+        b.add_idle(PeId(0), Time(1), Time(5));
+        let mut tr = b.build_unchecked();
+        // Three independent semantic corruptions.
+        tr.tasks[0].end = Time(0);
+        tr.tasks[0].begin = Time(5); // negative span
+        tr.tasks[1].end = Time(2); // send-free, so only NegativeTaskSpan? no: begin 0 < 2, fine.
+        tr.idles[0].end = Time(1); // empty idle
+        let errs = validate(&tr).unwrap_err();
+        assert!(errs.contains(&ValidationError::NegativeTaskSpan(TaskId(0))), "{errs:?}");
+        assert!(errs.contains(&ValidationError::BadIdleSpan(0)), "{errs:?}");
+        assert!(errs.len() >= 2);
+        // The fast path reports exactly the first of them.
+        assert_eq!(validate_fast(&tr), Err(errs[0].clone()));
+    }
+
+    #[test]
+    fn limit_caps_collection() {
+        let mut b = base();
+        for i in 0..10 {
+            b.add_idle(PeId(0), Time(i), Time(i + 1));
+        }
+        let mut tr = b.build_unchecked();
+        for idle in &mut tr.idles {
+            idle.pe = PeId(9);
+        }
+        let errs = validate_with_limit(&tr, 3).unwrap_err();
+        assert_eq!(errs.len(), 3);
+        let errs = validate(&tr).unwrap_err();
+        assert_eq!(errs.len(), 10);
+    }
+
+    #[test]
+    fn ref_errors_suppress_semantic_phase() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(5));
+        b.end_task(t0, Time(10));
+        let mut tr = b.build_unchecked();
+        tr.tasks[0].end = Time(0); // would be NegativeTaskSpan...
+        tr.tasks[0].chare = crate::ids::ChareId(99); // ...but the ref dangles
+        let errs = validate(&tr).unwrap_err();
+        assert_eq!(errs, vec![ValidationError::DanglingRef("task.chare", 0)]);
     }
 
     #[test]

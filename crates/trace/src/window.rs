@@ -78,7 +78,12 @@ pub fn window(trace: &Trace, from: Time, to: Time) -> Trace {
                         .map(|m| MsgId(msg_map[m.index()])),
                 },
             };
-            EventRec { id: EventId(event_map[old.index()]), task: TaskId(task_map[ev.task.index()]), time: ev.time, kind }
+            EventRec {
+                id: EventId(event_map[old.index()]),
+                task: TaskId(task_map[ev.task.index()]),
+                time: ev.time,
+                kind,
+            }
         })
         .collect();
 

@@ -43,12 +43,8 @@ fn main() {
 
     // Step 3: confirm the load imbalance at phase level.
     let imb = Imbalance::compute(&trace, &ls);
-    let (phase, worst) = imb
-        .per_phase
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, d)| d)
-        .expect("phases exist");
+    let (phase, worst) =
+        imb.per_phase.iter().enumerate().max_by_key(|&(_, d)| d).expect("phases exist");
     println!("\n== imbalance ==");
     println!("most imbalanced phase: {phase} ({worst} max-min load)");
     println!("overall PE imbalance: {}", imb.overall());

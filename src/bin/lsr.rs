@@ -7,12 +7,14 @@
 //! lsr extract <trace> [flags]                phases + steps summary
 //! lsr render <trace> [flags]                 ASCII/SVG views
 //! lsr metrics <trace> [flags]                idle/differential/imbalance
+//! lsr lint <trace> [flags]                   diagnostic passes (lsr-lint)
 //! lsr critical-path <trace>                  longest dependent chain
 //! ```
 //!
 //! Extraction flags: `--mpi` (message-passing model), `--physical`
 //! (no reordering), `--no-infer`, `--no-split`, `--no-sdag`,
-//! `--parallel`, `--no-process-order`.
+//! `--parallel`, `--no-process-order`, `--verify` (re-check the DESIGN
+//! §7 invariants after extraction; panics on violation).
 //! Render flags: `--view logical|physical`, `--format ascii|svg`,
 //! `--metric phase|diff|idle|imbalance`, `--out FILE`.
 
@@ -33,7 +35,7 @@ fn main() -> ExitCode {
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("run `lsr help` for usage");
@@ -42,26 +44,28 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         print_help();
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     let rest = &args[1..];
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             print_help();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "gen" => cmd_gen(rest),
-        "stats" => cmd_stats(rest),
-        "quality" => cmd_quality(rest),
-        "extract" => cmd_extract(rest),
-        "render" => cmd_render(rest),
-        "metrics" => cmd_metrics(rest),
-        "report" => cmd_report(rest),
-        "diff" => cmd_diff(rest),
-        "critical-path" => cmd_critical_path(rest),
+        "gen" => done(cmd_gen(rest)),
+        "stats" => done(cmd_stats(rest)),
+        "quality" => done(cmd_quality(rest)),
+        "extract" => done(cmd_extract(rest)),
+        "render" => done(cmd_render(rest)),
+        "metrics" => done(cmd_metrics(rest)),
+        "report" => done(cmd_report(rest)),
+        "diff" => done(cmd_diff(rest)),
+        "lint" => cmd_lint(rest),
+        "critical-path" => done(cmd_critical_path(rest)),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -82,10 +86,16 @@ fn print_help() {
          \u{20}  metrics <trace> [flags]     idle / differential duration / imbalance\n\
          \u{20}  report <trace> [flags]      self-contained HTML analysis report\n\
          \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
+         \u{20}  lint <trace> [flags]        diagnostic passes over trace + structure\n\
          \u{20}  critical-path <trace>       longest dependent chain\n\n\
-         EXTRACTION FLAGS (extract/render/metrics)\n\
+         EXTRACTION FLAGS (extract/render/metrics/lint)\n\
          \u{20}  --mpi --physical --no-infer --no-split --no-sdag --parallel\n\
-         \u{20}  --no-process-order\n\n\
+         \u{20}  --no-process-order --verify\n\n\
+         LINT FLAGS\n\
+         \u{20}  --json                   machine-readable report\n\
+         \u{20}  --deny-warnings          exit nonzero on warnings too\n\
+         \u{20}  --limit N                cap findings per pass family (default 64)\n\
+         \u{20}  --no-structure           skip extraction; trace-level passes only\n\n\
          WINDOWING (extract/render/metrics/report)\n\
          \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
          RENDER FLAGS\n\
@@ -99,7 +109,7 @@ fn print_help() {
 fn parse_opts(
     args: &[String],
 ) -> Result<(Vec<&str>, std::collections::HashMap<String, String>), String> {
-    const VALUE_FLAGS: &[&str] = &["out", "view", "format", "metric", "from", "to"];
+    const VALUE_FLAGS: &[&str] = &["out", "view", "format", "metric", "from", "to", "limit"];
     const BOOL_FLAGS: &[&str] = &[
         "mpi",
         "physical",
@@ -108,6 +118,10 @@ fn parse_opts(
         "no-sdag",
         "parallel",
         "no-process-order",
+        "verify",
+        "json",
+        "deny-warnings",
+        "no-structure",
     ];
     let mut pos = Vec::new();
     let mut opts = std::collections::HashMap::new();
@@ -116,9 +130,7 @@ fn parse_opts(
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             if VALUE_FLAGS.contains(&name) {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                let value = args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
                 opts.insert(name.to_owned(), value.clone());
                 i += 2;
             } else if BOOL_FLAGS.contains(&name) {
@@ -155,6 +167,9 @@ fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
     if opts.contains_key("no-process-order") {
         cfg = cfg.with_process_order(false);
     }
+    if opts.contains_key("verify") {
+        cfg = cfg.with_verify(true);
+    }
     cfg
 }
 
@@ -162,7 +177,8 @@ fn load(path: &str) -> Result<Trace, String> {
     // `<base>.sts` selects the multi-file per-PE layout.
     if let Some(base) = path.strip_suffix(".sts") {
         let p = std::path::Path::new(base);
-        let dir = p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
+        let dir =
+            p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
         let stem = p.file_name().and_then(|f| f.to_str()).ok_or("bad sts path")?;
         if !std::path::Path::new(path).exists() {
             return Err(format!("cannot open {path}: not found"));
@@ -231,7 +247,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     if let Some(base) = out.strip_suffix(".sts") {
         // Multi-file per-PE layout (Projections-style).
         let p = std::path::Path::new(base);
-        let dir = p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
+        let dir =
+            p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
         let stem = p.file_name().and_then(|f| f.to_str()).ok_or("bad sts path")?;
         let files = lsr::trace::multifile::write_split(&trace, dir, stem)
             .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -309,10 +326,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         "imbalance" => {
             let imb = Imbalance::compute(&trace, &ls);
             Some(
-                trace
-                    .event_ids()
-                    .map(|e| imb.event_value(&trace, &ls, e).nanos() as f64)
-                    .collect(),
+                trace.event_ids().map(|e| imb.event_value(&trace, &ls, e).nanos() as f64).collect(),
             )
         }
         other => return Err(format!("unknown metric {other:?}")),
@@ -412,6 +426,47 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         println!("=> structures diverge; inspect the ! rows above");
     }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, opts) = parse_opts(args)?;
+    let path = pos.first().ok_or("missing trace file argument")?;
+    // Lint wants to diagnose broken files, so single-file logs load
+    // without the reader's validation pass (the T lints re-run it with
+    // coded findings). Windowing and the split layout rewrite the
+    // trace on load, so those paths keep the strict reader.
+    let windowed = opts.contains_key("from") || opts.contains_key("to");
+    let trace = if windowed || path.ends_with(".sts") {
+        load_windowed(path, &opts)?
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        logfmt::read_log_unchecked(std::io::BufReader::new(f))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?
+    };
+    let mut lint_opts = lsr::lint::LintOptions::with_config(config_from(&opts));
+    if let Some(v) = opts.get("limit") {
+        lint_opts.limit = v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?;
+    }
+    if opts.contains_key("no-structure") {
+        lint_opts.check_structure = false;
+    }
+    let report = lsr::lint::lint_trace(&trace, &lint_opts);
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{path}: {} error(s), {} warning(s){}",
+            report.error_count(),
+            report.warning_count(),
+            if report.structure_checked { "" } else { " (structure passes skipped)" }
+        );
+    }
+    let failing = report.error_count() > 0
+        || (opts.contains_key("deny-warnings") && report.warning_count() > 0);
+    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 fn cmd_critical_path(args: &[String]) -> Result<(), String> {

@@ -9,6 +9,7 @@
 //! * [`mpi`] — a message-passing process simulator.
 //! * [`core`] — phase finding, step assignment, and reordering (the
 //!   paper's contribution).
+//! * [`lint`] — diagnostic passes over traces and recovered structure.
 //! * [`metrics`] — idle experienced, differential duration, imbalance.
 //! * [`apps`] — proxy applications (Jacobi 2D, LULESH-like, LASSEN-like,
 //!   PDES, merge tree, BT stencil).
@@ -17,6 +18,7 @@
 pub use lsr_apps as apps;
 pub use lsr_charm as charm;
 pub use lsr_core as core;
+pub use lsr_lint as lint;
 pub use lsr_metrics as metrics;
 pub use lsr_mpi as mpi;
 pub use lsr_render as render;

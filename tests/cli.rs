@@ -5,11 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn lsr(args: &[&str], dir: &std::path::Path) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_lsr"))
-        .args(args)
-        .current_dir(dir)
-        .output()
-        .expect("spawn lsr")
+    Command::new(env!("CARGO_BIN_EXE_lsr")).args(args).current_dir(dir).output().expect("spawn lsr")
 }
 
 fn stdout(o: &Output) -> String {
@@ -92,8 +88,18 @@ fn render_ascii_and_svg() {
     assert!(svg.starts_with("<svg"));
 
     let out = lsr(
-        &["render", "j.lsrtrace", "--view", "physical", "--format", "svg", "--metric", "idle",
-          "--out", "p.svg"],
+        &[
+            "render",
+            "j.lsrtrace",
+            "--view",
+            "physical",
+            "--format",
+            "svg",
+            "--metric",
+            "idle",
+            "--out",
+            "p.svg",
+        ],
         &dir,
     );
     assert!(out.status.success());
@@ -194,6 +200,55 @@ fn split_trace_layout_roundtrips_through_cli() {
     let a = stdout(&lsr(&["extract", "run.sts"], &dir));
     let b = stdout(&lsr(&["extract", "j.lsrtrace"], &dir));
     assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_passes_clean_traces_and_flags_corrupt_ones() {
+    let dir = temp_dir("lint");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+
+    let out = lsr(&["lint", "j.lsrtrace"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("0 error(s), 0 warning(s)"));
+
+    // Machine-readable output.
+    let out = lsr(&["lint", "j.lsrtrace", "--json", "--deny-warnings"], &dir);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(json.contains("\"errors\": 0"), "{json}");
+    assert!(json.contains("\"structure_checked\": true"), "{json}");
+
+    // Trace-only mode skips extraction.
+    let out = lsr(&["lint", "j.lsrtrace", "--no-structure"], &dir);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("structure passes skipped"));
+
+    // Corrupt the log (invert one task's span) and expect a nonzero
+    // exit with a coded diagnostic.
+    let path = dir.join("j.lsrtrace");
+    let text = std::fs::read_to_string(&path).expect("read log");
+    let mut swapped = false;
+    let corrupt: Vec<String> = text
+        .lines()
+        .map(|l| {
+            let mut f: Vec<&str> = l.split_whitespace().collect();
+            // Lines read "TASK <id> <chare> <entry> <pe> <begin> <end> <sink>".
+            if !swapped && f.first() == Some(&"TASK") && f.len() >= 8 && f[5] != f[6] {
+                swapped = true;
+                f.swap(5, 6);
+                f.join(" ")
+            } else {
+                l.to_owned()
+            }
+        })
+        .collect();
+    assert!(swapped, "no task line found to corrupt");
+    std::fs::write(&path, corrupt.join("\n") + "\n").expect("write corrupt log");
+    let out = lsr(&["lint", "j.lsrtrace"], &dir);
+    assert!(!out.status.success(), "corrupt trace must fail the lint");
+    let text = stdout(&out);
+    assert!(text.contains("error T"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

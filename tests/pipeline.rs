@@ -38,7 +38,7 @@ fn all_app_traces() -> Vec<(&'static str, Trace, Config)> {
 #[test]
 fn every_app_trace_is_valid_and_extracts() {
     for (name, trace, cfg) in all_app_traces() {
-        lsr_trace::validate(&trace).unwrap_or_else(|e| panic!("{name}: invalid trace: {e}"));
+        lsr_trace::validate(&trace).unwrap_or_else(|e| panic!("{name}: invalid trace: {e:?}"));
         let ls = extract(&trace, &cfg);
         ls.verify(&trace).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(ls.num_phases() > 0, "{name}: no phases");
@@ -112,7 +112,8 @@ fn structure_is_stable_across_scheduling_noise() {
     // iterations bleed into each other, but not more.
     let mut base_params = JacobiParams::fig8();
     base_params.iters = 2;
-    let base = extract(&jacobi2d(&JacobiParams { seed: 77, ..base_params.clone() }), &Config::charm());
+    let base =
+        extract(&jacobi2d(&JacobiParams { seed: 77, ..base_params.clone() }), &Config::charm());
     for seed in [1u64, 2, 3] {
         let p = JacobiParams { seed, ..base_params.clone() };
         let tr = jacobi2d(&p);

@@ -56,7 +56,12 @@ pub fn trace_from_tape(pes: u32, chares: u32, tape: &[u8]) -> Trace {
                 let pe = pe_of(chare, &app_chares, &rt_chares);
                 let begin = pe_free[pe.index()];
                 let dur = 2 + (next() % 16) as u64;
-                let t = b.begin_task(chare, entries[(d >> 2) as usize % entries.len()], pe, Time(begin));
+                let t = b.begin_task(
+                    chare,
+                    entries[(d >> 2) as usize % entries.len()],
+                    pe,
+                    Time(begin),
+                );
                 let nsends = next() % 3;
                 let mut at = begin;
                 for _ in 0..nsends {

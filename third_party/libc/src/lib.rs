@@ -1,0 +1,38 @@
+//! Offline shim for the handful of `libc` items this workspace uses
+//! (resetting the `SIGPIPE` disposition in the CLI). Declarations match
+//! the Linux C ABI.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+
+/// Signal-handler pointer, as `uintptr_t` (matches libc's usage where
+/// `SIG_DFL`/`SIG_IGN` are small integer constants).
+pub type sighandler_t = usize;
+
+/// Default signal disposition.
+pub const SIG_DFL: sighandler_t = 0;
+
+/// Ignore-signal disposition.
+pub const SIG_IGN: sighandler_t = 1;
+
+/// Broken-pipe signal number (Linux).
+pub const SIGPIPE: c_int = 13;
+
+extern "C" {
+    /// POSIX `signal(2)`.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn signal_installs_and_returns_previous_disposition() {
+        unsafe {
+            let prev = super::signal(super::SIGPIPE, super::SIG_IGN);
+            let back = super::signal(super::SIGPIPE, prev);
+            assert_eq!(back, super::SIG_IGN);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses:
+//! `Mutex` and `RwLock` with parking_lot's poison-free API, implemented
+//! over `std::sync`. A poisoned std lock means a thread panicked while
+//! holding it; matching parking_lot, the shim ignores the poison flag
+//! and returns the guard (the panic is already propagating elsewhere).
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A readers-writer lock whose guards never report poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock { inner: StdRwLock::new(value) }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(l.into_inner(), 6);
+    }
+}

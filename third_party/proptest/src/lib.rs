@@ -1,0 +1,309 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro with `#![proptest_config]`, integer-range / `any` /
+//! `Just` / tuple / `prop_oneof!` / `collection::vec` / string
+//! strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Compared to the real crate there is no shrinking and no persisted
+//! regression corpus: each test runs a fixed number of deterministic
+//! cases derived from the test's name, and a failing case panics with
+//! the generated inputs' debug representation via the normal assert
+//! machinery. That keeps the property suites meaningful (deterministic,
+//! reproducible, varied inputs) in a container with no registry access.
+
+/// Test-runner configuration (`ProptestConfig` in the prelude).
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many generated inputs each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    pub use rand::rngs::SmallRng as TestRng;
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::{Rng, SeedableRng};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value;
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut crate::test_runner::TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `any::<T>()` marker (stands in for proptest's `Arbitrary`).
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Produces an arbitrary value of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// String strategies are written as regex literals in proptest; the
+    /// shim ignores the pattern and produces printable text of varied
+    /// length (every workspace use is the any-printable class `\PC*`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> String {
+            let len = rng.gen_range(0usize..64);
+            (0..len)
+                .map(|_| {
+                    // Mostly ASCII printable, occasionally multi-byte.
+                    if rng.gen_range(0u32..8) == 0 {
+                        const EXOTIC: [char; 6] = ['é', 'λ', '中', '🌀', '\u{2028}', 'ß'];
+                        EXOTIC[rng.gen_range(0usize..EXOTIC.len())]
+                    } else {
+                        char::from(rng.gen_range(0x20u8..0x7F))
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+    /// Seeds a deterministic per-test RNG (used by `proptest!`).
+    pub fn case_rng(test_name: &str, case: u64) -> crate::test_runner::TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        crate::test_runner::TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Vec<S::Value> {
+            let n =
+                if self.len.is_empty() { self.len.start } else { rng.gen_range(self.len.clone()) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure, like a
+/// plain `assert!` — the shim has no shrinking phase to report to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Defines property tests: each `fn` runs `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::strategy::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_work(
+            n in 1u32..5,
+            bytes in crate::collection::vec(any::<u8>(), 0..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(bytes.len() < 10);
+            let _: bool = flag;
+        }
+
+        #[test]
+        fn oneof_and_just_work(tag in prop_oneof![Just("a"), Just("b")]) {
+            prop_assert!(tag == "a" || tag == "b");
+        }
+
+        #[test]
+        fn string_strategy_works(s in "\\PC*") {
+            prop_assert!(s.chars().count() < 64 + 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::strategy::Strategy::generate(
+            &(0u64..1000),
+            &mut crate::strategy::case_rng("x", 3),
+        );
+        let b = crate::strategy::Strategy::generate(
+            &(0u64..1000),
+            &mut crate::strategy::case_rng("x", 3),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build container has no access to a crate registry, so the real
+//! serde cannot be fetched. This crate provides API-compatible (for our
+//! call sites) `Serialize`/`Deserialize` traits plus the matching derive
+//! macros (re-exported from the sibling `serde_derive` shim). Instead of
+//! serde's visitor architecture, values round-trip through a simple
+//! self-describing [`Value`] tree that `serde_json` (also shimmed)
+//! renders to and parses from JSON text. The JSON produced matches real
+//! serde's externally-tagged conventions for the shapes we derive
+//! (structs, tuple newtypes with `#[serde(transparent)]`, unit and
+//! struct enum variants, `Option`, sequences).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the shim's "data model").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Arr(Vec<Value>),
+    /// An ordered map with string keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the variant, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", found.kind_name()))
+    }
+}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the shim data model.
+    fn ser(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the shim data model.
+    fn deser(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    _ => Err(DeError::expected("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::I64(n)
+                } else {
+                    Value::U64(n as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match *v {
+                    Value::U64(n) => n as i128,
+                    Value::I64(n) => n as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(x) => x.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deser(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deser).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deser(&42u64.ser()), Ok(42));
+        assert_eq!(i32::deser(&(-7i32).ser()), Ok(-7));
+        assert_eq!(bool::deser(&true.ser()), Ok(true));
+        assert_eq!(String::deser(&"hi".to_string().ser()), Ok("hi".to_string()));
+        assert_eq!(Option::<u32>::deser(&Value::Null), Ok(None));
+        assert_eq!(Vec::<u8>::deser(&vec![1u8, 2].ser()), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        assert!(u32::deser(&Value::Str("x".into())).is_err());
+        assert!(bool::deser(&Value::U64(1)).is_err());
+        assert!(u8::deser(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Obj(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v.get("a"), Some(&Value::U64(1)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::Null.get("a"), None);
+    }
+}

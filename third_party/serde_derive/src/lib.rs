@@ -1,0 +1,358 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The build container has no registry access, so `syn`/`quote` are
+//! unavailable; the input token stream is parsed by hand. Supported
+//! shapes — which cover every derive site in this workspace:
+//!
+//! * structs with named fields (honoring `#[serde(default)]` on fields);
+//! * tuple structs with one field (including `#[serde(transparent)]`);
+//! * enums whose variants are unit or struct-like.
+//!
+//! Generics are not supported. The generated code targets the shim's
+//! `ser`/`deser` traits, not real serde's visitor API.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple1,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Collects leading `#[...]` attributes, returning their stringified
+/// contents; leaves `iter` positioned at the first non-attribute token.
+fn take_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
+    let mut attrs = Vec::new();
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.stream().to_string());
+            }
+            other => panic!("malformed attribute after `#`: {other:?}"),
+        }
+    }
+    attrs
+}
+
+fn attr_has(attrs: &[String], marker: &str) -> bool {
+    attrs.iter().any(|a| {
+        let squashed: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+        squashed.starts_with("serde(") && squashed.contains(marker)
+    })
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let attrs = take_attrs(&mut iter);
+    let transparent = attr_has(&attrs, "transparent");
+
+    // Skip visibility (`pub`, optionally followed by `(crate)` etc.).
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                if transparent {
+                    panic!("`#[serde(transparent)]` on named struct `{name}` is unsupported");
+                }
+                Shape::Named(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                if fields != 1 {
+                    panic!("tuple struct `{name}` must have exactly 1 field, has {fields}");
+                }
+                Shape::Tuple1
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        kw => panic!("serde shim derive supports struct/enum only, found `{kw}`"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `name: Type` fields (with attributes and visibility) from the
+/// body of a braced struct or struct-like enum variant.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        let attrs = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, has_default: attr_has(&attrs, "default") });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in body {
+        saw_token = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // Commas separate fields; a trailing comma would overcount by one,
+    // but none of our derive sites use one inside tuple structs.
+    if saw_token {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        let _attrs = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                iter.next();
+                variants.push(Variant::Struct(name, fields));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variant `{name}` is unsupported by the serde shim");
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Consume the separating comma, if any.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Tuple1 => "::serde::Serialize::ser(&self.0)".to_string(),
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({:?}.to_string(), ::serde::Serialize::ser(&self.{}))", f.name, f.name)
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::ser({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Obj(vec![{}]))]),",
+                            binds.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn ser(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+/// Emits the field-construction expression list for a named-field shape
+/// reading from the object value expression `src`.
+fn named_ctor(type_name: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(::serde::DeError(\"missing field `{}` in `{}`\".to_string()))",
+                    f.name, type_name
+                )
+            };
+            format!(
+                "{}: match {src}.get({:?}) {{ \
+                     Some(x) => ::serde::Deserialize::deser(x)?, \
+                     None => {missing}, \
+                 }}",
+                f.name, f.name
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Tuple1 => format!("Ok({name}(::serde::Deserialize::deser(v)?))"),
+        Shape::Named(fields) => {
+            let inits = named_ctor(name, fields, "v");
+            format!(
+                "match v {{\
+                     ::serde::Value::Obj(_) => Ok({name} {{ {inits} }}),\
+                     other => Err(::serde::DeError::expected(\"object\", other)),\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits = named_ctor(&format!("{name}::{vn}"), fields, "inner");
+                        struct_arms.push_str(&format!("{vn:?} => Ok({name}::{vn} {{ {inits} }}),"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\
+                     ::serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => Err(::serde::DeError(format!(\
+                             \"unknown variant `{{other}}` of `{name}`\"))),\
+                     }},\
+                     ::serde::Value::Obj(entries) if entries.len() == 1 => {{\
+                         let (key, inner) = &entries[0];\
+                         match key.as_str() {{\
+                             {struct_arms}\
+                             other => Err(::serde::DeError(format!(\
+                                 \"unknown variant `{{other}}` of `{name}`\"))),\
+                         }}\
+                     }},\
+                     other => Err(::serde::DeError::expected(\"variant of {name}\", other)),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deser(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\
+         }}"
+    )
+}
