@@ -152,25 +152,23 @@ pub(crate) fn build_atoms(trace: &Trace, ix: &TraceIndex, cfg: &Config) -> AtomG
     }
 
     // Message edges: matched send/receive endpoints.
-    for m in &trace.msgs {
-        if let Some(rt) = m.recv_task {
-            let send_atom = atom_of_event[m.send_event.index()];
-            let sink = trace.task(rt).sink.expect("validated: matched msg has sink");
-            let recv_atom = atom_of_event[sink.index()];
-            // Both endpoints of a matched message must lie in atoms;
-            // re-checked in release builds under
-            // `Config::verify_invariants`.
-            debug_assert!(send_atom != NONE && recv_atom != NONE);
-            if cfg.verify_invariants {
-                assert!(
-                    send_atom != NONE && recv_atom != NONE,
-                    "message {} endpoints missing from the atom graph \
-                     (send atom {send_atom:#x}, recv atom {recv_atom:#x})",
-                    m.id
-                );
-            }
-            edges.push((send_atom, recv_atom, EdgeKind::Message));
+    for me in trace.message_edges() {
+        let send_atom = atom_of_event[trace.msg(me.msg).send_event.index()];
+        let sink = trace.task(me.to).sink.expect("validated: matched msg has sink");
+        let recv_atom = atom_of_event[sink.index()];
+        // Both endpoints of a matched message must lie in atoms;
+        // re-checked in release builds under
+        // `Config::verify_invariants`.
+        debug_assert!(send_atom != NONE && recv_atom != NONE);
+        if cfg.verify_invariants {
+            assert!(
+                send_atom != NONE && recv_atom != NONE,
+                "message {} endpoints missing from the atom graph \
+                 (send atom {send_atom:#x}, recv atom {recv_atom:#x})",
+                me.msg
+            );
         }
+        edges.push((send_atom, recv_atom, EdgeKind::Message));
     }
 
     // Message-passing model: program order within each process is a
@@ -178,13 +176,11 @@ pub(crate) fn build_atoms(trace: &Trace, ix: &TraceIndex, cfg: &Config) -> AtomG
     // stage the "wealth of additional dependencies" Isaacs'14 relies
     // on, fusing each exchange round into one phase via cycle merges.
     if cfg.model == crate::config::TraceModel::MessagePassing && cfg.mp_process_order {
-        for list in &ix.tasks_by_chare {
-            for pair in list.windows(2) {
-                let la = last_atom_of_task[pair[0].index()];
-                let fb = first_atom_of_task[pair[1].index()];
-                if la != NONE && fb != NONE {
-                    edges.push((la, fb, EdgeKind::ProcessOrder));
-                }
+        for (a, b) in ix.chare_order_edges() {
+            let la = last_atom_of_task[a.index()];
+            let fb = first_atom_of_task[b.index()];
+            if la != NONE && fb != NONE {
+                edges.push((la, fb, EdgeKind::ProcessOrder));
             }
         }
     }

@@ -25,12 +25,14 @@ mod atoms;
 mod config;
 pub mod graph;
 mod merges;
+mod provenance;
 mod stage;
 mod step;
 mod structure;
 mod verify;
 
 pub use config::{Config, OrderingPolicy, TieBreak, TraceModel};
+pub use provenance::{MergeProvenance, MergeRecord, ProvenanceRule};
 pub use stage::Diagnostics;
 pub use structure::{
     intra_phase_messages, is_source, phase_signature, LogicalStructure, Phase, NO_PHASE,
@@ -100,6 +102,17 @@ pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTim
     extract_observed(trace, cfg, None)
 }
 
+/// [`extract`], also returning the [`MergeProvenance`] decision log:
+/// every union and inferred edge the pipeline performed, with the rule
+/// that fired and the deciding task pair. The race analysis uses the
+/// order-sensitive subset to classify races as benign or
+/// structure-affecting.
+pub fn extract_with_provenance(trace: &Trace, cfg: &Config) -> (LogicalStructure, MergeProvenance) {
+    let mut prov = None;
+    let (ls, _) = extract_inner(trace, cfg, None, Some(&mut prov));
+    (ls, prov.unwrap_or_default())
+}
+
 /// [`extract_timed`], additionally reporting a [`StageSnapshot`] after
 /// each pipeline stage to `observer`. Snapshot construction costs a
 /// partition-view rebuild per stage, so it only happens when an
@@ -111,7 +124,16 @@ pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTim
 pub fn extract_observed(
     trace: &Trace,
     cfg: &Config,
+    observer: Option<&mut dyn FnMut(StageSnapshot)>,
+) -> (LogicalStructure, StageTimings) {
+    extract_inner(trace, cfg, observer, None)
+}
+
+fn extract_inner(
+    trace: &Trace,
+    cfg: &Config,
     mut observer: Option<&mut dyn FnMut(StageSnapshot)>,
+    prov_out: Option<&mut Option<MergeProvenance>>,
 ) -> (LogicalStructure, StageTimings) {
     use std::time::Instant;
     let mut t = StageTimings::default();
@@ -135,7 +157,11 @@ pub fn extract_observed(
 
     let ix = trace.index();
     let ag = atoms::build_atoms(trace, &ix, cfg);
-    let mut stage = stage::Stage::new(trace, ag);
+    let mut stage = if prov_out.is_some() {
+        stage::Stage::with_provenance(trace, ag)
+    } else {
+        stage::Stage::new(trace, ag)
+    };
     observe!(stage, "atoms");
     stamp(&mut mark, &mut elapsed, &mut t.atoms);
 
@@ -170,6 +196,9 @@ pub fn extract_observed(
     observe!(stage, "enforce");
     stamp(&mut mark, &mut elapsed, &mut t.enforce);
 
+    if let Some(out) = prov_out {
+        *out = stage.prov.take();
+    }
     let ls = assemble(trace, &ix, stage, cfg);
     stamp(&mut mark, &mut elapsed, &mut t.ordering);
 

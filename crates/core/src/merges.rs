@@ -1,6 +1,7 @@
 //! The phase-finding merge passes (paper §3.1.2–§3.1.4, Algorithms 1–5).
 
 use crate::atoms::EdgeKind;
+use crate::provenance::ProvenanceRule;
 use crate::stage::Stage;
 use lsr_trace::{ChareId, EventId, Time};
 use std::collections::HashMap;
@@ -13,6 +14,7 @@ pub(crate) fn dependency_merge(stage: &mut Stage<'_>) {
         let (u, v, kind) = stage.ag.edges[i];
         if kind == EdgeKind::Message && stage.uf.union(u, v) {
             merges += 1;
+            stage.note(ProvenanceRule::DependencyMerge, u, v);
         }
     }
     stage.diag.dependency_merges += merges;
@@ -43,6 +45,7 @@ pub(crate) fn repair_merge(stage: &mut Stage<'_>) {
                 let anchor = *slot;
                 if stage.uf.union(anchor, a) {
                     merges += 1;
+                    stage.note(ProvenanceRule::RepairMerge, anchor, a);
                 }
             }
         }
@@ -51,7 +54,8 @@ pub(crate) fn repair_merge(stage: &mut Stage<'_>) {
     // (predecessor partition, fragment entry type, flavor).
     let v = stage.view();
     let mut groups: HashMap<(u32, lsr_trace::EntryId, bool), u32> = HashMap::new();
-    for &(a, b, kind) in &stage.ag.edges {
+    for i in 0..stage.ag.edges.len() {
+        let (a, b, kind) = stage.ag.edges[i];
         if kind != EdgeKind::IntraBlock {
             continue;
         }
@@ -68,6 +72,7 @@ pub(crate) fn repair_merge(stage: &mut Stage<'_>) {
                     let anchor_atom = v.atoms_in[anchor_part as usize][0];
                     if stage.uf.union(anchor_atom, b) {
                         merges += 1;
+                        stage.note(ProvenanceRule::RepairMerge, anchor_atom, b);
                     }
                 }
             }
@@ -116,6 +121,7 @@ pub(crate) fn neighbor_serial_merge(stage: &mut Stage<'_>) {
                 let aw = v.atoms_in[pw as usize][0];
                 if stage.uf.union(a0, aw) {
                     merges += 1;
+                    stage.note(ProvenanceRule::NeighborSerialMerge, a0, aw);
                 }
             }
         }
@@ -141,24 +147,20 @@ pub(crate) fn collective_merge(stage: &mut Stage<'_>, ix: &lsr_trace::TraceIndex
             (stage.ag.first_atom_of_task[a.index()], stage.ag.first_atom_of_task[b.index()]);
         if fa != u32::MAX && fb != u32::MAX && stage.uf.union(fa, fb) {
             merges += 1;
+            stage.note(ProvenanceRule::CollectiveMerge, fa, fb);
         }
     };
     // Messages between collective tasks.
-    for m in &trace.msgs {
-        if let Some(rt) = m.recv_task {
-            let st = trace.event(m.send_event).task;
-            if is_coll(st) && is_coll(rt) {
-                union_tasks(stage, st, rt);
-            }
+    for me in trace.message_edges() {
+        if is_coll(me.from) && is_coll(me.to) {
+            union_tasks(stage, me.from, me.to);
         }
     }
     // Consecutive collective tasks on the same rank belong to the same
     // instance (distinct collectives are separated by application ops).
-    for list in &ix.tasks_by_chare {
-        for pair in list.windows(2) {
-            if is_coll(pair[0]) && is_coll(pair[1]) {
-                union_tasks(stage, pair[0], pair[1]);
-            }
+    for (a, b) in ix.chare_order_edges() {
+        if is_coll(a) && is_coll(b) {
+            union_tasks(stage, a, b);
         }
     }
     stage.diag.collective_merges += merges;
@@ -190,12 +192,16 @@ pub(crate) fn infer_dependencies(stage: &mut Stage<'_>) {
         let mut list = per_chare.remove(&chare).expect("chare exists");
         list.sort_unstable();
         for w in list.windows(2) {
-            let (_, _, p) = w[0];
-            let (_, _, q) = w[1];
+            let (_, ea, p) = w[0];
+            let (_, eb, q) = w[1];
             if p != q {
                 let ap = v.atoms_in[p as usize][0];
                 let aq = v.atoms_in[q as usize][0];
                 stage.extra_edges.push((ap, aq));
+                // The edge direction was decided by the physical-time
+                // order of these two source events' tasks.
+                let (ta, tb) = (stage.trace.event(ea).task, stage.trace.event(eb).task);
+                stage.note_tasks(ProvenanceRule::InferredEdge, ta, tb);
                 added += 1;
             }
         }
@@ -262,6 +268,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
                 let (ap, aq) = (v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]);
                 if stage.uf.union(ap, aq) {
                     merges += 1;
+                    stage.note(ProvenanceRule::LeapMerge, ap, aq);
                 }
             }
             stage.diag.leap_merges += merges;
@@ -280,10 +287,13 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
             if !seen.insert(key) {
                 continue;
             }
-            let (earlier, later) = orient(stage, &v, &init, &per_pe, &chares, p, q);
+            let (earlier, later, decided_by) = orient(stage, &v, &init, &per_pe, &chares, p, q);
             let ae = v.atoms_in[earlier as usize][0];
             let al = v.atoms_in[later as usize][0];
             stage.extra_edges.push((ae, al));
+            let (da, db) = decided_by
+                .unwrap_or((stage.ag.atoms[ae as usize].task, stage.ag.atoms[al as usize].task));
+            stage.note_tasks(ProvenanceRule::OrderingEdge, da, db);
             added += 1;
         }
         stage.diag.ordering_edges += added;
@@ -302,8 +312,10 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
     for p in 0..v.len() as u32 {
         for &c in &chares[p as usize] {
             if let Some(&q) = by_leap.get(&(leaps[p as usize], c)) {
-                if q != p && stage.uf.union(v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]) {
+                let (ap, aq) = (v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]);
+                if q != p && stage.uf.union(ap, aq) {
                     merges += 1;
+                    stage.note(ProvenanceRule::LeapMerge, ap, aq);
                 }
             } else {
                 by_leap.insert((leaps[p as usize], c), p);
@@ -317,16 +329,20 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
 }
 
 /// Chooses the happened-before direction between two same-leap
-/// partitions (§3.1.4 "Enforcing DAG Properties").
+/// partitions (§3.1.4 "Enforcing DAG Properties"). Also returns the
+/// deciding task pair (earlier first) when the direction was picked by
+/// comparing the times of two specific events; `None` for the
+/// structural fallbacks.
 fn orient(
-    _stage: &Stage<'_>,
+    stage: &Stage<'_>,
     v: &crate::stage::PartView,
     init: &[HashMap<ChareId, (Time, EventId, bool)>],
     per_pe: &[HashMap<lsr_trace::PeId, Time>],
     chares: &[Vec<ChareId>],
     p: u32,
     q: u32,
-) -> (u32, u32) {
+) -> (u32, u32, Option<(lsr_trace::TaskId, lsr_trace::TaskId)>) {
+    let task_of = |e: EventId| stage.trace.event(e).task;
     let shared: Vec<ChareId> = chares[p as usize]
         .iter()
         .copied()
@@ -342,7 +358,11 @@ fn orient(
             .min()
     };
     if let (Some(tp), Some(tq)) = (src_min(p), src_min(q)) {
-        return if tp <= tq { (p, q) } else { (q, p) };
+        return if tp <= tq {
+            (p, q, Some((task_of(tp.1), task_of(tq.1))))
+        } else {
+            (q, p, Some((task_of(tq.1), task_of(tp.1))))
+        };
     }
     // 2. Earliest events per shared PE.
     let shared_pes: Vec<_> = per_pe[p as usize]
@@ -354,7 +374,7 @@ fn orient(
         let tp = shared_pes.iter().map(|pe| per_pe[p as usize][pe]).min().unwrap();
         let tq = shared_pes.iter().map(|pe| per_pe[q as usize][pe]).min().unwrap();
         if tp != tq {
-            return if tp < tq { (p, q) } else { (q, p) };
+            return if tp < tq { (p, q, None) } else { (q, p, None) };
         }
     }
     // 3. Global earliest initial events; ties put application first.
@@ -362,20 +382,20 @@ fn orient(
     match (all_min(p), all_min(q)) {
         (Some(tp), Some(tq)) if tp != tq => {
             if tp < tq {
-                (p, q)
+                (p, q, Some((task_of(tp.1), task_of(tq.1))))
             } else {
-                (q, p)
+                (q, p, Some((task_of(tq.1), task_of(tp.1))))
             }
         }
         _ => {
             if !v.is_runtime[p as usize] && v.is_runtime[q as usize] {
-                (p, q)
+                (p, q, None)
             } else if v.is_runtime[p as usize] && !v.is_runtime[q as usize] {
-                (q, p)
+                (q, p, None)
             } else if p < q {
-                (p, q)
+                (p, q, None)
             } else {
-                (q, p)
+                (q, p, None)
             }
         }
     }
@@ -433,9 +453,9 @@ pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
                         .filter(|c| chares[q as usize].binary_search(c).is_ok())
                         .collect();
                     if !overlap.is_empty() {
-                        stage
-                            .extra_edges
-                            .push((v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]));
+                        let (ap, aq) = (v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]);
+                        stage.extra_edges.push((ap, aq));
+                        stage.note(ProvenanceRule::EnforcePathEdge, ap, aq);
                         added += 1;
                         found.extend(overlap);
                     }
@@ -498,7 +518,9 @@ pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) {
                 );
             }
             if !existing.contains(&(p, q)) {
-                stage.extra_edges.push((v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]));
+                let (ap, aq) = (v.atoms_in[p as usize][0], v.atoms_in[q as usize][0]);
+                stage.extra_edges.push((ap, aq));
+                stage.note(ProvenanceRule::EnforcePathEdge, ap, aq);
                 added += 1;
             }
         }

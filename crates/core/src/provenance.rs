@@ -1,0 +1,154 @@
+//! Merge provenance: a record of every decision the phase-finding
+//! pipeline took — which atom pairs merged (or were ordered) at which
+//! stage, and the rule that fired — exposed so downstream analyses can
+//! ask *why* two events ended up in the same phase.
+//!
+//! The race analysis in `lsr-lint` uses the order-sensitivity facet:
+//! most pipeline rules are set-based (the final partition does not
+//! depend on the order concurrent tasks were observed in), but four
+//! rules consult physical-time order or schedule adjacency between
+//! tasks that may be concurrent. A message race whose pair decides one
+//! of those rules can change the recovered structure when the runtime
+//! delivers the pair in the other order (paper §3.2.1's reordering
+//! assumptions).
+
+use lsr_trace::TaskId;
+
+/// The pipeline rule behind one [`MergeRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenanceRule {
+    /// §2.1 SDAG heuristic: an unnumbered entry scheduled back-to-back
+    /// before a serial is absorbed into it. Fires on schedule
+    /// adjacency, so it is order-sensitive.
+    SdagAbsorb,
+    /// §2.1 SDAG heuristic: consecutive serial numbers on one chare
+    /// imply happened-before. The edge direction follows schedule
+    /// order, so it is order-sensitive.
+    SdagEdge,
+    /// Algorithm 1: matched send/receive endpoints merge.
+    DependencyMerge,
+    /// Strongly connected partitions collapse after a merge stage.
+    CycleMerge,
+    /// Algorithm 2: fragments broken by the application/runtime split
+    /// are reunited (both the same-block and the sibling repair).
+    RepairMerge,
+    /// §3.1.3: partitions holding the next serial of one partition's
+    /// chares merge.
+    NeighborSerialMerge,
+    /// §7.1: tasks of one collective instance merge.
+    CollectiveMerge,
+    /// Algorithm 3: a happened-before edge inferred from the
+    /// physical-time order of two partition-starting sources on one
+    /// chare — order-sensitive by construction.
+    InferredEdge,
+    /// Algorithm 4: concurrent same-leap overlapping phases merge.
+    LeapMerge,
+    /// §3.1.4 DAG enforcement: two same-leap overlapping phases were
+    /// *ordered* by physical time (`orient`) — order-sensitive.
+    OrderingEdge,
+    /// Algorithm 5 (and the per-chare chaining that completes it): an
+    /// edge added so each chare has a single path through the DAG. The
+    /// direction follows the already-established leap structure.
+    EnforcePathEdge,
+}
+
+impl ProvenanceRule {
+    /// Stable lower-case name, used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvenanceRule::SdagAbsorb => "sdag-absorb",
+            ProvenanceRule::SdagEdge => "sdag-edge",
+            ProvenanceRule::DependencyMerge => "dependency-merge",
+            ProvenanceRule::CycleMerge => "cycle-merge",
+            ProvenanceRule::RepairMerge => "repair-merge",
+            ProvenanceRule::NeighborSerialMerge => "neighbor-serial-merge",
+            ProvenanceRule::CollectiveMerge => "collective-merge",
+            ProvenanceRule::InferredEdge => "inferred-edge",
+            ProvenanceRule::LeapMerge => "leap-merge",
+            ProvenanceRule::OrderingEdge => "ordering-edge",
+            ProvenanceRule::EnforcePathEdge => "enforce-path-edge",
+        }
+    }
+
+    /// True when the rule's outcome (whether it fires, or which
+    /// direction it points) depends on the physical-time or schedule
+    /// order of its deciding tasks — the orders a message race can
+    /// flip. Set-based merges return false: their fixpoint is
+    /// independent of observation order.
+    pub fn order_sensitive(self) -> bool {
+        matches!(
+            self,
+            ProvenanceRule::SdagAbsorb
+                | ProvenanceRule::SdagEdge
+                | ProvenanceRule::InferredEdge
+                | ProvenanceRule::OrderingEdge
+        )
+    }
+}
+
+/// One pipeline decision: `rule` fired on the (tasks of the) pair
+/// `(a, b)`. For order-sensitive rules the pair is the *deciding*
+/// pair — the two tasks whose relative order selected the outcome —
+/// which may differ from the partition representatives the rule
+/// ultimately merged or connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// The rule that fired.
+    pub rule: ProvenanceRule,
+    /// First task of the pair (the earlier one, for ordered rules).
+    pub a: TaskId,
+    /// Second task of the pair.
+    pub b: TaskId,
+}
+
+/// All [`MergeRecord`]s of one extraction, in pipeline order. Returned
+/// by [`crate::extract_with_provenance`].
+#[derive(Debug, Clone, Default)]
+pub struct MergeProvenance {
+    /// The records, in the order the pipeline took the decisions.
+    pub records: Vec<MergeRecord>,
+}
+
+impl MergeProvenance {
+    pub(crate) fn push(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId) {
+        self.records.push(MergeRecord { rule, a, b });
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no decisions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records of order-sensitive rules only.
+    pub fn order_sensitive(&self) -> impl Iterator<Item = &MergeRecord> {
+        self.records.iter().filter(|r| r.rule.order_sensitive())
+    }
+
+    /// The first order-sensitive rule whose deciding pair is `{x, y}`
+    /// (unordered), if any — the static check behind race
+    /// classification.
+    pub fn order_sensitive_pair(&self, x: TaskId, y: TaskId) -> Option<ProvenanceRule> {
+        self.order_sensitive()
+            .find(|r| (r.a == x && r.b == y) || (r.a == y && r.b == x))
+            .map(|r| r.rule)
+    }
+
+    /// The first order-sensitive rule one of whose deciding tasks is
+    /// `t`, if any. A racy task that decided a time-ordered comparison
+    /// against *any* task — not just its race partner — can flip that
+    /// comparison when its delivery moves, so race classification
+    /// checks membership, not only the exact pair.
+    pub fn order_sensitive_member(&self, t: TaskId) -> Option<ProvenanceRule> {
+        self.order_sensitive().find(|r| r.a == t || r.b == t).map(|r| r.rule)
+    }
+
+    /// Count of records per rule, for reports and tests.
+    pub fn rule_count(&self, rule: ProvenanceRule) -> usize {
+        self.records.iter().filter(|r| r.rule == rule).count()
+    }
+}

@@ -3,7 +3,8 @@
 
 use crate::atoms::AtomGraph;
 use crate::graph::{DiGraph, UnionFind};
-use lsr_trace::{ChareId, EventId, PeId, Time, Trace};
+use crate::provenance::{MergeProvenance, ProvenanceRule};
+use lsr_trace::{ChareId, EventId, PeId, TaskId, Time, Trace};
 use std::collections::HashMap;
 
 /// Counters describing what each stage of the pipeline did; useful for
@@ -46,6 +47,8 @@ pub(crate) struct Stage<'t> {
     /// atoms (they stay valid across merges).
     pub extra_edges: Vec<(u32, u32)>,
     pub diag: Diagnostics,
+    /// Decision log, collected when provenance was requested.
+    pub prov: Option<MergeProvenance>,
 }
 
 /// A consistent snapshot of the current partitions: dense partition ids,
@@ -63,12 +66,55 @@ pub(crate) struct PartView {
 
 impl<'t> Stage<'t> {
     pub fn new(trace: &'t Trace, ag: AtomGraph) -> Stage<'t> {
+        Stage::new_inner(trace, ag, false)
+    }
+
+    /// [`Stage::new`] with decision logging enabled: every union and
+    /// inferred edge is recorded in [`Stage::prov`].
+    pub fn with_provenance(trace: &'t Trace, ag: AtomGraph) -> Stage<'t> {
+        Stage::new_inner(trace, ag, true)
+    }
+
+    fn new_inner(trace: &'t Trace, ag: AtomGraph, record: bool) -> Stage<'t> {
+        let mut prov = record.then(MergeProvenance::default);
+        // The atom graph's SDAG decisions (taken in `build_atoms`) are
+        // part of the provenance too: log absorbs and Sdag edges here,
+        // where the log first exists.
+        if let Some(p) = &mut prov {
+            for &(a, b) in &ag.absorb {
+                let (ta, tb) = (ag.atoms[a as usize].task, ag.atoms[b as usize].task);
+                p.push(ProvenanceRule::SdagAbsorb, ta, tb);
+            }
+            for &(a, b, kind) in &ag.edges {
+                if kind == crate::atoms::EdgeKind::Sdag {
+                    let (ta, tb) = (ag.atoms[a as usize].task, ag.atoms[b as usize].task);
+                    p.push(ProvenanceRule::SdagEdge, ta, tb);
+                }
+            }
+        }
         let mut uf = UnionFind::new(ag.atoms.len());
         for &(a, b) in &ag.absorb {
             uf.union(a, b);
         }
         let diag = Diagnostics { atoms: ag.atoms.len(), ..Diagnostics::default() };
-        Stage { trace, ag, uf, extra_edges: Vec::new(), diag }
+        Stage { trace, ag, uf, extra_edges: Vec::new(), diag, prov }
+    }
+
+    /// Logs a decision on two atoms (resolved to their tasks) when
+    /// provenance collection is on.
+    pub fn note(&mut self, rule: ProvenanceRule, atom_a: u32, atom_b: u32) {
+        if let Some(p) = &mut self.prov {
+            let ta = self.ag.atoms[atom_a as usize].task;
+            let tb = self.ag.atoms[atom_b as usize].task;
+            p.push(rule, ta, tb);
+        }
+    }
+
+    /// Logs a decision on two tasks when provenance collection is on.
+    pub fn note_tasks(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId) {
+        if let Some(p) = &mut self.prov {
+            p.push(rule, a, b);
+        }
     }
 
     /// Rebuilds the condensed partition view. O(atoms + edges).
@@ -115,7 +161,9 @@ impl<'t> Stage<'t> {
                 let rep_atom = v.atoms_in[part][0];
                 match first_in_comp.entry(c) {
                     std::collections::hash_map::Entry::Occupied(e) => {
-                        self.uf.union(*e.get(), rep_atom);
+                        let anchor = *e.get();
+                        self.uf.union(anchor, rep_atom);
+                        self.note(ProvenanceRule::CycleMerge, anchor, rep_atom);
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(rep_atom);

@@ -98,6 +98,30 @@ impl LogicalStructure {
         self.step.iter().copied().max().unwrap_or(0)
     }
 
+    /// True when `other` recovers the same *event-level* structure:
+    /// the same phases (id, flavor, leap, step window), the same phase
+    /// DAG, and the same phase and step for every dependency event.
+    ///
+    /// This is the paper's §3.2.1 invariance object — the claim a
+    /// *benign* message race must keep intact under either delivery
+    /// order. Task-level phase attribution ([`Self::task_phase`],
+    /// [`Phase::tasks`], [`Phase::chares`]) is deliberately excluded:
+    /// an *eventless* task holds no dependency event, so it sits in no
+    /// phase; its attribution inherits the nearest phase on the
+    /// physical chare timeline (presentation metadata, by construction
+    /// dependent on the observed schedule).
+    pub fn same_event_structure(&self, other: &LogicalStructure) -> bool {
+        self.phases.len() == other.phases.len()
+            && self.phases.iter().zip(&other.phases).all(|(a, b)| {
+                (a.id, a.is_runtime, a.leap, a.offset, a.max_local)
+                    == (b.id, b.is_runtime, b.leap, b.offset, b.max_local)
+            })
+            && self.phase_succs == other.phase_succs
+            && self.phase_of_event == other.phase_of_event
+            && self.local_step == other.local_step
+            && self.step == other.step
+    }
+
     /// Checks the structural invariants the paper requires. Returns a
     /// description of the first violation, if any. Used heavily by the
     /// test suite and the property tests.

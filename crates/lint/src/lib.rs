@@ -1,7 +1,7 @@
 //! `lsr-lint`: diagnostic passes that statically verify event traces
 //! and the logical structure recovered from them.
 //!
-//! Four pass families, each with stable codes (full table in
+//! Five pass families, each with stable codes (full table in
 //! `docs/lints.md`):
 //!
 //! - **T*** — trace well-formedness, one code per
@@ -12,18 +12,29 @@
 //! - **S*** — the DESIGN §7 invariants of a recovered structure, via
 //!   [`lsr_core::StructureVerifier`];
 //! - **P*** — pipeline observations: the partition graph must be a DAG
-//!   after every merge stage ([`lsr_core::StageSnapshot`]).
+//!   after every merge stage ([`lsr_core::StageSnapshot`]);
+//! - **R*** — message races under the *causal* happened-before
+//!   relation ([`HbMode::Causal`]), classified benign or
+//!   structure-affecting via merge provenance ([`analyze_races`]).
 //!
-//! [`lint_trace`] runs everything end to end (extraction is skipped if
-//! the trace-level passes already found errors); [`lint_structure`]
-//! checks an existing structure against its trace.
+//! [`lint_trace`] runs the T/H/S/P families end to end (extraction is
+//! skipped if the trace-level passes already found errors);
+//! [`lint_structure`] checks an existing structure against its trace.
+//! The R family is opt-in ([`analyze_races`], `lsr races`): Charm++
+//! traces routinely contain benign races, so they are reported
+//! separately from the well-formedness lints.
 
 mod diag;
 mod hb;
 mod passes;
+mod race;
 
 pub use diag::{Diagnostic, Location, Severity};
-pub use hb::HbIndex;
+pub use hb::{HbIndex, HbMode, HbStats};
+pub use race::{
+    analyze_races, causal_mode, classify, swap_adjacent_delivery, swappable_races, Race, RaceClass,
+    RaceReport, RaceScope, UntracedPair,
+};
 
 use lsr_core::{Config, LogicalStructure, StageSnapshot};
 use lsr_trace::Trace;

@@ -170,24 +170,15 @@ pub(crate) fn hb_passes(trace: &Trace, ix: &TraceIndex, limit: usize) -> Vec<Dia
             if m.recv_task.is_some() {
                 continue;
             }
-            let from = trace.event(m.send_event).task;
-            let candidate = trace
-                .tasks
-                .iter()
-                .filter(|t| {
-                    t.chare == m.dst_chare
-                        && t.begin >= m.send_time
-                        && t.sink.is_some_and(|s| {
-                            matches!(trace.event(s).kind, EventKind::Recv { msg: None })
-                        })
-                        && !hb.happens_before(from, t.id)
-                })
-                .min_by_key(|t| (t.begin, t.id));
+            let candidate = untraced_candidate(trace, &hb, m);
             let message = match candidate {
                 Some(t) => format!(
                     "message {} to chare {} was never matched; task {} (begin {}) is an \
                      untraced-receive candidate",
-                    m.id, m.dst_chare, t.id, t.begin
+                    m.id,
+                    m.dst_chare,
+                    t,
+                    trace.task(t).begin
                 ),
                 None => format!(
                     "message {} to chare {} was never matched and no receive candidate \
@@ -208,6 +199,34 @@ pub(crate) fn hb_passes(trace: &Trace, ix: &TraceIndex, limit: usize) -> Vec<Dia
         }
     }
     out
+}
+
+/// The untraced-receive candidate for an unmatched message — shared by
+/// H003 and the race pass's R004 cross-link: the earliest spontaneous
+/// task on the destination chare that starts after the send and is not
+/// already ordered after the sender.
+pub(crate) fn untraced_candidate(
+    trace: &Trace,
+    hb: &HbIndex,
+    m: &lsr_trace::MsgRec,
+) -> Option<lsr_trace::TaskId> {
+    let from = trace.event(m.send_event).task;
+    trace
+        .tasks
+        .iter()
+        .filter(|t| {
+            // Spontaneous: no recorded trigger — either no sink at all
+            // (the builder's spontaneous form) or an untriggered
+            // receive (a tracer that logged the receive but lost the
+            // message).
+            t.chare == m.dst_chare
+                && t.begin >= m.send_time
+                && t.sink
+                    .is_none_or(|s| matches!(trace.event(s).kind, EventKind::Recv { msg: None }))
+                && !hb.happens_before(from, t.id)
+        })
+        .min_by_key(|t| (t.begin, t.id))
+        .map(|t| t.id)
 }
 
 /// S-codes: final-structure invariants via [`StructureVerifier`].

@@ -50,7 +50,7 @@ pub use quality::QualityReport;
 pub use record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
 pub use stats::TraceStats;
 pub use time::{Dur, Time};
-pub use trace::{Lane, Trace, TraceIndex};
+pub use trace::{Lane, MsgEdge, Trace, TraceIndex};
 pub use validate::{
     validate, validate_fast, validate_with_limit, ValidationError, DEFAULT_ERROR_LIMIT,
 };

@@ -117,6 +117,30 @@ impl Trace {
     pub fn index(&self) -> TraceIndex {
         TraceIndex::build(self)
     }
+
+    /// Matched messages as task-level happened-before edges: the
+    /// sending task before the task the delivery awakened. Unmatched
+    /// messages are skipped; self-sends (`from == to`) are included —
+    /// graph builders that cannot tolerate trivial loops must filter
+    /// them. Shared by the lint crate's HB engine and the extraction
+    /// pipeline so both see the same dependency set.
+    pub fn message_edges(&self) -> impl Iterator<Item = MsgEdge> + '_ {
+        self.msgs.iter().filter_map(|m| {
+            m.recv_task.map(|to| MsgEdge { msg: m.id, from: self.event(m.send_event).task, to })
+        })
+    }
+}
+
+/// A matched message viewed as a task-level edge of the
+/// happened-before relation (see [`Trace::message_edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgEdge {
+    /// The message that induces the edge.
+    pub msg: MsgId,
+    /// The task whose send event emitted the message.
+    pub from: TaskId,
+    /// The task the delivery awakened.
+    pub to: TaskId,
 }
 
 /// The grouping timeline for a task: a chare lane for application tasks,
@@ -199,6 +223,26 @@ impl TraceIndex {
         let pos = self.chare_pos[t.index()] as usize + 1;
         self.tasks_by_chare[ch.index()].get(pos).copied()
     }
+
+    /// Program-order edges: consecutive serial blocks on one PE, for
+    /// every PE. Together with [`Trace::message_edges`] this is the
+    /// generating edge set of the schedule happened-before relation.
+    pub fn program_order_edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        adjacent_pairs(&self.tasks_by_pe)
+    }
+
+    /// Chare-order edges: consecutive tasks of one chare in begin-time
+    /// order, for every chare. These are control dependencies in the
+    /// message-passing model (each rank runs a deterministic program)
+    /// but *not* in the Charm++ model, where delivery order to a chare
+    /// is a scheduler decision.
+    pub fn chare_order_edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        adjacent_pairs(&self.tasks_by_chare)
+    }
+}
+
+fn adjacent_pairs(lists: &[Vec<TaskId>]) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+    lists.iter().flat_map(|list| list.windows(2).map(|w| (w[0], w[1])))
 }
 
 #[cfg(test)]
@@ -270,6 +314,20 @@ mod tests {
         assert_eq!(ix.prev_on_chare(&tr, TaskId(2)), Some(TaskId(1)));
         assert_eq!(ix.next_on_chare(&tr, TaskId(2)), None);
         assert_eq!(ix.next_on_chare(&tr, TaskId(1)), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn edge_iterators_cover_order_and_messages() {
+        let tr = sample();
+        let ix = tr.index();
+        let po: Vec<_> = ix.program_order_edges().collect();
+        assert_eq!(po, vec![(TaskId(1), TaskId(2))]);
+        let co: Vec<_> = ix.chare_order_edges().collect();
+        assert_eq!(co, vec![(TaskId(1), TaskId(2))]);
+        let me: Vec<_> = tr.message_edges().collect();
+        assert_eq!(me.len(), 2);
+        assert_eq!(me[0], MsgEdge { msg: me[0].msg, from: TaskId(0), to: TaskId(1) });
+        assert_eq!((me[1].from, me[1].to), (TaskId(0), TaskId(2)));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! lsr render <trace> [flags]                 ASCII/SVG views
 //! lsr metrics <trace> [flags]                idle/differential/imbalance
 //! lsr lint <trace> [flags]                   diagnostic passes (lsr-lint)
+//! lsr races <trace> [flags]                  message-race analysis (R passes)
 //! lsr critical-path <trace>                  longest dependent chain
 //! ```
 //!
@@ -65,6 +66,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "report" => done(cmd_report(rest)),
         "diff" => done(cmd_diff(rest)),
         "lint" => cmd_lint(rest),
+        "races" => cmd_races(rest),
         "critical-path" => done(cmd_critical_path(rest)),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -87,8 +89,9 @@ fn print_help() {
          \u{20}  report <trace> [flags]      self-contained HTML analysis report\n\
          \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
          \u{20}  lint <trace> [flags]        diagnostic passes over trace + structure\n\
+         \u{20}  races <trace> [flags]       message races under causal happened-before\n\
          \u{20}  critical-path <trace>       longest dependent chain\n\n\
-         EXTRACTION FLAGS (extract/render/metrics/lint)\n\
+         EXTRACTION FLAGS (extract/render/metrics/lint/races)\n\
          \u{20}  --mpi --physical --no-infer --no-split --no-sdag --parallel\n\
          \u{20}  --no-process-order --verify\n\n\
          LINT FLAGS\n\
@@ -96,6 +99,11 @@ fn print_help() {
          \u{20}  --deny-warnings          exit nonzero on warnings too\n\
          \u{20}  --limit N                cap findings per pass family (default 64)\n\
          \u{20}  --no-structure           skip extraction; trace-level passes only\n\n\
+         RACES FLAGS\n\
+         \u{20}  --json                       machine-readable report\n\
+         \u{20}  --deny-structure-affecting   exit nonzero when a race can change\n\
+         \u{20}                               the recovered structure (R002)\n\
+         \u{20}  --limit N                    cap reported races (default 64)\n\n\
          WINDOWING (extract/render/metrics/report)\n\
          \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
          RENDER FLAGS\n\
@@ -121,6 +129,7 @@ fn parse_opts(
         "verify",
         "json",
         "deny-warnings",
+        "deny-structure-affecting",
         "no-structure",
     ];
     let mut pos = Vec::new();
@@ -466,6 +475,43 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     }
     let failing = report.error_count() > 0
         || (opts.contains_key("deny-warnings") && report.warning_count() > 0);
+    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, opts) = parse_opts(args)?;
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts)?;
+    let cfg = config_from(&opts);
+    let limit = match opts.get("limit") {
+        None => lsr::lint::DEFAULT_DIAG_LIMIT,
+        Some(v) => v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?,
+    };
+    let report = lsr::lint::analyze_races(&trace, &cfg, limit).map_err(|cyc| {
+        let shown: Vec<String> = cyc.iter().take(8).map(|t| t.to_string()).collect();
+        format!(
+            "causal happened-before cycle through {} task(s): {} — run `lsr lint` first",
+            cyc.len(),
+            shown.join(" -> ")
+        )
+    })?;
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{path}: {} race(s): {} benign, {} structure-affecting ({} pair(s) scanned{})",
+            report.races.len(),
+            report.benign_count(),
+            report.structure_affecting_count(),
+            report.scanned_pairs,
+            if report.truncated { ", truncated" } else { "" }
+        );
+    }
+    let failing =
+        opts.contains_key("deny-structure-affecting") && report.structure_affecting_count() > 0;
     Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 

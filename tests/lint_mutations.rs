@@ -359,3 +359,186 @@ fn all_proxy_apps_lint_clean() {
         assert!(report.structure_checked, "{name} structure passes must run");
     }
 }
+
+// ---- R codes: races and untraced-unordered pairs. -------------------
+
+use lsr::lint::analyze_races;
+
+/// Codes the race analyzer reports for a trace under a config.
+fn race_codes(tr: &Trace, cfg: &Config, limit: usize) -> Vec<&'static str> {
+    analyze_races(tr, cfg, limit).expect("acyclic").diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// One sender fans `n` messages out to a second chare; entry serial
+/// numbers per receive are given. Every adjacent receive pair is
+/// causally concurrent and message-triggered — the minimal race.
+fn fan_out(serials: &[Option<u32>]) -> Trace {
+    let mut b = TraceBuilder::new(2);
+    let app = b.add_array("a", Kind::Application);
+    let c0 = b.add_chare(app, 0, PeId(0));
+    let c1 = b.add_chare(app, 1, PeId(1));
+    let go = b.add_entry("go", None);
+    let entries: Vec<EntryId> =
+        serials.iter().enumerate().map(|(i, s)| b.add_entry(&format!("e{i}"), *s)).collect();
+    let t0 = b.begin_task(c0, go, PeId(0), Time(0));
+    let msgs: Vec<_> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| b.record_send(t0, Time(i as u64 + 1), c1, e))
+        .collect();
+    b.end_task(t0, Time(serials.len() as u64 + 1));
+    let mut at = serials.len() as u64 + 2;
+    for (&e, m) in entries.iter().zip(msgs) {
+        let t = b.begin_task_from(c1, e, PeId(1), Time(at), m);
+        b.end_task(t, Time(at + 1));
+        at += 3;
+    }
+    b.build().expect("fan-out trace is valid")
+}
+
+#[test]
+fn r001_benign_race_fires_exactly_once() {
+    let codes = race_codes(&fan_out(&[None, None]), &Config::charm(), 16);
+    assert_eq!(codes, ["R001"]);
+}
+
+#[test]
+fn r002_structure_affecting_race_fires_exactly_once() {
+    // One receive runs a serial-numbered entry: the racy plain receive
+    // could be absorbed into it under the other delivery order.
+    let codes = race_codes(&fan_out(&[Some(1), None]), &Config::charm(), 16);
+    assert_eq!(codes, ["R002"]);
+}
+
+#[test]
+fn r003_pe_stream_race_fires_exactly_once() {
+    // The fan-out targets two runtime chares on one PE: the pair
+    // shares the PE's scheduler stream, not a chare.
+    let mut b = TraceBuilder::new(2);
+    let app = b.add_array("a", Kind::Application);
+    let rt = b.add_array("mgr", Kind::Runtime);
+    let ca = b.add_chare(app, 0, PeId(1));
+    let r0 = b.add_chare(rt, 0, PeId(0));
+    let r1 = b.add_chare(rt, 1, PeId(0));
+    let go = b.add_entry("go", None);
+    let tick = b.add_entry("tick", None);
+    let t0 = b.begin_task(ca, go, PeId(1), Time(0));
+    let m0 = b.record_send(t0, Time(1), r0, tick);
+    let m1 = b.record_send(t0, Time(2), r1, tick);
+    b.end_task(t0, Time(3));
+    let t1 = b.begin_task_from(r0, tick, PeId(0), Time(4), m0);
+    b.end_task(t1, Time(5));
+    let t2 = b.begin_task_from(r1, tick, PeId(0), Time(6), m1);
+    b.end_task(t2, Time(7));
+    let tr = b.build().unwrap();
+    let codes = race_codes(&tr, &Config::charm(), 16);
+    assert_eq!(codes, ["R003"]);
+}
+
+#[test]
+fn r004_untraced_pair_fires_exactly_once() {
+    // An unmatched send toward a chare whose two tasks are spontaneous
+    // and concurrent: no race (neither member has a traced trigger),
+    // one R004, cross-linked to the unmatched message's candidate.
+    let mut b = TraceBuilder::new(2);
+    let app = b.add_array("a", Kind::Application);
+    let c0 = b.add_chare(app, 0, PeId(0));
+    let c1 = b.add_chare(app, 1, PeId(1));
+    let go = b.add_entry("go", None);
+    let work = b.add_entry("work", None);
+    let t0 = b.begin_task(c1, go, PeId(1), Time(0));
+    let m0 = b.record_send(t0, Time(1), c0, work);
+    b.end_task(t0, Time(2));
+    let t1 = b.begin_task(c0, work, PeId(0), Time(3));
+    b.end_task(t1, Time(4));
+    let t2 = b.begin_task(c0, work, PeId(0), Time(5));
+    b.end_task(t2, Time(6));
+    let tr = b.build().expect("unmatched send is valid");
+    let report = analyze_races(&tr, &Config::charm(), 16).expect("acyclic");
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["R004"], "{report}");
+    assert!(report.races.is_empty());
+    assert_eq!(report.untraced.len(), 1);
+    assert!(
+        report.diagnostics[0].message.contains(&m0.to_string()),
+        "R004 names the unmatched message: {}",
+        report.diagnostics[0].message
+    );
+}
+
+#[test]
+fn r005_truncation_fires_exactly_once() {
+    // Three racy pairs, limit 1: one R001 plus exactly one R005.
+    let codes = race_codes(&fan_out(&[None, None, None, None]), &Config::charm(), 1);
+    assert_eq!(codes, ["R001", "R005"]);
+}
+
+/// The Fig. 24 PDES preset, mutated the way the paper's scenario
+/// degrades: unmatching a traced message turns its receiver into an
+/// H003 untraced-dependency candidate, and the race analyzer must
+/// cross-link that candidate's R004 pair to the same message.
+#[test]
+fn pdes_h003_candidates_cross_link_to_r004() {
+    let tr = pdes_charm(&PdesParams::fig24());
+    let cfg = Config::charm();
+    let opts = LintOptions { check_structure: false, ..LintOptions::default() };
+    let mut linked = false;
+    for (mi, m) in tr.msgs.iter().enumerate() {
+        let Some(rt) = m.recv_task else { continue };
+        let mut mutated = tr.clone();
+        let sink = mutated.tasks[rt.index()].sink.expect("matched receiver has a sink");
+        mutated.events[sink.index()].kind = EventKind::Recv { msg: None };
+        mutated.msgs[mi].recv_task = None;
+        mutated.msgs[mi].recv_time = None;
+        // The trace lints with an H003 for this message...
+        let lint = lint_trace(&mutated, &opts);
+        let h003 = lint
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "H003" && d.message.contains(&m.id.to_string()));
+        if !h003 {
+            continue;
+        }
+        // ...and when its candidate sits in a concurrent pair, the race
+        // analyzer reports the same message in an R004.
+        let report = analyze_races(&mutated, &cfg, 100_000).expect("acyclic");
+        if report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "R004" && d.message.contains(&m.id.to_string()))
+        {
+            linked = true;
+            break;
+        }
+    }
+    assert!(linked, "some unmatched pdes message must cross-link H003 to R004");
+}
+
+/// Every Charm++ proxy preset races (over-decomposition guarantees
+/// concurrent deliveries), every deterministic MPI preset does not,
+/// and no preset has a structure-affecting race.
+#[test]
+fn preset_race_expectations() {
+    let charm = Config::charm();
+    let mpi = Config::mpi();
+    let cases: Vec<(&str, Trace, Config, bool)> = vec![
+        ("jacobi", jacobi2d(&JacobiParams::fig15()), charm.clone(), true),
+        ("lulesh-charm", lulesh_charm(&LuleshParams::fig16_charm()), charm.clone(), true),
+        ("lassen", lassen_charm(&LassenParams::chares8()), charm.clone(), true),
+        ("pdes", pdes_charm(&PdesParams::fig24()), charm.clone(), true),
+        ("divcon", divcon_charm(&DivConParams::small()), charm.clone(), true),
+        ("lulesh-mpi", lulesh_mpi(&LuleshParams::fig16_mpi()), mpi.clone(), false),
+        (
+            "mergetree",
+            mergetree_mpi(&MergeTreeParams::small()),
+            mpi.clone().with_process_order(false),
+            false,
+        ),
+        ("bt", bt_mpi(&BtParams::fig1()), mpi.clone(), false),
+    ];
+    for (name, tr, cfg, expect_races) in cases {
+        let report = analyze_races(&tr, &cfg, 100_000).expect("acyclic");
+        assert_eq!(!report.races.is_empty(), expect_races, "{name}: {report}");
+        assert_eq!(report.structure_affecting_count(), 0, "{name}: {report}");
+    }
+}

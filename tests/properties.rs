@@ -200,3 +200,105 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Differential race-classification tests (the R passes, end to end):
+// swapping a racy pair's delivery order and re-running extraction must
+// keep the event-level structure intact exactly when the race was
+// classified benign.
+
+/// Swaps every schedule-adjacent race of `trace` and checks the
+/// classification against a fresh extraction of the swapped trace.
+/// Returns how many swaps were exercised.
+fn differential_swap_check(trace: &lsr_trace::Trace, cfg: &Config) -> usize {
+    let report = lsr_lint::analyze_races(trace, cfg, 100_000).expect("acyclic");
+    let base = extract(trace, cfg);
+    let mut exercised = 0;
+    for race in lsr_lint::swappable_races(trace, &report) {
+        let Some(swapped) = lsr_lint::swap_adjacent_delivery(trace, race.first, race.second) else {
+            continue;
+        };
+        let reextracted = extract(&swapped, cfg);
+        let same = base.same_event_structure(&reextracted);
+        assert_eq!(
+            same,
+            !race.class.is_structure_affecting(),
+            "race {:?}/{:?} classified {:?}, but swapped structure {} the original",
+            race.first,
+            race.second,
+            race.class,
+            if same { "matches" } else { "differs from" },
+        );
+        exercised += 1;
+    }
+    exercised
+}
+
+/// Jacobi (over-decomposed Charm++ preset): many benign races, all of
+/// which must leave the event-level structure untouched under swap.
+#[test]
+fn benign_races_are_structure_invariant_jacobi() {
+    let trace = lsr_apps::jacobi2d(&lsr_apps::JacobiParams::fig8());
+    let n = differential_swap_check(&trace, &Config::charm());
+    assert!(n >= 20, "expected many swappable races, exercised {n}");
+}
+
+/// PDES (the paper's Fig. 24 preset): the noisiest app — racy tally
+/// deliveries plus untraced detector calls. Every *race* (both
+/// deliveries traced) must still be benign and structure-invariant;
+/// the untraced pairs are reported separately as R004 and make no
+/// reorderability claim.
+#[test]
+fn benign_races_are_structure_invariant_pdes() {
+    let trace = lsr_apps::pdes_charm(&lsr_apps::PdesParams::fig24());
+    let report = lsr_lint::analyze_races(&trace, &Config::charm(), 100_000).expect("acyclic");
+    assert!(!report.untraced.is_empty(), "fig24 should surface untraced pairs");
+    let n = differential_swap_check(&trace, &Config::charm());
+    assert!(n >= 10, "expected many swappable races, exercised {n}");
+}
+
+/// The structure-affecting side of the iff: a plain receive racing
+/// with a serial-numbered receive (the SDAG absorb window). Delivered
+/// the other way, the plain task lands back-to-back before the serial
+/// and is absorbed into it — a different merge decision, which is what
+/// "structure-affecting" claims (the later pipeline stages may or may
+/// not re-converge; here the shared sender makes the final phases
+/// coincide, but the atom boundaries differ). The classifier must
+/// flag the pair up front.
+#[test]
+fn structure_affecting_race_changes_merge_decisions_on_swap() {
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+    let mut b = TraceBuilder::new(2);
+    let app = b.add_array("a", Kind::Application);
+    let c0 = b.add_chare(app, 0, PeId(0));
+    let c1 = b.add_chare(app, 1, PeId(1));
+    let go = b.add_entry("go", None);
+    let serial = b.add_entry("step", Some(1));
+    let plain = b.add_entry("aux", None);
+    let t0 = b.begin_task(c0, go, PeId(0), Time(0));
+    let m0 = b.record_send(t0, Time(1), c1, serial);
+    let m1 = b.record_send(t0, Time(2), c1, plain);
+    b.end_task(t0, Time(3));
+    let t1 = b.begin_task_from(c1, serial, PeId(1), Time(4), m0);
+    b.end_task(t1, Time(6));
+    let t2 = b.begin_task_from(c1, plain, PeId(1), Time(7), m1);
+    b.end_task(t2, Time(9));
+    let trace = b.build().unwrap();
+
+    let cfg = Config::charm();
+    let report = lsr_lint::analyze_races(&trace, &cfg, 16).expect("acyclic");
+    assert_eq!(report.structure_affecting_count(), 1, "{report}");
+    let race = report.races[0];
+    assert!(race.class.is_structure_affecting());
+
+    let swapped = lsr_lint::swap_adjacent_delivery(&trace, race.first, race.second)
+        .expect("pair is schedule-adjacent");
+    let (_, prov) = lsr_core::extract_with_provenance(&trace, &cfg);
+    let (_, prov_swapped) = lsr_core::extract_with_provenance(&swapped, &cfg);
+    // Observed order: serial first, plain second — no absorb window.
+    assert_eq!(prov.rule_count(lsr_core::ProvenanceRule::SdagAbsorb), 0);
+    // Swapped order: the plain receive runs back-to-back before the
+    // serial and is absorbed — a merge decision the observed order
+    // never took.
+    assert_eq!(prov_swapped.rule_count(lsr_core::ProvenanceRule::SdagAbsorb), 1);
+}
