@@ -1,0 +1,380 @@
+//! Ingestion throughput on the paper's 1,024-rank merge tree: the
+//! zero-copy streaming reader must beat the seed per-line
+//! `split_whitespace` parser by ≥1.5× MB/s on the single-file log, and
+//! the streamed split reader must at least match the seed's
+//! reassemble-then-reparse path while skipping the merged-document
+//! allocation entirely.
+
+use lsr_apps::{mergetree_mpi, MergeTreeParams};
+use lsr_bench::{banner, secs, timed, write_artifact};
+use lsr_trace::{logfmt, multifile, Dur};
+use std::time::Duration;
+
+/// The seed parser, kept verbatim as the measured baseline: one `String`
+/// per line, `split_whitespace` per field, and a second whitespace split
+/// to recover trailing names. The streaming reader in `lsr_trace` must
+/// beat this on the same bytes.
+mod seed {
+    use lsr_trace::{
+        validate_fast, ArrayId, ArrayInfo, ChareId, ChareInfo, EntryId, EntryInfo, EventId,
+        EventKind, EventRec, IdleRec, Kind, MsgId, MsgRec, PeId, TaskId, TaskRec, Time, Trace,
+    };
+    use std::io::BufRead;
+    use std::path::Path;
+
+    const HEADER: &str = "LSRTRACE 1";
+
+    #[derive(Debug)]
+    pub struct Error {
+        pub msg: String,
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    struct LineParser<'a> {
+        fields: std::str::SplitWhitespace<'a>,
+        raw: &'a str,
+    }
+
+    impl<'a> LineParser<'a> {
+        fn err(&self, msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+
+        fn next_u32(&mut self) -> Result<u32, Error> {
+            let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+            f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
+        }
+
+        fn next_u64(&mut self) -> Result<u64, Error> {
+            let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+            f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
+        }
+
+        fn next_opt_u32(&mut self) -> Result<Option<u32>, Error> {
+            let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+            if f == "-" {
+                Ok(None)
+            } else {
+                f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
+            }
+        }
+
+        fn next_opt_u64(&mut self) -> Result<Option<u64>, Error> {
+            let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
+            if f == "-" {
+                Ok(None)
+            } else {
+                f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
+            }
+        }
+
+        fn rest_name(&mut self, consumed_fields: usize) -> String {
+            let mut it = self.raw.split_whitespace();
+            for _ in 0..=consumed_fields {
+                it.next();
+            }
+            let words: Vec<&str> = it.collect();
+            words.join(" ")
+        }
+    }
+
+    pub fn read_log_unchecked<R: BufRead>(r: R) -> Result<Trace, Error> {
+        let mut trace = Trace::default();
+        let mut saw_header = false;
+        for line in r.lines() {
+            let line = line.map_err(|e| Error { msg: e.to_string() })?;
+            let raw = line.trim();
+            if raw.is_empty() || raw.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if raw != HEADER {
+                    return Err(Error { msg: format!("expected {HEADER:?}") });
+                }
+                saw_header = true;
+                continue;
+            }
+            let mut fields = raw.split_whitespace();
+            let tag = fields.next().expect("non-empty line has a tag");
+            let mut p = LineParser { fields, raw };
+            match tag {
+                "PES" => trace.pe_count = p.next_u32()?,
+                "ARRAY" => {
+                    let id = ArrayId(p.next_u32()?);
+                    let kind = match p.fields.next() {
+                        Some("A") => Kind::Application,
+                        Some("R") => Kind::Runtime,
+                        other => return Err(p.err(format!("bad kind {other:?}"))),
+                    };
+                    let name = p.rest_name(2);
+                    trace.arrays.push(ArrayInfo { id, name, kind });
+                }
+                "CHARE" => {
+                    let id = ChareId(p.next_u32()?);
+                    let array = ArrayId(p.next_u32()?);
+                    let index = p.next_u32()?;
+                    let home_pe = PeId(p.next_u32()?);
+                    let kind = trace
+                        .arrays
+                        .get(array.index())
+                        .ok_or_else(|| p.err("CHARE references unknown ARRAY"))?
+                        .kind;
+                    trace.chares.push(ChareInfo { id, array, index, kind, home_pe });
+                }
+                "ENTRY" => {
+                    let id = EntryId(p.next_u32()?);
+                    let sdag_serial = p.next_opt_u32()?;
+                    let collective = match p.fields.next() {
+                        Some("C") => true,
+                        Some("-") => false,
+                        other => return Err(p.err(format!("bad collective flag {other:?}"))),
+                    };
+                    let name = p.rest_name(3);
+                    trace.entries.push(EntryInfo { id, name, sdag_serial, collective });
+                }
+                "TASK" => {
+                    let id = TaskId(p.next_u32()?);
+                    let chare = ChareId(p.next_u32()?);
+                    let entry = EntryId(p.next_u32()?);
+                    let pe = PeId(p.next_u32()?);
+                    let begin = Time(p.next_u64()?);
+                    let end = Time(p.next_u64()?);
+                    let sink = p.next_opt_u32()?.map(EventId);
+                    trace.tasks.push(TaskRec {
+                        id,
+                        chare,
+                        entry,
+                        pe,
+                        begin,
+                        end,
+                        sink,
+                        sends: Vec::new(),
+                    });
+                }
+                "RECV" => {
+                    let id = EventId(p.next_u32()?);
+                    let task = TaskId(p.next_u32()?);
+                    let time = Time(p.next_u64()?);
+                    let msg = p.next_opt_u32()?.map(MsgId);
+                    trace.events.push(EventRec { id, task, time, kind: EventKind::Recv { msg } });
+                }
+                "SEND" => {
+                    let id = EventId(p.next_u32()?);
+                    let task = TaskId(p.next_u32()?);
+                    let time = Time(p.next_u64()?);
+                    let msg = MsgId(p.next_u32()?);
+                    trace.events.push(EventRec { id, task, time, kind: EventKind::Send { msg } });
+                    trace
+                        .tasks
+                        .get_mut(task.index())
+                        .ok_or_else(|| p.err("SEND references unknown TASK"))?
+                        .sends
+                        .push(id);
+                }
+                "MSG" => {
+                    let id = MsgId(p.next_u32()?);
+                    let send_event = EventId(p.next_u32()?);
+                    let dst_chare = ChareId(p.next_u32()?);
+                    let dst_entry = EntryId(p.next_u32()?);
+                    let send_time = Time(p.next_u64()?);
+                    let recv_task = p.next_opt_u32()?.map(TaskId);
+                    let recv_time = p.next_opt_u64()?.map(Time);
+                    trace.msgs.push(MsgRec {
+                        id,
+                        send_event,
+                        recv_task,
+                        dst_chare,
+                        dst_entry,
+                        send_time,
+                        recv_time,
+                    });
+                }
+                "IDLE" => {
+                    let pe = PeId(p.next_u32()?);
+                    let begin = Time(p.next_u64()?);
+                    let end = Time(p.next_u64()?);
+                    trace.idles.push(IdleRec { pe, begin, end });
+                }
+                other => return Err(p.err(format!("unknown record tag {other:?}"))),
+            }
+        }
+        if !saw_header {
+            return Err(Error { msg: "empty input (missing header)".to_owned() });
+        }
+        Ok(trace)
+    }
+
+    /// The seed split reader: read every per-PE log to a `String`,
+    /// bucket lines as owned `String`s, sort, reassemble one merged
+    /// document, then run the line parser over it. Returns the trace
+    /// and the size of the merged document it had to allocate.
+    pub fn read_split(dir: &Path, base: &str) -> Result<(Trace, usize), Error> {
+        let sts_path = dir.join(format!("{base}.sts"));
+        let sts = std::fs::read_to_string(&sts_path)
+            .map_err(|e| Error { msg: format!("cannot read sts: {e}") })?;
+        let mut lines = sts.lines();
+        if lines.next() != Some("LSRSTS 1") {
+            return Err(Error { msg: "bad sts header".into() });
+        }
+        let pes: u32 = sts
+            .lines()
+            .find_map(|l| l.strip_prefix("PES "))
+            .ok_or_else(|| Error { msg: "sts missing PES".into() })?
+            .trim()
+            .parse()
+            .map_err(|_| Error { msg: "bad PES value".into() })?;
+
+        let mut tasks: Vec<String> = Vec::new();
+        let mut events: Vec<String> = Vec::new();
+        let mut msgs: Vec<String> = Vec::new();
+        let mut idles: Vec<String> = Vec::new();
+        for p in 0..pes {
+            let path = dir.join(format!("{base}.{p}.log"));
+            let content = std::fs::read_to_string(&path)
+                .map_err(|e| Error { msg: format!("cannot read {}: {e}", path.display()) })?;
+            let mut it = content.lines();
+            match it.next() {
+                Some(h) if h == format!("LSRLOG {p}") => {}
+                other => return Err(Error { msg: format!("bad log header in pe {p}: {other:?}") }),
+            }
+            for line in it {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match line.split_whitespace().next() {
+                    Some("TASK") => tasks.push(line.to_owned()),
+                    Some("RECV") | Some("SEND") => events.push(line.to_owned()),
+                    Some("MSG") => msgs.push(line.to_owned()),
+                    Some("IDLE") => idles.push(line.to_owned()),
+                    other => return Err(Error { msg: format!("unexpected log record {other:?}") }),
+                }
+            }
+        }
+        let id_of = |line: &String| -> u64 {
+            line.split_whitespace().nth(1).and_then(|f| f.parse().ok()).unwrap_or(u64::MAX)
+        };
+        tasks.sort_by_key(id_of);
+        events.sort_by_key(id_of);
+        msgs.sort_by_key(id_of);
+        idles.sort_by_key(|l| {
+            let mut f = l.split_whitespace().skip(1);
+            let pe: u64 = f.next().and_then(|x| x.parse().ok()).unwrap_or(u64::MAX);
+            let begin: u64 = f.next().and_then(|x| x.parse().ok()).unwrap_or(u64::MAX);
+            (pe, begin)
+        });
+
+        let mut doc = String::from("LSRTRACE 1\n");
+        for l in sts.lines().skip(1) {
+            doc.push_str(l);
+            doc.push('\n');
+        }
+        for group in [tasks, events, msgs, idles] {
+            for l in group {
+                doc.push_str(&l);
+                doc.push('\n');
+            }
+        }
+        let doc_bytes = doc.len();
+        let trace = read_log_unchecked(doc.as_bytes())?;
+        validate_fast(&trace).map_err(|e| Error { msg: format!("invalid trace: {e}") })?;
+        Ok((trace, doc_bytes))
+    }
+}
+
+fn mbs(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / 1e6 / d.as_secs_f64()
+}
+
+/// Best-of-N timing: parsing a fixed input is deterministic, so the
+/// minimum is the least-noisy estimate of the cost.
+fn best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut dur) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        if d < dur {
+            out = o;
+            dur = d;
+        }
+    }
+    (out, dur)
+}
+
+fn main() {
+    banner("exp_ingest_throughput", "streaming reader vs seed parser on the 1,024-rank merge tree");
+    let ranks = 1024u32;
+    let trace = mergetree_mpi(&MergeTreeParams {
+        ranks,
+        seed: 0x10,
+        base: Dur::from_micros(100),
+        skew: 3.0,
+    });
+
+    // --- single-file log ---
+    let log = logfmt::to_log_string(&trace);
+    let bytes = log.len();
+    let reps = if lsr_bench::full_scale() { 30 } else { 10 };
+    let (seed_trace, t_seed) =
+        best(reps, || seed::read_log_unchecked(log.as_bytes()).expect("seed parses own output"));
+    let (stream_trace, t_stream) =
+        best(reps, || logfmt::read_log_unchecked(log.as_bytes()).expect("streaming parses output"));
+    assert_eq!(seed_trace, stream_trace, "both readers must agree on the same bytes");
+    assert_eq!(stream_trace, trace, "round trip must be lossless");
+    let (seed_mbs, stream_mbs) = (mbs(bytes, t_seed), mbs(bytes, t_stream));
+    let speedup = stream_mbs / seed_mbs;
+    println!(
+        "single-file: {bytes} B  seed {} ({seed_mbs:.1} MB/s)  streaming {} ({stream_mbs:.1} MB/s)  {speedup:.2}x",
+        secs(t_seed),
+        secs(t_stream)
+    );
+    assert!(
+        speedup >= 1.5,
+        "streaming reader must be ≥1.5× the seed parser on the single-file log, got {speedup:.2}×"
+    );
+
+    // --- split per-PE layout ---
+    let dir = lsr_bench::out_dir().join("ingest_split");
+    std::fs::create_dir_all(&dir).expect("create split dir");
+    multifile::write_split(&trace, &dir, "mergetree1024").expect("write split");
+    let split_reps = if lsr_bench::full_scale() { 10 } else { 5 };
+    let ((seed_split, doc_bytes), t_seed_split) =
+        best(split_reps, || seed::read_split(&dir, "mergetree1024").expect("seed reads split"));
+    let (stream_split, t_stream_split) = best(split_reps, || {
+        multifile::read_split(&dir, "mergetree1024").expect("streaming reads split")
+    });
+    assert_eq!(seed_split, stream_split, "split readers must agree");
+    let split_bytes: usize = std::fs::read_dir(&dir)
+        .expect("list split dir")
+        .map(|e| e.expect("dir entry").metadata().expect("metadata").len() as usize)
+        .sum();
+    let (seed_split_mbs, stream_split_mbs) =
+        (mbs(split_bytes, t_seed_split), mbs(split_bytes, t_stream_split));
+    let split_speedup = stream_split_mbs / seed_split_mbs;
+    println!(
+        "split ({} PEs): {split_bytes} B  seed {} ({seed_split_mbs:.1} MB/s)  streaming {} ({stream_split_mbs:.1} MB/s)  {split_speedup:.2}x",
+        trace.pe_count,
+        secs(t_seed_split),
+        secs(t_stream_split)
+    );
+    println!("  merged-document allocation avoided: {doc_bytes} B");
+    assert!(
+        split_speedup >= 1.0,
+        "streaming split reader must not be slower than the seed path, got {split_speedup:.2}×"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_throughput\",\n  \"ranks\": {ranks},\n  \
+         \"single_bytes\": {bytes},\n  \"seed_single_mbs\": {seed_mbs:.3},\n  \
+         \"streaming_single_mbs\": {stream_mbs:.3},\n  \"single_speedup\": {speedup:.3},\n  \
+         \"split_bytes\": {split_bytes},\n  \"seed_split_mbs\": {seed_split_mbs:.3},\n  \
+         \"streaming_split_mbs\": {stream_split_mbs:.3},\n  \"split_speedup\": {split_speedup:.3},\n  \
+         \"merged_doc_bytes_avoided\": {doc_bytes}\n}}\n"
+    );
+    write_artifact("BENCH_ingest.json", &json);
+    println!("=> streaming ingestion clears the 1.5× single-file bar at paper scale");
+}

@@ -42,6 +42,38 @@ pub use verify::{InvariantViolation, StructureVerifier, DEFAULT_VIOLATION_LIMIT}
 use lsr_trace::{TaskId, Trace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A typed extraction failure. The pipeline is total on validated
+/// traces ([`lsr_trace::validate()`] accepts only causally consistent
+/// timestamps), but unchecked or salvaged traces can carry timestamps
+/// that contradict causality; those used to panic deep inside step
+/// assignment and now surface here instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Step assignment found a dependency cycle in `phase` even under
+    /// physical-time ordering: some receive is stamped before the send
+    /// it depends on along the same lane chain, so no replay order
+    /// exists. Run `lsr lint` on the trace to locate the offending
+    /// records.
+    StepCycle {
+        /// Dense id of the phase whose step graph is cyclic.
+        phase: u32,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::StepCycle { phase } => write!(
+                f,
+                "step assignment cycle in phase {phase}: timestamps contradict causality \
+                 (a receive precedes its matching send); run `lsr lint` to locate it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
 /// Wall-clock time spent in each pipeline stage, reported by
 /// [`extract_timed`]. Backs the Fig. 19 discussion: at high chare
 /// counts the §3.1.4 leap machinery dominates the added time.
@@ -93,13 +125,32 @@ pub struct StageSnapshot {
 }
 
 /// Runs the full logical-structure pipeline on `trace`.
+///
+/// Panics on [`ExtractError`], which validated traces cannot produce;
+/// for unchecked or salvaged traces prefer [`try_extract`].
 pub fn extract(trace: &Trace, cfg: &Config) -> LogicalStructure {
-    extract_timed(trace, cfg).0
+    try_extract(trace, cfg).unwrap_or_else(|e| panic!("extract: {e}"))
+}
+
+/// [`extract`] returning a typed error instead of panicking when the
+/// trace's timestamps contradict causality.
+pub fn try_extract(trace: &Trace, cfg: &Config) -> Result<LogicalStructure, ExtractError> {
+    try_extract_timed(trace, cfg).map(|(ls, _)| ls)
 }
 
 /// [`extract`], also reporting per-stage wall-clock times.
+///
+/// Panics on [`ExtractError`]; see [`try_extract_timed`].
 pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTimings) {
-    extract_observed(trace, cfg, None)
+    try_extract_timed(trace, cfg).unwrap_or_else(|e| panic!("extract: {e}"))
+}
+
+/// [`extract_timed`] returning a typed error instead of panicking.
+pub fn try_extract_timed(
+    trace: &Trace,
+    cfg: &Config,
+) -> Result<(LogicalStructure, StageTimings), ExtractError> {
+    try_extract_observed(trace, cfg, None)
 }
 
 /// [`extract`], also returning the [`MergeProvenance`] decision log:
@@ -107,10 +158,21 @@ pub fn extract_timed(trace: &Trace, cfg: &Config) -> (LogicalStructure, StageTim
 /// that fired and the deciding task pair. The race analysis uses the
 /// order-sensitive subset to classify races as benign or
 /// structure-affecting.
+///
+/// Panics on [`ExtractError`]; see [`try_extract_with_provenance`].
 pub fn extract_with_provenance(trace: &Trace, cfg: &Config) -> (LogicalStructure, MergeProvenance) {
+    try_extract_with_provenance(trace, cfg).unwrap_or_else(|e| panic!("extract: {e}"))
+}
+
+/// [`extract_with_provenance`] returning a typed error instead of
+/// panicking.
+pub fn try_extract_with_provenance(
+    trace: &Trace,
+    cfg: &Config,
+) -> Result<(LogicalStructure, MergeProvenance), ExtractError> {
     let mut prov = None;
-    let (ls, _) = extract_inner(trace, cfg, None, Some(&mut prov));
-    (ls, prov.unwrap_or_default())
+    let (ls, _) = extract_inner(trace, cfg, None, Some(&mut prov))?;
+    Ok((ls, prov.unwrap_or_default()))
 }
 
 /// [`extract_timed`], additionally reporting a [`StageSnapshot`] after
@@ -121,11 +183,22 @@ pub fn extract_with_provenance(trace: &Trace, cfg: &Config) -> (LogicalStructure
 /// With [`Config::verify_invariants`] set, the final structure is
 /// re-checked with [`StructureVerifier`] and the pipeline's internal
 /// `debug_assert!`s run in release builds too; any violation panics.
+///
+/// Panics on [`ExtractError`]; see [`try_extract_observed`].
 pub fn extract_observed(
     trace: &Trace,
     cfg: &Config,
     observer: Option<&mut dyn FnMut(StageSnapshot)>,
 ) -> (LogicalStructure, StageTimings) {
+    try_extract_observed(trace, cfg, observer).unwrap_or_else(|e| panic!("extract: {e}"))
+}
+
+/// [`extract_observed`] returning a typed error instead of panicking.
+pub fn try_extract_observed(
+    trace: &Trace,
+    cfg: &Config,
+    observer: Option<&mut dyn FnMut(StageSnapshot)>,
+) -> Result<(LogicalStructure, StageTimings), ExtractError> {
     extract_inner(trace, cfg, observer, None)
 }
 
@@ -134,7 +207,7 @@ fn extract_inner(
     cfg: &Config,
     mut observer: Option<&mut dyn FnMut(StageSnapshot)>,
     prov_out: Option<&mut Option<MergeProvenance>>,
-) -> (LogicalStructure, StageTimings) {
+) -> Result<(LogicalStructure, StageTimings), ExtractError> {
     use std::time::Instant;
     let mut t = StageTimings::default();
     let mut elapsed = std::time::Duration::ZERO;
@@ -199,7 +272,7 @@ fn extract_inner(
     if let Some(out) = prov_out {
         *out = stage.prov.take();
     }
-    let ls = assemble(trace, &ix, stage, cfg);
+    let ls = assemble(trace, &ix, stage, cfg)?;
     stamp(&mut mark, &mut elapsed, &mut t.ordering);
 
     if cfg.verify_invariants {
@@ -211,7 +284,7 @@ fn extract_inner(
             violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
         );
     }
-    (ls, t)
+    Ok((ls, t))
 }
 
 /// Accumulates `elapsed + mark.elapsed()` into `slot` and restarts
@@ -231,7 +304,7 @@ fn assemble(
     ix: &lsr_trace::TraceIndex,
     mut stage: stage::Stage<'_>,
     cfg: &Config,
-) -> LogicalStructure {
+) -> Result<LogicalStructure, ExtractError> {
     let v = stage.view();
     let nphases = v.len();
     let mut diag = stage.diag.clone();
@@ -259,23 +332,35 @@ fn assemble(
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(inputs.len());
         let next = AtomicUsize::new(0);
         let collected = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
+        let failed: parking_lot::Mutex<Option<ExtractError>> = parking_lot::Mutex::new(None);
         crossbeam::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(input) = inputs.get(i) else { break };
-                    let r = step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg);
-                    collected.lock().push(r);
+                    if failed.lock().is_some() {
+                        break;
+                    }
+                    match step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg) {
+                        Ok(r) => collected.lock().push(r),
+                        Err(e) => {
+                            *failed.lock() = Some(e);
+                            break;
+                        }
+                    }
                 });
             }
         })
         .expect("phase-ordering worker panicked");
+        if let Some(e) = failed.into_inner() {
+            return Err(e);
+        }
         collected.into_inner()
     } else {
         inputs
             .iter()
             .map(|input| step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg))
-            .collect()
+            .collect::<Result<_, _>>()?
     };
     results.sort_unstable_by_key(|r| r.id);
     diag.reorder_fallbacks = results.iter().filter(|r| r.fallback).count();
@@ -359,7 +444,7 @@ fn assemble(
         .collect();
     let phase_succs = v.graph.succs.clone();
 
-    LogicalStructure {
+    Ok(LogicalStructure {
         phases,
         phase_succs,
         phase_of_event,
@@ -367,7 +452,7 @@ fn assemble(
         step,
         task_phase,
         diagnostics: diag,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -479,6 +564,170 @@ mod tests {
         let b = extract(&ring_app(8, 2, 3, 999), &Config::charm());
         assert_eq!(a.num_phases(), b.num_phases());
         assert_eq!(a.app_phase_count(), b.app_phase_count());
+    }
+
+    /// Hand-built adversarial trace: two tasks on different chares, each
+    /// awoken by the message the *other* one sends, with timestamps that
+    /// place both receives before the matching sends. No replay order
+    /// exists, so step assignment must cycle even under physical-time
+    /// ordering. `TraceBuilder` cannot express this (it checks causality
+    /// at `record_send`/`begin_task_from`), so the tables are written
+    /// directly — exactly what an unchecked or salvaged ingest can carry.
+    fn mutual_trigger_trace() -> lsr_trace::Trace {
+        use lsr_trace::{
+            ArrayId, ArrayInfo, ChareId, ChareInfo, EntryId, EntryInfo, EventId, EventKind,
+            EventRec, Kind, MsgId, MsgRec, PeId, TaskRec, Trace,
+        };
+        Trace {
+            pe_count: 2,
+            arrays: vec![ArrayInfo { id: ArrayId(0), name: "adv".into(), kind: Kind::Application }],
+            chares: vec![
+                ChareInfo {
+                    id: ChareId(0),
+                    array: ArrayId(0),
+                    index: 0,
+                    kind: Kind::Application,
+                    home_pe: PeId(0),
+                },
+                ChareInfo {
+                    id: ChareId(1),
+                    array: ArrayId(0),
+                    index: 1,
+                    kind: Kind::Application,
+                    home_pe: PeId(1),
+                },
+                // An unrelated, well-formed spontaneous task lives on
+                // this chare so the trace has more than one phase and
+                // the parallel ordering path actually fans out.
+                ChareInfo {
+                    id: ChareId(2),
+                    array: ArrayId(0),
+                    index: 2,
+                    kind: Kind::Application,
+                    home_pe: PeId(0),
+                },
+            ],
+            entries: vec![EntryInfo {
+                id: EntryId(0),
+                name: "go".into(),
+                sdag_serial: None,
+                collective: false,
+            }],
+            tasks: vec![
+                TaskRec {
+                    id: TaskId(0),
+                    chare: ChareId(0),
+                    entry: EntryId(0),
+                    pe: PeId(0),
+                    begin: Time(0),
+                    end: Time(10),
+                    sink: Some(EventId(0)),
+                    sends: vec![EventId(1)],
+                },
+                TaskRec {
+                    id: TaskId(1),
+                    chare: ChareId(1),
+                    entry: EntryId(0),
+                    pe: PeId(1),
+                    begin: Time(2),
+                    end: Time(12),
+                    sink: Some(EventId(2)),
+                    sends: vec![EventId(3)],
+                },
+                TaskRec {
+                    id: TaskId(2),
+                    chare: ChareId(2),
+                    entry: EntryId(0),
+                    pe: PeId(0),
+                    begin: Time(20),
+                    end: Time(30),
+                    sink: Some(EventId(4)),
+                    sends: vec![],
+                },
+            ],
+            events: vec![
+                EventRec {
+                    id: EventId(0),
+                    task: TaskId(0),
+                    time: Time(0),
+                    kind: EventKind::Recv { msg: Some(MsgId(1)) },
+                },
+                EventRec {
+                    id: EventId(1),
+                    task: TaskId(0),
+                    time: Time(5),
+                    kind: EventKind::Send { msg: MsgId(0) },
+                },
+                EventRec {
+                    id: EventId(2),
+                    task: TaskId(1),
+                    time: Time(2),
+                    kind: EventKind::Recv { msg: Some(MsgId(0)) },
+                },
+                EventRec {
+                    id: EventId(3),
+                    task: TaskId(1),
+                    time: Time(8),
+                    kind: EventKind::Send { msg: MsgId(1) },
+                },
+                EventRec {
+                    id: EventId(4),
+                    task: TaskId(2),
+                    time: Time(20),
+                    kind: EventKind::Recv { msg: None },
+                },
+            ],
+            msgs: vec![
+                MsgRec {
+                    id: MsgId(0),
+                    send_event: EventId(1),
+                    recv_task: Some(TaskId(1)),
+                    dst_chare: ChareId(1),
+                    dst_entry: EntryId(0),
+                    send_time: Time(5),
+                    recv_time: Some(Time(2)),
+                },
+                MsgRec {
+                    id: MsgId(1),
+                    send_event: EventId(3),
+                    recv_task: Some(TaskId(0)),
+                    dst_chare: ChareId(0),
+                    dst_entry: EntryId(0),
+                    send_time: Time(8),
+                    recv_time: Some(Time(0)),
+                },
+            ],
+            idles: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn step_cycle_is_a_typed_error_not_a_panic() {
+        let tr = mutual_trigger_trace();
+        // Reordered policy (with its physical-time fallback) and the
+        // plain physical-time policy must both report the cycle.
+        for cfg in [Config::charm(), Config::charm().with_ordering(OrderingPolicy::PhysicalTime)] {
+            match try_extract(&tr, &cfg) {
+                Err(ExtractError::StepCycle { .. }) => {}
+                other => panic!("{cfg:?}: expected StepCycle, got {other:?}"),
+            }
+        }
+        // The panicking wrapper keeps its contract but with a message
+        // that names the cause.
+        let err = std::panic::catch_unwind(|| extract(&tr, &Config::charm()))
+            .expect_err("extract must panic on a cyclic trace");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("step assignment cycle"), "panic message was {msg:?}");
+    }
+
+    #[test]
+    fn step_cycle_error_propagates_through_parallel_ordering() {
+        let tr = mutual_trigger_trace();
+        let cfg = Config::charm().with_parallel(true);
+        match try_extract(&tr, &cfg) {
+            Err(ExtractError::StepCycle { .. }) => {}
+            other => panic!("expected StepCycle, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::atoms::AtomGraph;
 use crate::config::{Config, OrderingPolicy, TraceModel};
+use crate::ExtractError;
 use lsr_trace::{ChareId, EventId, EventKind, Lane, Trace};
 use std::collections::HashMap;
 
@@ -33,13 +34,19 @@ pub(crate) struct PhaseResult {
 const SOURCE_CHAIN_DEPTH: usize = 8;
 
 /// Assigns local steps to all events of one phase.
+///
+/// Fails with [`ExtractError::StepCycle`] when even the physical-time
+/// ordering contains a dependency cycle — possible only for traces
+/// whose timestamps contradict causality (a receive stamped before its
+/// send on the same lane chain), which validation rejects but an
+/// unchecked or salvaged trace can still carry.
 pub(crate) fn assign_phase_steps(
     trace: &Trace,
     ag: &AtomGraph,
     phase_of_event: &[u32],
     input: &PhaseInput,
     cfg: &Config,
-) -> PhaseResult {
+) -> Result<PhaseResult, ExtractError> {
     let mut result = try_assign(trace, ag, phase_of_event, input, cfg, cfg.ordering);
     if result.is_none() && cfg.ordering == OrderingPolicy::Reordered {
         // Pathological reordering (paper: "pathological examples can be
@@ -56,7 +63,7 @@ pub(crate) fn assign_phase_steps(
                 r
             });
     }
-    result.expect("physical-time step assignment cannot cycle")
+    result.ok_or(ExtractError::StepCycle { phase: input.id })
 }
 
 fn try_assign(
@@ -371,7 +378,7 @@ mod tests {
     fn receive_steps_exceed_matching_send() {
         let (tr, ag) = fan_in();
         let (poe, input) = one_phase(&ag);
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm());
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm()).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         for m in &tr.msgs {
             let send = m.send_event;
@@ -391,7 +398,7 @@ mod tests {
     fn reorder_sorts_receives_by_sender_w_then_chare() {
         let (tr, ag) = fan_in();
         let (poe, input) = one_phase(&ag);
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm());
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm()).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         // Both sends have w=0; the tie is broken by sender chare id, so
         // c2's receive of c0's message is ordered before c1's message
@@ -411,7 +418,7 @@ mod tests {
         let (tr, ag) = fan_in();
         let (poe, input) = one_phase(&ag);
         let cfg = Config::charm().with_topology(vec![10, 5, 99]);
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg);
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         let sink_r0 = tr.tasks[3].sink.unwrap(); // from c0 (rank 10)
         let sink_r1 = tr.tasks[2].sink.unwrap(); // from c1 (rank 5)
@@ -426,7 +433,7 @@ mod tests {
         let (tr, ag) = fan_in();
         let (poe, input) = one_phase(&ag);
         let cfg = Config::charm().with_ordering(OrderingPolicy::PhysicalTime);
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg);
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         let sink_r0 = tr.tasks[3].sink.unwrap();
         let sink_r1 = tr.tasks[2].sink.unwrap();
@@ -438,7 +445,7 @@ mod tests {
         let (tr, ag) = fan_in();
         let poe = vec![0u32; ag.atom_of_event.len()];
         let input = PhaseInput { id: 0, atoms: Vec::new() };
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm());
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &Config::charm()).unwrap();
         assert!(r.local.is_empty());
         assert_eq!(r.max_local, 0);
     }
@@ -483,7 +490,7 @@ mod tests {
             let atoms: Vec<u32> = (0..ag.atoms.len() as u32).collect();
             (vec![0u32; ag.atom_of_event.len()], PhaseInput { id: 0, atoms })
         };
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg);
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         // r3's send must come after both its receives.
         let send_ev = tr.tasks[4].sends[0];
@@ -544,7 +551,7 @@ mod tests {
         let atoms: Vec<u32> = (0..ag.atoms.len() as u32).collect();
         let poe = vec![0u32; ag.atom_of_event.len()];
         let input = PhaseInput { id: 0, atoms };
-        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg);
+        let r = assign_phase_steps(&tr, &ag, &poe, &input, &cfg).unwrap();
         let steps: HashMap<EventId, u64> = r.local.iter().copied().collect();
         let step_of = |t: lsr_trace::TaskId| steps[&tr.task(t).sink.unwrap()];
         let send_step = steps[&tr.task(t5s).sends[0]];

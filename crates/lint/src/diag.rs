@@ -66,6 +66,15 @@ pub enum Location {
         /// The stage name.
         stage: String,
     },
+    /// A line of an input trace file (ingestion findings from a
+    /// salvage read; see `lsr_trace::IngestDiagnostic`).
+    Input {
+        /// Source file name, when known (split traces).
+        file: Option<String>,
+        /// 1-based line number; 0 for whole-file or whole-table
+        /// findings.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for Location {
@@ -79,6 +88,12 @@ impl std::fmt::Display for Location {
             Location::Idle { index } => write!(f, "idle[{index}]"),
             Location::Phase { phase } => write!(f, "phase {phase}"),
             Location::Stage { stage } => write!(f, "stage {stage}"),
+            Location::Input { file, line } => match (file, line) {
+                (Some(name), 0) => write!(f, "{name}"),
+                (Some(name), n) => write!(f, "{name}:{n}"),
+                (None, 0) => write!(f, "input"),
+                (None, n) => write!(f, "input line {n}"),
+            },
         }
     }
 }

@@ -138,12 +138,30 @@ pub fn lint_trace(trace: &Trace, opts: &LintOptions) -> LintReport {
         // reported as diagnostics, not panics.
         let cfg = opts.config.clone().with_verify(false);
         let mut snapshots: Vec<StageSnapshot> = Vec::new();
-        let (ls, _) = lsr_core::extract_observed(trace, &cfg, Some(&mut |s| snapshots.push(s)));
-        report.diagnostics.extend(passes::stage_passes(&snapshots));
-        report.diagnostics.extend(passes::structure_passes(trace, &ls, limit));
-        report.structure_checked = true;
+        match lsr_core::try_extract_observed(trace, &cfg, Some(&mut |s| snapshots.push(s))) {
+            Ok((ls, _)) => {
+                report.diagnostics.extend(passes::stage_passes(&snapshots));
+                report.diagnostics.extend(passes::structure_passes(trace, &ls, limit));
+                report.structure_checked = true;
+            }
+            Err(e) => {
+                // P002: extraction aborted. The stage snapshots taken
+                // before the abort are still checked.
+                report.diagnostics.extend(passes::stage_passes(&snapshots));
+                report.diagnostics.push(passes::extract_error_diag(&e));
+            }
+        }
     }
     report
+}
+
+/// Re-renders the ingestion findings of a salvage read
+/// ([`lsr_trace::IngestReport`], the `I` codes) as lint diagnostics so
+/// they can be merged into a [`LintReport`]. Ingestion findings are
+/// warnings: salvage already repaired the trace, the diagnostics record
+/// what was lost doing so.
+pub fn ingest_diagnostics(report: &lsr_trace::IngestReport) -> Vec<Diagnostic> {
+    passes::ingest_diags(report)
 }
 
 /// Runs the structure passes (S codes) over an already-recovered
@@ -213,6 +231,29 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"errors\": 0"), "{json}");
         assert!(json.contains("\"structure_checked\": true"), "{json}");
+    }
+
+    #[test]
+    fn ingest_diagnostics_become_warnings_with_input_locations() {
+        let rep = lsr_trace::IngestReport {
+            diagnostics: vec![lsr_trace::IngestDiagnostic {
+                code: lsr_trace::IngestCode::MalformedRecord,
+                file: Some("run.1.log".into()),
+                line: 7,
+                message: "bad integer \"x\"".into(),
+            }],
+            suppressed: 0,
+            skipped_records: 1,
+            downgraded_links: 0,
+        };
+        let diags = ingest_diagnostics(&rep);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "I001");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(
+            diags[0].to_string(),
+            "warning I001 [MalformedRecord] run.1.log:7: bad integer \"x\""
+        );
     }
 
     #[test]

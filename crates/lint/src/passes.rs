@@ -4,8 +4,10 @@
 
 use crate::diag::{Diagnostic, Location, Severity};
 use crate::hb::HbIndex;
-use lsr_core::{InvariantViolation, LogicalStructure, StageSnapshot, StructureVerifier};
-use lsr_trace::{EventKind, Trace, TraceIndex, ValidationError};
+use lsr_core::{
+    ExtractError, InvariantViolation, LogicalStructure, StageSnapshot, StructureVerifier,
+};
+use lsr_trace::{EventKind, IngestCode, IngestReport, Trace, TraceIndex, ValidationError};
 
 /// T-codes: every [`ValidationError`] maps to one coded diagnostic.
 pub(crate) fn trace_passes(trace: &Trace, limit: usize) -> Vec<Diagnostic> {
@@ -327,6 +329,49 @@ pub(crate) fn stage_passes(snapshots: &[StageSnapshot]) -> Vec<Diagnostic> {
         .collect()
 }
 
+/// P002: the extraction pipeline aborted with a typed error instead of
+/// producing a structure.
+pub(crate) fn extract_error_diag(e: &ExtractError) -> Diagnostic {
+    let ExtractError::StepCycle { phase } = *e;
+    Diagnostic {
+        code: "P002",
+        name: "ExtractAborted",
+        severity: Severity::Error,
+        location: Location::Phase { phase },
+        message: e.to_string(),
+        explanation: "step assignment needs a replay order, which exists only \
+                      when timestamps respect causality; validated traces \
+                      cannot trigger this, unchecked or salvaged ones can",
+    }
+}
+
+/// I-codes: ingestion findings from a salvage read, re-rendered as lint
+/// diagnostics so `lsr lint --salvage` shows one merged report.
+pub(crate) fn ingest_diags(report: &IngestReport) -> Vec<Diagnostic> {
+    fn name_of(code: IngestCode) -> &'static str {
+        match code {
+            IngestCode::MalformedRecord => "MalformedRecord",
+            IngestCode::DuplicateId => "DuplicateId",
+            IngestCode::DanglingReference => "DanglingReference",
+            IngestCode::DowngradedLink => "DowngradedLink",
+            IngestCode::BadFileHeader => "BadFileHeader",
+            IngestCode::TableCompacted => "TableCompacted",
+        }
+    }
+    report
+        .diagnostics
+        .iter()
+        .map(|d| Diagnostic {
+            code: d.code.code(),
+            name: name_of(d.code),
+            severity: Severity::Warning,
+            location: Location::Input { file: d.file.clone(), line: d.line },
+            message: d.message.clone(),
+            explanation: d.code.explanation(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +398,15 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), samples.len(), "codes collide: {codes:?}");
         assert!(codes.iter().all(|c| c.starts_with('T')));
+    }
+
+    #[test]
+    fn p002_names_the_phase_and_cause() {
+        let d = extract_error_diag(&ExtractError::StepCycle { phase: 3 });
+        assert_eq!(d.code, "P002");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Phase { phase: 3 });
+        assert!(d.message.contains("phase 3"), "{}", d.message);
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod ids;
 pub mod logfmt;
 pub mod multifile;
 mod quality;
+mod reader;
 mod record;
 mod stats;
 mod time;
@@ -47,6 +48,7 @@ mod window;
 pub use builder::TraceBuilder;
 pub use ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
 pub use quality::QualityReport;
+pub use reader::{IngestCode, IngestDiagnostic, IngestReport, ParseError};
 pub use record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
 pub use stats::TraceStats;
 pub use time::{Dur, Time};

@@ -6,18 +6,20 @@
 //!
 //! One record per line; the record tag comes first; names (which may
 //! contain spaces) always come last on their line.
+//!
+//! Parsing is handled by the streaming reader module: a
+//! single pass with zero-copy field splitting, order-independent record
+//! resolution, and an optional salvage mode ([`read_log_salvage`]) that
+//! skips malformed records and reports them as `I` diagnostics.
 
-use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
-use crate::record::{
-    ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec,
-};
-use crate::time::Time;
+pub use crate::reader::ParseError;
+use crate::reader::{read_single, IngestReport};
 use crate::trace::Trace;
 use crate::validate::validate_fast;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
-const HEADER: &str = "LSRTRACE 1";
+pub(crate) const HEADER: &str = "LSRTRACE 1";
 
 /// Serializes a trace into the text log format.
 pub fn write_log<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
@@ -47,11 +49,11 @@ pub fn write_log<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     }
     for ev in &trace.events {
         match ev.kind {
-            EventKind::Recv { msg } => {
+            crate::record::EventKind::Recv { msg } => {
                 let m = msg.map_or("-".to_owned(), |m| m.0.to_string());
                 writeln!(buf, "RECV {} {} {} {}", ev.id.0, ev.task.0, ev.time.0, m).unwrap();
             }
-            EventKind::Send { msg } => {
+            crate::record::EventKind::Send { msg } => {
                 writeln!(buf, "SEND {} {} {} {}", ev.id.0, ev.task.0, ev.time.0, msg.0).unwrap();
             }
         }
@@ -79,79 +81,14 @@ pub fn to_log_string(trace: &Trace) -> String {
     String::from_utf8(out).expect("log format is ASCII")
 }
 
-/// A parse failure, with the 1-based line number where it occurred.
-#[derive(Debug)]
-pub struct ParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// Description of the problem.
-    pub msg: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-struct LineParser<'a> {
-    line: usize,
-    fields: std::str::SplitWhitespace<'a>,
-    raw: &'a str,
-}
-
-impl<'a> LineParser<'a> {
-    fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, msg: msg.into() }
-    }
-
-    fn next_u32(&mut self) -> Result<u32, ParseError> {
-        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
-        f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
-    }
-
-    fn next_u64(&mut self) -> Result<u64, ParseError> {
-        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
-        f.parse().map_err(|_| self.err(format!("bad integer {f:?}")))
-    }
-
-    fn next_opt_u32(&mut self) -> Result<Option<u32>, ParseError> {
-        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
-        if f == "-" {
-            Ok(None)
-        } else {
-            f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
-        }
-    }
-
-    fn next_opt_u64(&mut self) -> Result<Option<u64>, ParseError> {
-        let f = self.fields.next().ok_or_else(|| self.err("missing field"))?;
-        if f == "-" {
-            Ok(None)
-        } else {
-            f.parse().map(Some).map_err(|_| self.err(format!("bad integer {f:?}")))
-        }
-    }
-
-    /// Everything after the fields consumed so far (for trailing names).
-    fn rest_name(&mut self, consumed_fields: usize) -> String {
-        // Re-split the raw line: tag + consumed fields, then the rest.
-        let mut it = self.raw.split_whitespace();
-        for _ in 0..=consumed_fields {
-            it.next();
-        }
-        let words: Vec<&str> = it.collect();
-        words.join(" ")
-    }
-}
-
 /// Parses the text log format back into a validated [`Trace`].
 pub fn read_log<R: BufRead>(r: R) -> Result<Trace, ParseError> {
     let trace = read_log_unchecked(r)?;
-    validate_fast(&trace)
-        .map_err(|e| ParseError { line: 0, msg: format!("invalid trace: {e}") })?;
+    validate_fast(&trace).map_err(|e| ParseError {
+        file: None,
+        line: 0,
+        msg: format!("invalid trace: {e}"),
+    })?;
     Ok(trace)
 }
 
@@ -159,131 +96,22 @@ pub fn read_log<R: BufRead>(r: R) -> Result<Trace, ParseError> {
 /// syntactically well-formed log, even one whose records violate the
 /// structural invariants. For diagnostic tooling (`lsr lint`) that
 /// reports the violations itself instead of refusing the load.
+///
+/// Records may appear in any order: a `SEND` may precede its `TASK`, a
+/// `CHARE` its `ARRAY`. Cross-references are resolved after the scan.
 pub fn read_log_unchecked<R: BufRead>(r: R) -> Result<Trace, ParseError> {
-    let mut trace = Trace::default();
-    let mut saw_header = false;
-    for (i, line) in r.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line.map_err(|e| ParseError { line: lineno, msg: e.to_string() })?;
-        let raw = line.trim();
-        if raw.is_empty() || raw.starts_with('#') {
-            continue;
-        }
-        if !saw_header {
-            if raw != HEADER {
-                return Err(ParseError { line: lineno, msg: format!("expected {HEADER:?}") });
-            }
-            saw_header = true;
-            continue;
-        }
-        let mut fields = raw.split_whitespace();
-        let tag = fields.next().expect("non-empty line has a tag");
-        let mut p = LineParser { line: lineno, fields, raw };
-        match tag {
-            "PES" => trace.pe_count = p.next_u32()?,
-            "ARRAY" => {
-                let id = ArrayId(p.next_u32()?);
-                let kind = match p.fields.next() {
-                    Some("A") => Kind::Application,
-                    Some("R") => Kind::Runtime,
-                    other => return Err(p.err(format!("bad kind {other:?}"))),
-                };
-                let name = p.rest_name(2);
-                trace.arrays.push(ArrayInfo { id, name, kind });
-            }
-            "CHARE" => {
-                let id = ChareId(p.next_u32()?);
-                let array = ArrayId(p.next_u32()?);
-                let index = p.next_u32()?;
-                let home_pe = PeId(p.next_u32()?);
-                let kind = trace
-                    .arrays
-                    .get(array.index())
-                    .ok_or_else(|| p.err("CHARE references unknown ARRAY"))?
-                    .kind;
-                trace.chares.push(ChareInfo { id, array, index, kind, home_pe });
-            }
-            "ENTRY" => {
-                let id = EntryId(p.next_u32()?);
-                let sdag_serial = p.next_opt_u32()?;
-                let collective = match p.fields.next() {
-                    Some("C") => true,
-                    Some("-") => false,
-                    other => return Err(p.err(format!("bad collective flag {other:?}"))),
-                };
-                let name = p.rest_name(3);
-                trace.entries.push(EntryInfo { id, name, sdag_serial, collective });
-            }
-            "TASK" => {
-                let id = TaskId(p.next_u32()?);
-                let chare = ChareId(p.next_u32()?);
-                let entry = EntryId(p.next_u32()?);
-                let pe = PeId(p.next_u32()?);
-                let begin = Time(p.next_u64()?);
-                let end = Time(p.next_u64()?);
-                let sink = p.next_opt_u32()?.map(EventId);
-                trace.tasks.push(TaskRec {
-                    id,
-                    chare,
-                    entry,
-                    pe,
-                    begin,
-                    end,
-                    sink,
-                    sends: Vec::new(),
-                });
-            }
-            "RECV" => {
-                let id = EventId(p.next_u32()?);
-                let task = TaskId(p.next_u32()?);
-                let time = Time(p.next_u64()?);
-                let msg = p.next_opt_u32()?.map(MsgId);
-                trace.events.push(EventRec { id, task, time, kind: EventKind::Recv { msg } });
-            }
-            "SEND" => {
-                let id = EventId(p.next_u32()?);
-                let task = TaskId(p.next_u32()?);
-                let time = Time(p.next_u64()?);
-                let msg = MsgId(p.next_u32()?);
-                trace.events.push(EventRec { id, task, time, kind: EventKind::Send { msg } });
-                trace
-                    .tasks
-                    .get_mut(task.index())
-                    .ok_or_else(|| p.err("SEND references unknown TASK"))?
-                    .sends
-                    .push(id);
-            }
-            "MSG" => {
-                let id = MsgId(p.next_u32()?);
-                let send_event = EventId(p.next_u32()?);
-                let dst_chare = ChareId(p.next_u32()?);
-                let dst_entry = EntryId(p.next_u32()?);
-                let send_time = Time(p.next_u64()?);
-                let recv_task = p.next_opt_u32()?.map(TaskId);
-                let recv_time = p.next_opt_u64()?.map(Time);
-                trace.msgs.push(MsgRec {
-                    id,
-                    send_event,
-                    recv_task,
-                    dst_chare,
-                    dst_entry,
-                    send_time,
-                    recv_time,
-                });
-            }
-            "IDLE" => {
-                let pe = PeId(p.next_u32()?);
-                let begin = Time(p.next_u64()?);
-                let end = Time(p.next_u64()?);
-                trace.idles.push(IdleRec { pe, begin, end });
-            }
-            other => return Err(p.err(format!("unknown record tag {other:?}"))),
-        }
-    }
-    if !saw_header {
-        return Err(ParseError { line: 0, msg: "empty input (missing header)".to_owned() });
-    }
-    Ok(trace)
+    read_single(r, false).map(|(t, _)| t)
+}
+
+/// Salvage-mode [`read_log`]: malformed records, duplicate ids, and
+/// dangling references are skipped (cascading through whatever
+/// depended on them) instead of fatal, and reported in the returned
+/// [`IngestReport`] as `I001`–`I006` diagnostics. The surviving tables
+/// are renumbered dense, so the result is referentially intact by
+/// construction — but it is *not* semantically validated; run
+/// `lsr lint` (or [`crate::validate()`]) if that matters.
+pub fn read_log_salvage<R: BufRead>(r: R) -> Result<(Trace, IngestReport), ParseError> {
+    read_single(r, true)
 }
 
 /// Parses a trace from an in-memory string.
@@ -295,6 +123,9 @@ pub fn from_log_str(s: &str) -> Result<Trace, ParseError> {
 mod tests {
     use super::*;
     use crate::builder::TraceBuilder;
+    use crate::ids::{EventId, Kind, PeId};
+    use crate::reader::IngestCode;
+    use crate::time::Time;
 
     fn sample() -> Trace {
         let mut b = TraceBuilder::new(2);
@@ -334,6 +165,23 @@ mod tests {
     }
 
     #[test]
+    fn names_with_whitespace_runs_survive() {
+        // Regression: the old parser re-split the line and joined with
+        // single spaces, collapsing "foo  bar" to "foo bar".
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("jacobi  block", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("recv  halo\tstep", None);
+        let t = b.begin_task(c, e, PeId(0), Time(0));
+        b.end_task(t, Time(1));
+        let tr = b.build().unwrap();
+        let back = from_log_str(&to_log_string(&tr)).unwrap();
+        assert_eq!(back.arrays[0].name, "jacobi  block");
+        assert_eq!(back.entries[0].name, "recv  halo\tstep");
+        assert_eq!(tr, back);
+    }
+
+    #[test]
     fn comments_and_blank_lines_are_skipped() {
         let tr = sample();
         let mut text = String::from("# a comment\n\n");
@@ -368,5 +216,87 @@ mod tests {
     fn truncated_record_is_an_error() {
         let err = from_log_str("LSRTRACE 1\nPES\n").unwrap_err();
         assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn record_order_does_not_matter() {
+        // Reversing every record line puts MSGs first, SENDs before
+        // their TASKs, CHAREs before their ARRAYs, and PES last.
+        let tr = sample();
+        let text = to_log_string(&tr);
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], HEADER);
+        lines[1..].reverse();
+        let back = from_log_str(&lines.join("\n")).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn forward_references_parse() {
+        let text = "LSRTRACE 1\nSEND 0 0 1 0\nMSG 0 0 0 0 1 - -\nTASK 0 0 0 0 0 2 -\n\
+                    CHARE 0 0 0 0\nARRAY 0 A w\nENTRY 0 - - e\nPES 1\n";
+        let tr = from_log_str(text).unwrap();
+        assert_eq!(tr.tasks[0].sends, vec![EventId(0)]);
+        assert_eq!(tr.chares[0].kind, Kind::Application);
+    }
+
+    #[test]
+    fn duplicate_id_is_an_error_with_line() {
+        let text = "LSRTRACE 1\nPES 1\nARRAY 0 A x\nARRAY 0 A y\n";
+        let err = from_log_str(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn id_hole_is_an_error() {
+        let err = from_log_str("LSRTRACE 1\nPES 1\nARRAY 1 A x\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("not dense"), "{err}");
+    }
+
+    #[test]
+    fn salvage_on_clean_input_matches_strict() {
+        let tr = sample();
+        let text = to_log_string(&tr);
+        let (back, rep) = read_log_salvage(text.as_bytes()).unwrap();
+        assert!(rep.is_clean(), "{rep:?}");
+        assert_eq!(back, from_log_str(&text).unwrap());
+    }
+
+    #[test]
+    fn salvage_skips_malformed_lines() {
+        let tr = sample();
+        let mut text = to_log_string(&tr);
+        text.push_str("GARBAGE not a record\nTASK bogus\n");
+        let (back, rep) = read_log_salvage(text.as_bytes()).unwrap();
+        assert_eq!(tr, back);
+        assert_eq!(rep.skipped_records, 2);
+        assert!(rep.diagnostics.iter().all(|d| d.code == IngestCode::MalformedRecord));
+    }
+
+    #[test]
+    fn salvage_keeps_first_of_duplicate_ids() {
+        let text = "LSRTRACE 1\nPES 1\nARRAY 0 A first\nARRAY 0 A second\n";
+        let (tr, rep) = read_log_salvage(text.as_bytes()).unwrap();
+        assert_eq!(tr.arrays.len(), 1);
+        assert_eq!(tr.arrays[0].name, "first");
+        assert!(rep.diagnostics.iter().any(|d| d.code == IngestCode::DuplicateId));
+    }
+
+    #[test]
+    fn salvage_cascades_dangling_references() {
+        // TASK 1 references CHARE 9, which doesn't exist: the task goes,
+        // its SEND goes with it, and the MSG carried by that send goes
+        // too. TASK 0 survives untouched.
+        let text = "LSRTRACE 1\nPES 1\nARRAY 0 A w\nCHARE 0 0 0 0\nENTRY 0 - - e\n\
+                    TASK 0 0 0 0 0 5 -\nTASK 1 9 0 0 0 5 -\nSEND 0 1 1 0\nMSG 0 0 0 0 1 - -\n";
+        let (tr, rep) = read_log_salvage(text.as_bytes()).unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert!(tr.events.is_empty());
+        assert!(tr.msgs.is_empty());
+        assert_eq!(rep.skipped_records, 3);
+        assert!(rep.diagnostics.iter().any(|d| d.code == IngestCode::DanglingReference));
+        assert!(rep.diagnostics.iter().any(|d| d.code == IngestCode::TableCompacted));
     }
 }

@@ -12,9 +12,13 @@
 //! Ids are global, so merging is a deterministic sort; [`read_split`]
 //! reassembles the records in id order and returns a validated trace.
 
-use crate::logfmt::{from_log_str, ParseError};
+use crate::logfmt::ParseError;
+use crate::reader::{IngestReport, Loader, Section};
 use crate::trace::Trace;
+use crate::validate::validate_fast;
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
 
 /// Writes `trace` as `<base>.sts` plus one `<base>.<pe>.log` per PE
@@ -89,80 +93,81 @@ pub fn write_split(trace: &Trace, dir: &Path, base: &str) -> std::io::Result<usi
     Ok(trace.pe_count as usize + 1)
 }
 
-/// Reads a split trace written by [`write_split`] back into a validated
-/// [`Trace`], merging per-PE logs by record id.
+/// Reads a split trace written by [`write_split`] back into a
+/// validated [`Trace`], streaming each per-PE log through the record
+/// reader — no merged intermediate document is materialized, and every
+/// [`ParseError`] carries the file and line it came from.
 pub fn read_split(dir: &Path, base: &str) -> Result<Trace, ParseError> {
-    let fail = |msg: String| ParseError { line: 0, msg };
-    let sts = std::fs::read_to_string(dir.join(format!("{base}.sts")))
-        .map_err(|e| fail(format!("cannot read sts: {e}")))?;
-    let mut lines = sts.lines();
-    if lines.next() != Some("LSRSTS 1") {
-        return Err(fail("bad sts header".into()));
-    }
-    let pes: u32 = sts
-        .lines()
-        .find_map(|l| l.strip_prefix("PES "))
-        .ok_or_else(|| fail("sts missing PES".into()))?
-        .trim()
-        .parse()
-        .map_err(|_| fail("bad PES value".into()))?;
+    let (trace, _) = read_split_inner(dir, base, false)?;
+    validate_fast(&trace).map_err(|e| ParseError {
+        file: None,
+        line: 0,
+        msg: format!("invalid trace: {e}"),
+    })?;
+    Ok(trace)
+}
 
-    // Collect records from every PE log, bucketed per table.
-    let mut tasks: Vec<String> = Vec::new();
-    let mut events: Vec<String> = Vec::new();
-    let mut msgs: Vec<String> = Vec::new();
-    let mut idles: Vec<String> = Vec::new();
-    for p in 0..pes {
-        let path = dir.join(format!("{base}.{p}.log"));
-        let content = std::fs::read_to_string(&path)
-            .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
-        let mut it = content.lines();
-        match it.next() {
-            Some(h) if h == format!("LSRLOG {p}") => {}
-            other => return Err(fail(format!("bad log header in pe {p}: {other:?}"))),
-        }
-        for line in it {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            match line.split_whitespace().next() {
-                Some("TASK") => tasks.push(line.to_owned()),
-                Some("RECV") | Some("SEND") => events.push(line.to_owned()),
-                Some("MSG") => msgs.push(line.to_owned()),
-                Some("IDLE") => idles.push(line.to_owned()),
-                other => return Err(fail(format!("unexpected log record {other:?}"))),
-            }
-        }
-    }
-    // Global ids make the merge a sort.
-    let id_of = |line: &String| -> u64 {
-        line.split_whitespace().nth(1).and_then(|f| f.parse().ok()).unwrap_or(u64::MAX)
-    };
-    tasks.sort_by_key(id_of);
-    events.sort_by_key(id_of);
-    msgs.sort_by_key(id_of);
-    idles.sort_by_key(|l| {
-        let mut f = l.split_whitespace().skip(1);
-        let pe: u64 = f.next().and_then(|x| x.parse().ok()).unwrap_or(u64::MAX);
-        let begin: u64 = f.next().and_then(|x| x.parse().ok()).unwrap_or(u64::MAX);
-        (pe, begin)
-    });
+/// Salvage-mode [`read_split`]: malformed records, bad headers, and
+/// unreadable per-PE logs are reported in the [`IngestReport`] instead
+/// of aborting the load (the `.sts` file itself must still open). The
+/// result is referentially intact but not semantically validated.
+pub fn read_split_salvage(dir: &Path, base: &str) -> Result<(Trace, IngestReport), ParseError> {
+    read_split_inner(dir, base, true)
+}
 
-    // Reassemble a single-document log and reuse the main parser (and
-    // its validation).
-    let mut doc = String::from("LSRTRACE 1\n");
-    for l in sts.lines().skip(1) {
-        doc.push_str(l);
-        doc.push('\n');
+fn read_split_inner(
+    dir: &Path,
+    base: &str,
+    salvage: bool,
+) -> Result<(Trace, IngestReport), ParseError> {
+    let mut ld = Loader::new(salvage);
+    let sts_name = format!("{base}.sts");
+    let sts = File::open(dir.join(&sts_name)).map_err(|e| ParseError {
+        file: Some(sts_name.clone()),
+        line: 0,
+        msg: format!("cannot read sts: {e}"),
+    })?;
+    ld.scan(
+        BufReader::new(sts),
+        Some(&sts_name),
+        "LSRSTS 1",
+        &|_| "bad sts header".to_owned(),
+        Section::Metadata,
+    )?;
+    if !ld.saw_pes {
+        if !salvage {
+            return Err(ParseError {
+                file: Some(sts_name),
+                line: 0,
+                msg: "sts missing PES".to_owned(),
+            });
+        }
+        ld.file_diag(Some(sts_name), "sts missing PES; no per-PE logs will be read".to_owned());
     }
-    for group in [tasks, events, msgs, idles] {
-        for l in group {
-            doc.push_str(&l);
-            doc.push('\n');
+    for p in 0..ld.pe_count() {
+        let name = format!("{base}.{p}.log");
+        let path = dir.join(&name);
+        match File::open(&path) {
+            Ok(f) => {
+                let header = format!("LSRLOG {p}");
+                ld.scan(
+                    BufReader::new(f),
+                    Some(&name),
+                    &header,
+                    &|raw| format!("bad log header in pe {p}: {raw:?}"),
+                    Section::Events,
+                )?;
+            }
+            Err(e) => {
+                let msg = format!("cannot read {}: {e}", path.display());
+                if !salvage {
+                    return Err(ParseError { file: Some(name), line: 0, msg });
+                }
+                ld.file_diag(Some(name), msg);
+            }
         }
     }
-    from_log_str(&doc)
+    ld.finish()
 }
 
 #[cfg(test)]
@@ -248,6 +253,54 @@ mod tests {
         std::fs::write(&path, content).unwrap();
         let err = read_split(&dir, "run").unwrap_err();
         assert!(err.to_string().contains("bad log header"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_id_is_a_hard_error_naming_the_file() {
+        // Regression: the old reader sorted lines by a parsed id with
+        // `unwrap_or(u64::MAX)`, silently shuffling a record with a
+        // mangled id to the end instead of reporting it.
+        let tr = sample();
+        let dir = tmp("badid");
+        write_split(&tr, &dir, "run").unwrap();
+        let path = dir.join("run.1.log");
+        let content = std::fs::read_to_string(&path).unwrap().replace("TASK 1 ", "TASK x ");
+        std::fs::write(&path, content).unwrap();
+        let err = read_split(&dir, "run").unwrap_err();
+        assert_eq!(err.file.as_deref(), Some("run.1.log"), "{err}");
+        assert!(err.line > 0, "{err}");
+        assert!(err.to_string().contains("bad integer"), "{err}");
+        // Salvage skips the record (and its dependents) instead.
+        let (back, rep) = read_split_salvage(&dir, "run").unwrap();
+        assert!(back.tasks.len() < tr.tasks.len());
+        assert!(rep.skipped_records > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_salvage_on_clean_input_matches_strict() {
+        let tr = sample();
+        let dir = tmp("salvage_clean");
+        write_split(&tr, &dir, "run").unwrap();
+        let (back, rep) = read_split_salvage(&dir, "run").unwrap();
+        assert!(rep.is_clean(), "{rep:?}");
+        assert_eq!(tr, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_salvage_tolerates_a_missing_log() {
+        let tr = sample();
+        let dir = tmp("salvage_missing");
+        write_split(&tr, &dir, "run").unwrap();
+        std::fs::remove_file(dir.join("run.2.log")).unwrap();
+        let (back, rep) = read_split_salvage(&dir, "run").unwrap();
+        // PE2's task (and the chain hanging off it) is gone, the rest
+        // survives; the missing file is reported.
+        assert!(back.tasks.len() < tr.tasks.len());
+        assert!(!back.tasks.is_empty());
+        assert!(rep.diagnostics.iter().any(|d| d.message.contains("cannot read")), "{rep:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

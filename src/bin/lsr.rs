@@ -19,7 +19,7 @@
 //! Render flags: `--view logical|physical`, `--format ascii|svg`,
 //! `--metric phase|diff|idle|imbalance`, `--out FILE`.
 
-use lsr::core::{extract, Config, LogicalStructure, OrderingPolicy};
+use lsr::core::{try_extract, Config, LogicalStructure, OrderingPolicy};
 use lsr::metrics::{
     idle_experienced, per_pe_totals, CriticalPath, DifferentialDuration, Imbalance,
 };
@@ -104,6 +104,11 @@ fn print_help() {
          \u{20}  --deny-structure-affecting   exit nonzero when a race can change\n\
          \u{20}                               the recovered structure (R002)\n\
          \u{20}  --limit N                    cap reported races (default 64)\n\n\
+         INGESTION (any command that reads a trace)\n\
+         \u{20}  --salvage                skip malformed records instead of aborting;\n\
+         \u{20}                           findings print to stderr (I codes, see\n\
+         \u{20}                           docs/lints.md); `lsr lint --salvage` merges\n\
+         \u{20}                           them into the report\n\n\
          WINDOWING (extract/render/metrics/report)\n\
          \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
          RENDER FLAGS\n\
@@ -131,6 +136,7 @@ fn parse_opts(
         "deny-warnings",
         "deny-structure-affecting",
         "no-structure",
+        "salvage",
     ];
     let mut pos = Vec::new();
     let mut opts = std::collections::HashMap::new();
@@ -182,8 +188,15 @@ fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
     cfg
 }
 
-fn load(path: &str) -> Result<Trace, String> {
-    // `<base>.sts` selects the multi-file per-PE layout.
+/// Reads a trace in either layout (`<base>.sts` selects the multi-file
+/// per-PE layout). With `--salvage`, malformed records are skipped
+/// instead of aborting and the ingestion findings come back alongside
+/// the trace for the caller to surface.
+fn load_report(
+    path: &str,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(Trace, Option<lsr::trace::IngestReport>), String> {
+    let salvage = opts.contains_key("salvage");
     if let Some(base) = path.strip_suffix(".sts") {
         let p = std::path::Path::new(base);
         let dir =
@@ -192,11 +205,42 @@ fn load(path: &str) -> Result<Trace, String> {
         if !std::path::Path::new(path).exists() {
             return Err(format!("cannot open {path}: not found"));
         }
-        return lsr::trace::multifile::read_split(dir, stem)
-            .map_err(|e| format!("cannot parse split trace {path}: {e}"));
+        return if salvage {
+            lsr::trace::multifile::read_split_salvage(dir, stem)
+                .map(|(t, r)| (t, Some(r)))
+                .map_err(|e| format!("cannot parse split trace {path}: {e}"))
+        } else {
+            lsr::trace::multifile::read_split(dir, stem)
+                .map(|t| (t, None))
+                .map_err(|e| format!("cannot parse split trace {path}: {e}"))
+        };
     }
     let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    logfmt::read_log(std::io::BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+    let r = std::io::BufReader::new(f);
+    if salvage {
+        logfmt::read_log_salvage(r)
+            .map(|(t, rep)| (t, Some(rep)))
+            .map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        logfmt::read_log(r).map(|t| (t, None)).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+}
+
+fn load(path: &str, opts: &std::collections::HashMap<String, String>) -> Result<Trace, String> {
+    let (trace, report) = load_report(path, opts)?;
+    if let Some(rep) = report {
+        // Salvage findings go to stderr so stdout stays parseable.
+        for d in &rep.diagnostics {
+            eprintln!("{d}");
+        }
+        if rep.suppressed > 0 {
+            eprintln!("({} more finding(s) suppressed)", rep.suppressed);
+        }
+        if !rep.is_clean() {
+            eprintln!("salvage: {}", rep.summary());
+        }
+    }
+    Ok(trace)
 }
 
 /// Loads a trace and applies an optional `--from`/`--to` time window
@@ -205,7 +249,15 @@ fn load_windowed(
     path: &str,
     opts: &std::collections::HashMap<String, String>,
 ) -> Result<Trace, String> {
-    let trace = load(path)?;
+    let trace = load(path, opts)?;
+    apply_window(trace, opts)
+}
+
+/// Applies the `--from`/`--to` window flags to an already-loaded trace.
+fn apply_window(
+    trace: Trace,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<Trace, String> {
     let parse = |key: &str, default: u64| -> Result<u64, String> {
         match opts.get(key) {
             None => Ok(default),
@@ -228,7 +280,7 @@ fn extract_from(args: &[String]) -> Result<(Trace, LogicalStructure), String> {
     let path = pos.first().ok_or("missing trace file argument")?;
     let trace = load_windowed(path, &opts)?;
     let cfg = config_from(&opts);
-    let ls = extract(&trace, &cfg);
+    let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
     ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
     Ok((trace, ls))
 }
@@ -283,15 +335,15 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (pos, _) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    let (pos, opts) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
     println!("{}", TraceStats::compute(&trace));
     Ok(())
 }
 
 fn cmd_quality(args: &[String]) -> Result<(), String> {
-    let (pos, _) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    let (pos, opts) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
     println!("{}", QualityReport::analyze(&trace));
     Ok(())
 }
@@ -307,7 +359,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
     let path = pos.first().ok_or("missing trace file argument")?;
     let trace = load_windowed(path, &opts)?;
     let cfg = config_from(&opts);
-    let ls = extract(&trace, &cfg);
+    let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
     ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
 
     let view = opts.get("view").map(String::as_str).unwrap_or("logical");
@@ -405,7 +457,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let path = pos.first().ok_or("missing trace file argument")?;
     let trace = load_windowed(path, &opts)?;
     let cfg = config_from(&opts);
-    let ls = extract(&trace, &cfg);
+    let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
     ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
     let html = lsr::render::html_report(path, &trace, &ls);
     let default = format!("{path}.html");
@@ -422,10 +474,10 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         _ => return Err("diff wants exactly two trace files".into()),
     };
     let cfg = config_from(&opts);
-    let (ta, tb) = (load(pa)?, load(pb)?);
-    let la = extract(&ta, &cfg);
+    let (ta, tb) = (load(pa, &opts)?, load(pb, &opts)?);
+    let la = try_extract(&ta, &cfg).map_err(|e| format!("{pa}: cannot extract structure: {e}"))?;
     la.verify(&ta).map_err(|e| format!("{pa}: {e}"))?;
-    let lb = extract(&tb, &cfg);
+    let lb = try_extract(&tb, &cfg).map_err(|e| format!("{pb}: cannot extract structure: {e}"))?;
     lb.verify(&tb).map_err(|e| format!("{pb}: {e}"))?;
     let d = lsr::metrics::StructureDiff::compute(&ta, &la, &tb, &lb);
     print!("{d}");
@@ -443,14 +495,20 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     // Lint wants to diagnose broken files, so single-file logs load
     // without the reader's validation pass (the T lints re-run it with
     // coded findings). Windowing and the split layout rewrite the
-    // trace on load, so those paths keep the strict reader.
+    // trace on load, so those paths keep the strict reader. With
+    // `--salvage` the ingestion findings are merged into the report
+    // (I codes) instead of being printed to stderr.
     let windowed = opts.contains_key("from") || opts.contains_key("to");
-    let trace = if windowed || path.ends_with(".sts") {
-        load_windowed(path, &opts)?
+    let (trace, ingest) = if opts.contains_key("salvage") {
+        let (t, rep) = load_report(path, &opts)?;
+        (apply_window(t, &opts)?, rep)
+    } else if windowed || path.ends_with(".sts") {
+        (load_windowed(path, &opts)?, None)
     } else {
         let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        logfmt::read_log_unchecked(std::io::BufReader::new(f))
-            .map_err(|e| format!("cannot parse {path}: {e}"))?
+        let t = logfmt::read_log_unchecked(std::io::BufReader::new(f))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        (t, None)
     };
     let mut lint_opts = lsr::lint::LintOptions::with_config(config_from(&opts));
     if let Some(v) = opts.get("limit") {
@@ -459,7 +517,12 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     if opts.contains_key("no-structure") {
         lint_opts.check_structure = false;
     }
-    let report = lsr::lint::lint_trace(&trace, &lint_opts);
+    let mut report = lsr::lint::lint_trace(&trace, &lint_opts);
+    if let Some(rep) = &ingest {
+        let mut merged = lsr::lint::ingest_diagnostics(rep);
+        merged.append(&mut report.diagnostics);
+        report.diagnostics = merged;
+    }
     if opts.contains_key("json") {
         println!("{}", report.to_json());
     } else {
@@ -516,8 +579,8 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_critical_path(args: &[String]) -> Result<(), String> {
-    let (pos, _) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?)?;
+    let (pos, opts) = parse_opts(args)?;
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
     let cp = CriticalPath::compute(&trace);
     println!(
         "critical path: {} tasks, {} work over {} makespan (ratio {:.2})",

@@ -58,6 +58,65 @@ fn log_files_survive_disk_io() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Every `lsr gen` preset must survive both serializations — the
+/// single-document log and the Projections-style split layout — and,
+/// because the reader is order-independent, a document with its record
+/// lines reversed must parse to the identical trace. Salvage mode on
+/// clean input must be a no-op with an empty report.
+#[test]
+fn every_preset_roundtrips_single_and_split() {
+    use lsr_apps::*;
+    let presets: Vec<(&str, lsr_trace::Trace)> = vec![
+        ("jacobi-fig8", jacobi2d(&JacobiParams::fig8())),
+        ("jacobi-fig15", jacobi2d(&JacobiParams::fig15())),
+        ("lulesh-charm", lulesh_charm(&LuleshParams::fig16_charm())),
+        ("lulesh-mpi", lulesh_mpi(&LuleshParams::fig16_mpi())),
+        ("lassen8", lassen_charm(&LassenParams::chares8())),
+        ("lassen64", lassen_charm(&LassenParams::chares64())),
+        ("lassen-mpi", lassen_mpi(&LassenParams::mpi(4, 2))),
+        ("pdes", pdes_charm(&PdesParams::fig24())),
+        ("mergetree", mergetree_mpi(&MergeTreeParams::small())),
+        ("bt", bt_mpi(&BtParams::fig1())),
+        ("divcon", divcon_charm(&DivConParams::small())),
+    ];
+    let dir = std::env::temp_dir().join(format!("lsr_preset_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, tr) in &presets {
+        // Single document.
+        let text = logfmt::to_log_string(tr);
+        let back = logfmt::from_log_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(*tr, back, "{name}: single-document roundtrip");
+
+        // The same document with every record line in reverse order:
+        // ingestion is two-phase, so record order must not matter.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let header = lines.remove(0);
+        lines.reverse();
+        let reversed = std::iter::once(header).chain(lines).collect::<Vec<_>>().join("\n") + "\n";
+        let back =
+            logfmt::from_log_str(&reversed).unwrap_or_else(|e| panic!("{name} (reversed): {e}"));
+        assert_eq!(*tr, back, "{name}: reversed-order roundtrip");
+
+        // Salvage on clean input: identical trace, empty report.
+        let (back, rep) = logfmt::read_log_salvage(text.as_bytes())
+            .unwrap_or_else(|e| panic!("{name} (salvage): {e}"));
+        assert_eq!(*tr, back, "{name}: salvage roundtrip");
+        assert!(rep.is_clean(), "{name}: clean input produced findings: {}", rep.summary());
+
+        // Split layout (.sts + per-PE logs).
+        lsr_trace::multifile::write_split(tr, &dir, name)
+            .unwrap_or_else(|e| panic!("{name}: write_split: {e}"));
+        let back = lsr_trace::multifile::read_split(&dir, name)
+            .unwrap_or_else(|e| panic!("{name}: read_split: {e}"));
+        assert_eq!(*tr, back, "{name}: split roundtrip");
+        let (back, rep) = lsr_trace::multifile::read_split_salvage(&dir, name)
+            .unwrap_or_else(|e| panic!("{name}: read_split_salvage: {e}"));
+        assert_eq!(*tr, back, "{name}: split salvage roundtrip");
+        assert!(rep.is_clean(), "{name}: split salvage found: {}", rep.summary());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn collective_flag_survives_roundtrip() {
     let tr = lulesh_mpi(&LuleshParams::fig16_mpi());

@@ -46,6 +46,36 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value;
+
+        /// Randomly permutes the generated `Vec` (mirrors proptest's
+        /// `Strategy::prop_shuffle`).
+        fn prop_shuffle<T>(self) -> Shuffle<Self>
+        where
+            Self: Strategy<Value = Vec<T>> + Sized,
+        {
+            Shuffle(self)
+        }
+    }
+
+    /// Uniformly random permutation of an inner `Vec` strategy
+    /// (see [`Strategy::prop_shuffle`]).
+    #[derive(Debug, Clone)]
+    pub struct Shuffle<S>(S);
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Vec<T> {
+            let mut v = self.0.generate(rng);
+            // Fisher–Yates.
+            for i in (1..v.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                v.swap(i, j);
+            }
+            v
+        }
     }
 
     /// Always produces a clone of the wrapped value.
