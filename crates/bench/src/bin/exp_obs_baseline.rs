@@ -1,0 +1,60 @@
+//! Zero-instrumentation extraction baseline for the observability
+//! overhead gate. Build this binary with `--features obs-noop` so the
+//! `lsr-obs` bodies are compiled out entirely, then run
+//! `exp_pipeline_profile` (a normal build) — it reads the baseline JSON
+//! and asserts the disabled-recorder build stays within 5%.
+
+use lsr_apps::{jacobi2d, mergetree_mpi, JacobiParams, MergeTreeParams};
+use lsr_bench::{banner, secs, timed, write_artifact};
+use lsr_core::{try_extract, Config};
+use lsr_trace::Dur;
+use std::time::Duration;
+
+/// Best-of-N timing: extraction of a fixed trace is deterministic, so
+/// the minimum is the least-noisy estimate of the cost.
+fn best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut dur) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        if d < dur {
+            out = o;
+            dur = d;
+        }
+    }
+    (out, dur)
+}
+
+fn main() {
+    banner("exp_obs_baseline", "extraction wall time with lsr-obs compiled out");
+    let noop = cfg!(feature = "obs-noop");
+    if !noop {
+        println!("  NOTE: built without --features obs-noop; this run measures the");
+        println!("  normal disabled-recorder build, not the compiled-out baseline.");
+    }
+    let reps = if lsr_bench::full_scale() { 200 } else { 60 };
+
+    let jacobi = jacobi2d(&JacobiParams::fig15());
+    let mt = mergetree_mpi(&MergeTreeParams {
+        ranks: 1024,
+        seed: 0x10,
+        base: Dur::from_micros(100),
+        skew: 3.0,
+    });
+    let cases: [(&str, &lsr_trace::Trace, Config); 2] = [
+        ("jacobi_fig15", &jacobi, Config::charm()),
+        ("mergetree_1024", &mt, Config::mpi().with_process_order(false)),
+    ];
+
+    let mut fields = Vec::new();
+    for (name, trace, cfg) in cases {
+        let (ls, t) = best(reps, || try_extract(trace, &cfg).expect("preset extracts"));
+        println!("  {name}: {} ({} phases)", secs(t), ls.phases.len());
+        fields.push(format!("  \"{name}_ns\": {}", t.as_nanos()));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"obs_baseline\",\n  \"noop\": {noop},\n{}\n}}\n",
+        fields.join(",\n")
+    );
+    write_artifact("BENCH_obs_baseline.json", &json);
+    println!("=> baseline recorded; run exp_pipeline_profile to apply the 5% gate");
+}

@@ -90,6 +90,13 @@ pub struct Config {
     /// any violation. Off by default (the checks cost a few percent;
     /// see the Fig. 19 bench's `verify` column).
     pub verify_invariants: bool,
+    /// Observability handle (DESIGN §7.8): the pipeline opens a span
+    /// per stage and flushes the [`Diagnostics`](crate::Diagnostics)
+    /// counters through it. Disabled by default, where every recording
+    /// call is a single branch; purely observational either way — an
+    /// enabled recorder changes no extraction output (the differential
+    /// property in `tests/obs_properties.rs`).
+    pub recorder: lsr_obs::Recorder,
 }
 
 impl Config {
@@ -105,6 +112,7 @@ impl Config {
             tiebreak: TieBreak::ChareId,
             mp_process_order: true,
             verify_invariants: false,
+            recorder: lsr_obs::Recorder::disabled(),
         }
     }
 
@@ -169,6 +177,13 @@ impl Config {
     /// "prior knowledge of the simulation" suggestion).
     pub fn with_topology(mut self, ranks: Vec<u64>) -> Config {
         self.tiebreak = TieBreak::Topology(std::sync::Arc::new(ranks));
+        self
+    }
+
+    /// Attaches an observability recorder; the pipeline reports its
+    /// stage spans and counters through it.
+    pub fn with_recorder(mut self, recorder: lsr_obs::Recorder) -> Config {
+        self.recorder = recorder;
         self
     }
 }

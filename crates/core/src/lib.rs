@@ -108,6 +108,17 @@ impl StageTimings {
     }
 }
 
+/// Span names the pipeline always opens under its root `"extract"`
+/// span, in stage order, through [`Config::recorder`]. The conditional
+/// stages — `"repair"` (with [`Config::split_app_runtime`]),
+/// `"neighbor_serial"` (with [`Config::sdag_inference`]) and `"infer"`
+/// (with [`Config::infer_dependencies`]) — appear between
+/// `"collective_merge"` and `"leap_resolution"` only when the
+/// corresponding flag is set. The obs property tests check recorded
+/// nesting against this order.
+pub const EXTRACT_STAGE_SPANS: &[&str] =
+    &["atoms", "dependency_merge", "collective_merge", "leap_resolution", "enforce", "ordering"];
+
 /// One observation of the partition state after a pipeline stage,
 /// reported to the [`extract_observed`] callback. Used by the lint
 /// framework to check invariant 1 (the partition graph is a DAG after
@@ -228,6 +239,15 @@ fn extract_inner(
         };
     }
 
+    // The recorder only observes — spans and counters, never data flow
+    // — so an enabled recorder must not change any output (differential
+    // property in tests/obs_properties.rs). Span guards are dropped
+    // explicitly before each observe!/stamp so the recorded stage time
+    // excludes observation, matching the StageTimings contract.
+    let rec = &cfg.recorder;
+    let span_extract = rec.span("extract");
+
+    let sp = rec.span("atoms");
     let ix = trace.index();
     let ag = atoms::build_atoms(trace, &ix, cfg);
     let mut stage = if prov_out.is_some() {
@@ -235,45 +255,64 @@ fn extract_inner(
     } else {
         stage::Stage::new(trace, ag)
     };
+    drop(sp);
     observe!(stage, "atoms");
     stamp(&mut mark, &mut elapsed, &mut t.atoms);
 
+    let sp = rec.span("dependency_merge");
     merges::dependency_merge(&mut stage);
+    drop(sp);
     observe!(stage, "dependency_merge");
+    let sp = rec.span("collective_merge");
     merges::collective_merge(&mut stage, &ix);
+    drop(sp);
     observe!(stage, "collective_merge");
     stamp(&mut mark, &mut elapsed, &mut t.dependency_merge);
 
     if cfg.split_app_runtime {
+        let sp = rec.span("repair");
         merges::repair_merge(&mut stage);
+        drop(sp);
         observe!(stage, "repair");
     }
     if cfg.sdag_inference {
+        let sp = rec.span("neighbor_serial");
         merges::neighbor_serial_merge(&mut stage);
+        drop(sp);
         observe!(stage, "neighbor_serial");
     }
     stamp(&mut mark, &mut elapsed, &mut t.repair);
 
     if cfg.infer_dependencies {
+        let sp = rec.span("infer");
         merges::infer_dependencies(&mut stage);
+        drop(sp);
         observe!(stage, "infer");
     }
     stamp(&mut mark, &mut elapsed, &mut t.infer);
 
+    let sp = rec.span("leap_resolution");
     merges::resolve_leap_overlaps(&mut stage, cfg.infer_dependencies);
+    drop(sp);
     observe!(stage, "leap_resolution");
     stamp(&mut mark, &mut elapsed, &mut t.leap_resolution);
 
+    let sp = rec.span("enforce");
     merges::enforce_chare_paths(&mut stage);
     merges::chain_chare_phases(&mut stage, cfg.verify_invariants);
+    drop(sp);
     observe!(stage, "enforce");
     stamp(&mut mark, &mut elapsed, &mut t.enforce);
 
     if let Some(out) = prov_out {
         *out = stage.prov.take();
     }
+    let sp = rec.span("ordering");
     let ls = assemble(trace, &ix, stage, cfg)?;
+    drop(sp);
     stamp(&mut mark, &mut elapsed, &mut t.ordering);
+    flush_diag_counters(rec, &ls.diagnostics);
+    drop(span_extract);
 
     if cfg.verify_invariants {
         let violations = StructureVerifier::new().check_structure(trace, &ls);
@@ -285,6 +324,27 @@ fn extract_inner(
         );
     }
     Ok((ls, t))
+}
+
+/// Flushes the per-rule merge and edge counts onto the recorder so a
+/// profile carries the same vocabulary as [`Diagnostics`]. One bulk
+/// add at pipeline end: the merge loops themselves stay untouched.
+fn flush_diag_counters(rec: &lsr_obs::Recorder, d: &Diagnostics) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.add("core.atoms", d.atoms as u64);
+    rec.add("core.merges.dependency", d.dependency_merges as u64);
+    rec.add("core.merges.cycle", d.cycle_merges as u64);
+    rec.add("core.merges.repair", d.repair_merges as u64);
+    rec.add("core.merges.collective", d.collective_merges as u64);
+    rec.add("core.merges.neighbor_serial", d.neighbor_serial_merges as u64);
+    rec.add("core.merges.leap", d.leap_merges as u64);
+    rec.add("core.edges.inferred", d.inferred_edges as u64);
+    rec.add("core.edges.ordering", d.ordering_edges as u64);
+    rec.add("core.edges.enforce", d.enforce_edges as u64);
+    rec.add("core.phases", d.phase_count as u64);
+    rec.add("core.ordering.fallbacks", d.reorder_fallbacks as u64);
 }
 
 /// Accumulates `elapsed + mark.elapsed()` into `slot` and restarts
@@ -309,6 +369,7 @@ fn assemble(
     let nphases = v.len();
     let mut diag = stage.diag.clone();
     diag.phase_count = nphases;
+    cfg.recorder.add("core.ordering.phases", nphases as u64);
 
     // Per-event phase.
     let mut phase_of_event = vec![0u32; trace.events.len()];
@@ -333,25 +394,45 @@ fn assemble(
         let next = AtomicUsize::new(0);
         let collected = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
         let failed: parking_lot::Mutex<Option<ExtractError>> = parking_lot::Mutex::new(None);
+        // Fan-out occupancy: each worker tallies the phases it ordered
+        // locally and pushes the count once at exit, so the recorder
+        // sees one flush per worker instead of one per phase (workers
+        // must not touch the recorder's span stack; see lsr-obs docs).
+        let per_worker: parking_lot::Mutex<Vec<u64>> = parking_lot::Mutex::new(Vec::new());
         crossbeam::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(input) = inputs.get(i) else { break };
-                    if failed.lock().is_some() {
-                        break;
-                    }
-                    match step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg) {
-                        Ok(r) => collected.lock().push(r),
-                        Err(e) => {
-                            *failed.lock() = Some(e);
+                s.spawn(|_| {
+                    let mut mine = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(i) else { break };
+                        if failed.lock().is_some() {
                             break;
                         }
+                        match step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg) {
+                            Ok(r) => {
+                                collected.lock().push(r);
+                                mine += 1;
+                            }
+                            Err(e) => {
+                                *failed.lock() = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if mine > 0 {
+                        per_worker.lock().push(mine);
                     }
                 });
             }
         })
         .expect("phase-ordering worker panicked");
+        if cfg.recorder.is_enabled() {
+            let counts = per_worker.into_inner();
+            cfg.recorder.add("core.ordering.workers", counts.len() as u64);
+            cfg.recorder
+                .add("core.ordering.max_worker_phases", counts.iter().copied().max().unwrap_or(0));
+        }
         if let Some(e) = failed.into_inner() {
             return Err(e);
         }

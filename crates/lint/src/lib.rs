@@ -130,7 +130,7 @@ pub fn lint_trace(trace: &Trace, opts: &LintOptions) -> LintReport {
     report.diagnostics.extend(passes::trace_passes(trace, limit));
     if report.diagnostics.is_empty() {
         let ix = trace.index();
-        report.diagnostics.extend(passes::hb_passes(trace, &ix, limit));
+        report.diagnostics.extend(passes::hb_passes(trace, &ix, &opts.config.recorder, limit));
     }
 
     if opts.check_structure && report.error_count() == 0 {
@@ -244,7 +244,7 @@ mod tests {
             }],
             suppressed: 0,
             skipped_records: 1,
-            downgraded_links: 0,
+            ..Default::default()
         };
         let diags = ingest_diagnostics(&rep);
         assert_eq!(diags.len(), 1);

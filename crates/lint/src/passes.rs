@@ -109,9 +109,22 @@ pub(crate) fn trace_diag(e: &ValidationError) -> Diagnostic {
 }
 
 /// H-codes: happened-before analysis over program order + messages.
-pub(crate) fn hb_passes(trace: &Trace, ix: &TraceIndex, limit: usize) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+/// `rec` receives the index's reachability-query tally
+/// (`lint.hb.queries`) once the passes finish.
+pub(crate) fn hb_passes(
+    trace: &Trace,
+    ix: &TraceIndex,
+    rec: &lsr_obs::Recorder,
+    limit: usize,
+) -> Vec<Diagnostic> {
     let hb = HbIndex::build(trace, ix);
+    let out = hb_diagnostics(trace, &hb, limit);
+    rec.add("lint.hb.queries", hb.query_count());
+    out
+}
+
+fn hb_diagnostics(trace: &Trace, hb: &HbIndex, limit: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
 
     // H001 — a matched message whose receiving task begins before the
     // send happened. validate() checks each endpoint's local
@@ -172,7 +185,7 @@ pub(crate) fn hb_passes(trace: &Trace, ix: &TraceIndex, limit: usize) -> Vec<Dia
             if m.recv_task.is_some() {
                 continue;
             }
-            let candidate = untraced_candidate(trace, &hb, m);
+            let candidate = untraced_candidate(trace, hb, m);
             let message = match candidate {
                 Some(t) => format!(
                     "message {} to chare {} was never matched; task {} (begin {}) is an \
@@ -438,7 +451,7 @@ mod tests {
         tr.msgs[m.index()].send_time = Time(20);
         tr.events[tr.msgs[m.index()].send_event.index()].time = Time(20);
         let ix = tr.index();
-        let diags = hb_passes(&tr, &ix, 64);
+        let diags = hb_passes(&tr, &ix, &lsr_obs::Recorder::disabled(), 64);
         assert!(diags.iter().any(|d| d.code == "H001"), "{diags:?}");
     }
 }

@@ -277,7 +277,10 @@ pub fn analyze_races(trace: &Trace, cfg: &Config, limit: usize) -> Result<RaceRe
         }
     }
 
-    let diagnostics = race_diagnostics(trace, &ix, &races, &untraced, truncated, limit);
+    let diagnostics =
+        race_diagnostics(trace, &ix, &cfg.recorder, &races, &untraced, truncated, limit);
+    cfg.recorder.add("lint.hb.queries", causal.query_count());
+    cfg.recorder.add("lint.races.scanned_pairs", scanned as u64);
     Ok(RaceReport {
         races,
         untraced,
@@ -367,6 +370,7 @@ pub fn classify(
 fn race_diagnostics(
     trace: &Trace,
     ix: &TraceIndex,
+    rec: &lsr_obs::Recorder,
     races: &[Race],
     untraced: &[UntracedPair],
     truncated: bool,
@@ -429,6 +433,7 @@ fn race_diagnostics(
                 }
             }
         }
+        rec.add("lint.hb.queries", sched.query_count());
         for u in untraced {
             let untriggered = if message_triggered(trace, u.first) { u.second } else { u.first };
             let link = candidates

@@ -12,11 +12,13 @@
 mod ascii;
 mod dot;
 mod layout;
+mod profile;
 mod report;
 mod svg;
 
 pub use ascii::{logical_by_metric, logical_by_phase, physical_by_phase};
 pub use dot::phase_dag_dot;
 pub use layout::Layout;
+pub use profile::profile_report;
 pub use report::html_report;
 pub use svg::{logical_svg, migration_svg, physical_svg, Coloring};

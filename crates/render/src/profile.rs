@@ -1,0 +1,126 @@
+//! ASCII rendering of an observability [`Profile`]: the span tree with
+//! wall times and self/total shares, followed by the counter table.
+//! This is what `lsr <cmd> --profile` prints to stderr.
+
+use lsr_obs::Profile;
+use std::fmt::Write as _;
+
+/// Renders a profile as an indented span tree plus a counter table.
+///
+/// Span durations are humanized (`1.23ms`), so the report is for eyes;
+/// machine consumers should use `--profile-json` / [`Profile::to_json`]
+/// instead, where times stay integral nanoseconds. Counter values are
+/// printed exactly — for a fixed input they are deterministic, which is
+/// what the golden test snapshots (with the time tokens scrubbed).
+pub fn profile_report(p: &Profile) -> String {
+    let mut out = String::new();
+    writeln!(out, "profile: {} ({})", p.command, p.schema).unwrap();
+    writeln!(out, "total: {}", humanize_ns(p.total_ns)).unwrap();
+
+    // Children of each span, in recorded (start) order — spans are
+    // appended at open time, so index order is start order.
+    let n = p.spans.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in p.spans.iter().enumerate() {
+        match s.parent {
+            Some(pa) if pa < i => children[pa].push(i),
+            _ => roots.push(i),
+        }
+    }
+    if !roots.is_empty() {
+        writeln!(out, "spans:").unwrap();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &p.spans[i];
+            let dur = match s.dur_ns {
+                Some(d) => humanize_ns(d),
+                None => "(open)".to_owned(),
+            };
+            let share = match (s.dur_ns, p.total_ns) {
+                (Some(d), t) if t > 0 => format!("  {:.1}%", 100.0 * d as f64 / t as f64),
+                _ => String::new(),
+            };
+            writeln!(out, "  {:indent$}{} {}{}", "", s.name, dur, share, indent = depth * 2)
+                .unwrap();
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+
+    if !p.counters.is_empty() {
+        writeln!(out, "counters:").unwrap();
+        let width = p.counters.iter().map(|c| c.name.len()).max().unwrap_or(0);
+        for c in &p.counters {
+            writeln!(out, "  {:<width$}  {}", c.name, c.total).unwrap();
+        }
+    }
+
+    for a in &p.anomalies {
+        writeln!(out, "anomaly: {a}").unwrap();
+    }
+    out
+}
+
+/// `1234567` → `"1.23ms"`; keeps three significant digits per unit.
+fn humanize_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_obs::Recorder;
+
+    #[test]
+    fn report_shows_tree_counters_and_shares() {
+        let rec = Recorder::enabled();
+        {
+            let _e = rec.span("extract");
+            let _a = rec.span("atoms");
+            rec.add("core.atoms", 42);
+        }
+        rec.add("ingest.bytes", 1000);
+        let p = rec.profile("extract").unwrap();
+        let r = profile_report(&p);
+        assert!(r.starts_with("profile: extract (lsr-obs-profile/1)\n"), "{r}");
+        assert!(r.contains("\n  extract "), "{r}");
+        assert!(r.contains("\n    atoms "), "nested child indents: {r}");
+        assert!(r.contains("core.atoms"), "{r}");
+        assert!(r.contains("42"), "{r}");
+        assert!(r.contains("ingest.bytes"), "{r}");
+        assert!(r.contains('%'), "{r}");
+    }
+
+    #[test]
+    fn open_spans_and_anomalies_are_visible() {
+        let rec = Recorder::enabled();
+        let _open = rec.span("still-going");
+        let p = rec.profile("mid").unwrap();
+        let r = profile_report(&p);
+        assert!(r.contains("still-going (open)"), "{r}");
+
+        let rec = Recorder::enabled();
+        drop(rec.span("s"));
+        rec.__force_close("s");
+        let r = profile_report(&rec.profile("t").unwrap());
+        assert!(r.contains("anomaly: "), "{r}");
+    }
+
+    #[test]
+    fn humanize_picks_units() {
+        assert_eq!(humanize_ns(17), "17ns");
+        assert_eq!(humanize_ns(1_500), "1.50µs");
+        assert_eq!(humanize_ns(2_340_000), "2.34ms");
+        assert_eq!(humanize_ns(3_000_000_000), "3.00s");
+    }
+}

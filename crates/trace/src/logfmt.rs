@@ -119,6 +119,42 @@ pub fn from_log_str(s: &str) -> Result<Trace, ParseError> {
     read_log(s.as_bytes())
 }
 
+/// [`read_log`] that also flushes the ingest tallies (bytes, lines,
+/// records — the `ingest.*` counter family) onto an observability
+/// recorder. A disabled recorder makes this identical to [`read_log`].
+pub fn read_log_with<R: BufRead>(r: R, rec: &lsr_obs::Recorder) -> Result<Trace, ParseError> {
+    let (trace, report) = read_single(r, false)?;
+    report.flush_counters(rec);
+    validate_fast(&trace).map_err(|e| ParseError {
+        file: None,
+        line: 0,
+        msg: format!("invalid trace: {e}"),
+    })?;
+    Ok(trace)
+}
+
+/// [`read_log_unchecked`] with ingest-counter flushing; see
+/// [`read_log_with`].
+pub fn read_log_unchecked_with<R: BufRead>(
+    r: R,
+    rec: &lsr_obs::Recorder,
+) -> Result<Trace, ParseError> {
+    let (trace, report) = read_single(r, false)?;
+    report.flush_counters(rec);
+    Ok(trace)
+}
+
+/// [`read_log_salvage`] with ingest-counter flushing (including the
+/// `ingest.salvage.*` intervention tallies); see [`read_log_with`].
+pub fn read_log_salvage_with<R: BufRead>(
+    r: R,
+    rec: &lsr_obs::Recorder,
+) -> Result<(Trace, IngestReport), ParseError> {
+    let (trace, report) = read_single(r, true)?;
+    report.flush_counters(rec);
+    Ok((trace, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

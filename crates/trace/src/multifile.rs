@@ -115,6 +115,36 @@ pub fn read_split_salvage(dir: &Path, base: &str) -> Result<(Trace, IngestReport
     read_split_inner(dir, base, true)
 }
 
+/// [`read_split`] that also flushes the ingest tallies (the `ingest.*`
+/// counter family, summed over the `.sts` and every per-PE log) onto an
+/// observability recorder.
+pub fn read_split_with(
+    dir: &Path,
+    base: &str,
+    rec: &lsr_obs::Recorder,
+) -> Result<Trace, ParseError> {
+    let (trace, report) = read_split_inner(dir, base, false)?;
+    report.flush_counters(rec);
+    validate_fast(&trace).map_err(|e| ParseError {
+        file: None,
+        line: 0,
+        msg: format!("invalid trace: {e}"),
+    })?;
+    Ok(trace)
+}
+
+/// [`read_split_salvage`] with ingest-counter flushing; see
+/// [`read_split_with`].
+pub fn read_split_salvage_with(
+    dir: &Path,
+    base: &str,
+    rec: &lsr_obs::Recorder,
+) -> Result<(Trace, IngestReport), ParseError> {
+    let (trace, report) = read_split_inner(dir, base, true)?;
+    report.flush_counters(rec);
+    Ok((trace, report))
+}
+
 fn read_split_inner(
     dir: &Path,
     base: &str,

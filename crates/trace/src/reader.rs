@@ -173,6 +173,13 @@ pub struct IngestReport {
     pub skipped_records: usize,
     /// Optional links cleared because their target was dropped.
     pub downgraded_links: usize,
+    /// Raw bytes consumed from the input reader(s).
+    pub bytes: u64,
+    /// Lines scanned (including comments, blanks, and the header).
+    pub lines: u64,
+    /// Records parsed successfully into the staging tables (before any
+    /// salvage cascade drops).
+    pub records: u64,
 }
 
 impl IngestReport {
@@ -189,6 +196,20 @@ impl IngestReport {
             self.skipped_records,
             self.downgraded_links
         )
+    }
+
+    /// Flushes the ingest tallies onto an observability recorder (the
+    /// `ingest.*` counter family; see `docs/observability.md`).
+    pub fn flush_counters(&self, rec: &lsr_obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.add("ingest.bytes", self.bytes);
+        rec.add("ingest.lines", self.lines);
+        rec.add("ingest.records", self.records);
+        rec.add("ingest.salvage.skipped", self.skipped_records as u64);
+        rec.add("ingest.salvage.downgraded", self.downgraded_links as u64);
+        rec.add("ingest.salvage.findings", (self.diagnostics.len() + self.suppressed) as u64);
     }
 }
 
@@ -243,6 +264,8 @@ impl DiagSink {
             suppressed: self.suppressed,
             skipped_records: self.skipped,
             downgraded_links: self.downgraded,
+            // Volume tallies live on the Loader; finish() fills them in.
+            ..IngestReport::default()
         }
     }
 }
@@ -404,6 +427,11 @@ pub(crate) struct Loader {
     msgs: Vec<(MsgRec, Src)>,
     idles: Vec<IdleRec>,
     sink: DiagSink,
+    /// Ingest-volume tallies (bytes/lines consumed, records parsed),
+    /// surfaced on [`IngestReport`] for the obs counters.
+    bytes: u64,
+    lines: u64,
+    records: u64,
 }
 
 impl Loader {
@@ -421,6 +449,9 @@ impl Loader {
             msgs: Vec::new(),
             idles: Vec::new(),
             sink: DiagSink::default(),
+            bytes: 0,
+            lines: 0,
+            records: 0,
         }
     }
 
@@ -519,8 +550,10 @@ impl Loader {
                     }
                 }
             };
+            self.bytes += consumed as u64;
             r.consume(consumed);
         }
+        self.lines += lineno as u64;
         Ok(saw_header)
     }
 
@@ -551,11 +584,14 @@ impl Loader {
             self.diag(IngestCode::BadFileHeader, src, msg);
             *saw_header = true; // fall through: try the line as a record
         }
-        if let Err(msg) = self.record(raw, src, section) {
-            if !self.salvage {
-                return Err(src_err(&self.files, src, msg));
+        match self.record(raw, src, section) {
+            Ok(()) => self.records += 1,
+            Err(msg) => {
+                if !self.salvage {
+                    return Err(src_err(&self.files, src, msg));
+                }
+                self.skip(src, msg);
             }
-            self.skip(src, msg);
         }
         Ok(())
     }
@@ -666,11 +702,16 @@ impl Loader {
 impl Loader {
     /// Finishes the load in the mode the loader was created with.
     pub(crate) fn finish(self) -> Result<(Trace, IngestReport), ParseError> {
-        if self.salvage {
-            Ok(self.finish_salvage())
+        let (bytes, lines, records) = (self.bytes, self.lines, self.records);
+        let (trace, mut report) = if self.salvage {
+            self.finish_salvage()
         } else {
-            self.finish_strict().map(|t| (t, IngestReport::default()))
-        }
+            (self.finish_strict()?, IngestReport::default())
+        };
+        report.bytes = bytes;
+        report.lines = lines;
+        report.records = records;
+        Ok((trace, report))
     }
 
     /// Strict finish: every table must be a dense `0..n` id range and

@@ -18,6 +18,10 @@
 //! §7 invariants after extraction; panics on violation).
 //! Render flags: `--view logical|physical`, `--format ascii|svg`,
 //! `--metric phase|diff|idle|imbalance`, `--out FILE`.
+//!
+//! Every subcommand also accepts `--profile` (ASCII span/counter
+//! report on stderr) and `--profile-json FILE` (schema-versioned JSON
+//! profile, `-` for stdout) — see `docs/observability.md`.
 
 use lsr::core::{try_extract, Config, LogicalStructure, OrderingPolicy};
 use lsr::metrics::{
@@ -111,6 +115,10 @@ fn print_help() {
          \u{20}                           them into the report\n\n\
          WINDOWING (extract/render/metrics/report)\n\
          \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
+         OBSERVABILITY (every command; docs/observability.md)\n\
+         \u{20}  --profile                span/counter report on stderr\n\
+         \u{20}  --profile-json FILE      JSON profile (schema lsr-obs-profile/1,\n\
+         \u{20}                           `-` for stdout)\n\n\
          RENDER FLAGS\n\
          \u{20}  --view logical|physical|migration   --format ascii|svg|dot\n\
          \u{20}  --metric phase|diff|idle|imbalance   --out FILE"
@@ -122,8 +130,10 @@ fn print_help() {
 fn parse_opts(
     args: &[String],
 ) -> Result<(Vec<&str>, std::collections::HashMap<String, String>), String> {
-    const VALUE_FLAGS: &[&str] = &["out", "view", "format", "metric", "from", "to", "limit"];
+    const VALUE_FLAGS: &[&str] =
+        &["out", "view", "format", "metric", "from", "to", "limit", "profile-json"];
     const BOOL_FLAGS: &[&str] = &[
+        "profile",
         "mpi",
         "physical",
         "no-infer",
@@ -162,7 +172,52 @@ fn parse_opts(
     Ok((pos, opts))
 }
 
-fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
+/// One command's observability session (DESIGN §7.8): the recorder
+/// threaded through ingestion and the pipeline, plus the report
+/// destinations picked on the command line. `--profile` prints the
+/// ASCII span tree to stderr so stdout stays parseable;
+/// `--profile-json FILE` writes the schema-versioned JSON profile
+/// (`-` selects stdout). Without either flag the recorder is disabled
+/// and every instrumentation site reduces to one branch.
+struct Obs {
+    rec: lsr::obs::Recorder,
+    ascii: bool,
+    json: Option<String>,
+}
+
+impl Obs {
+    fn from_opts(opts: &std::collections::HashMap<String, String>) -> Obs {
+        let ascii = opts.contains_key("profile");
+        let json = opts.get("profile-json").cloned();
+        let rec = if ascii || json.is_some() {
+            lsr::obs::Recorder::enabled()
+        } else {
+            lsr::obs::Recorder::disabled()
+        };
+        Obs { rec, ascii, json }
+    }
+
+    /// Emits the requested profile reports. A disabled recorder has no
+    /// profile, so unprofiled runs emit nothing and are unchanged.
+    fn finish(&self, command: &str) -> Result<(), String> {
+        let Some(p) = self.rec.profile(command) else { return Ok(()) };
+        if self.ascii {
+            eprint!("{}", lsr::render::profile_report(&p));
+        }
+        if let Some(path) = &self.json {
+            let json = p.to_json();
+            if path == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(path, json.as_bytes())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn config_from(opts: &std::collections::HashMap<String, String>, obs: &Obs) -> Config {
     let mut cfg = if opts.contains_key("mpi") { Config::mpi() } else { Config::charm() };
     if opts.contains_key("physical") {
         cfg = cfg.with_ordering(OrderingPolicy::PhysicalTime);
@@ -185,7 +240,7 @@ fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
     if opts.contains_key("verify") {
         cfg = cfg.with_verify(true);
     }
-    cfg
+    cfg.with_recorder(obs.rec.clone())
 }
 
 /// Reads a trace in either layout (`<base>.sts` selects the multi-file
@@ -195,7 +250,9 @@ fn config_from(opts: &std::collections::HashMap<String, String>) -> Config {
 fn load_report(
     path: &str,
     opts: &std::collections::HashMap<String, String>,
+    rec: &lsr::obs::Recorder,
 ) -> Result<(Trace, Option<lsr::trace::IngestReport>), String> {
+    let _sp = rec.span("ingest");
     let salvage = opts.contains_key("salvage");
     if let Some(base) = path.strip_suffix(".sts") {
         let p = std::path::Path::new(base);
@@ -206,11 +263,11 @@ fn load_report(
             return Err(format!("cannot open {path}: not found"));
         }
         return if salvage {
-            lsr::trace::multifile::read_split_salvage(dir, stem)
+            lsr::trace::multifile::read_split_salvage_with(dir, stem, rec)
                 .map(|(t, r)| (t, Some(r)))
                 .map_err(|e| format!("cannot parse split trace {path}: {e}"))
         } else {
-            lsr::trace::multifile::read_split(dir, stem)
+            lsr::trace::multifile::read_split_with(dir, stem, rec)
                 .map(|t| (t, None))
                 .map_err(|e| format!("cannot parse split trace {path}: {e}"))
         };
@@ -218,16 +275,22 @@ fn load_report(
     let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let r = std::io::BufReader::new(f);
     if salvage {
-        logfmt::read_log_salvage(r)
+        logfmt::read_log_salvage_with(r, rec)
             .map(|(t, rep)| (t, Some(rep)))
             .map_err(|e| format!("cannot parse {path}: {e}"))
     } else {
-        logfmt::read_log(r).map(|t| (t, None)).map_err(|e| format!("cannot parse {path}: {e}"))
+        logfmt::read_log_with(r, rec)
+            .map(|t| (t, None))
+            .map_err(|e| format!("cannot parse {path}: {e}"))
     }
 }
 
-fn load(path: &str, opts: &std::collections::HashMap<String, String>) -> Result<Trace, String> {
-    let (trace, report) = load_report(path, opts)?;
+fn load(
+    path: &str,
+    opts: &std::collections::HashMap<String, String>,
+    rec: &lsr::obs::Recorder,
+) -> Result<Trace, String> {
+    let (trace, report) = load_report(path, opts, rec)?;
     if let Some(rep) = report {
         // Salvage findings go to stderr so stdout stays parseable.
         for d in &rep.diagnostics {
@@ -248,8 +311,9 @@ fn load(path: &str, opts: &std::collections::HashMap<String, String>) -> Result<
 fn load_windowed(
     path: &str,
     opts: &std::collections::HashMap<String, String>,
+    rec: &lsr::obs::Recorder,
 ) -> Result<Trace, String> {
-    let trace = load(path, opts)?;
+    let trace = load(path, opts, rec)?;
     apply_window(trace, opts)
 }
 
@@ -275,20 +339,26 @@ fn apply_window(
     Ok(lsr::trace::window(&trace, lsr::trace::Time(from), lsr::trace::Time(to)))
 }
 
-fn extract_from(args: &[String]) -> Result<(Trace, LogicalStructure), String> {
+fn extract_from(args: &[String]) -> Result<(Trace, LogicalStructure, Obs), String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let path = pos.first().ok_or("missing trace file argument")?;
-    let trace = load_windowed(path, &opts)?;
-    let cfg = config_from(&opts);
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
     let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
-    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
-    Ok((trace, ls))
+    {
+        let _sp = obs.rec.span("verify");
+        ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    }
+    Ok((trace, ls, obs))
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     use lsr::apps::*;
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let preset = *pos.first().ok_or("missing preset name")?;
+    let sp_gen = obs.rec.span("generate");
     let trace = match preset {
         "jacobi-fig8" => jacobi2d(&JacobiParams::fig8()),
         "jacobi-fig15" => jacobi2d(&JacobiParams::fig15()),
@@ -303,6 +373,11 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "divcon" => divcon_charm(&DivConParams::small()),
         other => return Err(format!("unknown preset {other:?} (run `lsr help`)")),
     };
+    drop(sp_gen);
+    obs.rec.add("gen.tasks", trace.tasks.len() as u64);
+    obs.rec.add("gen.events", trace.events.len() as u64);
+    obs.rec.add("gen.messages", trace.msgs.len() as u64);
+    let sp_write = obs.rec.span("write");
     let default = format!("{preset}.lsrtrace");
     let out = opts.get("out").map(String::as_str).unwrap_or(&default);
     if let Some(base) = out.strip_suffix(".sts") {
@@ -320,7 +395,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             trace.msgs.len(),
             trace.pe_count
         );
-        return Ok(());
+        drop(sp_write);
+        return obs.finish("gen");
     }
     let f = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     logfmt::write_log(&trace, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
@@ -331,41 +407,55 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         trace.msgs.len(),
         trace.pe_count
     );
-    Ok(())
+    drop(sp_write);
+    obs.finish("gen")
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
-    println!("{}", TraceStats::compute(&trace));
-    Ok(())
+    let obs = Obs::from_opts(&opts);
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts, &obs.rec)?;
+    {
+        let _sp = obs.rec.span("stats");
+        println!("{}", TraceStats::compute(&trace));
+    }
+    obs.finish("stats")
 }
 
 fn cmd_quality(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
-    println!("{}", QualityReport::analyze(&trace));
-    Ok(())
+    let obs = Obs::from_opts(&opts);
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts, &obs.rec)?;
+    {
+        let _sp = obs.rec.span("quality");
+        println!("{}", QualityReport::analyze(&trace));
+    }
+    obs.finish("quality")
 }
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
-    let (trace, ls) = extract_from(args)?;
+    let (trace, ls, obs) = extract_from(args)?;
     println!("{}", ls.summary(&trace));
-    Ok(())
+    obs.finish("extract")
 }
 
 fn cmd_render(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let path = pos.first().ok_or("missing trace file argument")?;
-    let trace = load_windowed(path, &opts)?;
-    let cfg = config_from(&opts);
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
     let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
-    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    {
+        let _sp = obs.rec.span("verify");
+        ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    }
 
     let view = opts.get("view").map(String::as_str).unwrap_or("logical");
     let format = opts.get("format").map(String::as_str).unwrap_or("ascii");
     let metric = opts.get("metric").map(String::as_str).unwrap_or("phase");
 
+    let sp_metrics = obs.rec.span("metrics");
     let metric_values: Option<Vec<f64>> = match metric {
         "phase" => None,
         "diff" => Some(
@@ -392,7 +482,9 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown metric {other:?}")),
     };
+    drop(sp_metrics);
 
+    let sp_render = obs.rec.span("render");
     let output = match (format, view) {
         ("ascii", "logical") => match &metric_values {
             None => lsr::render::logical_by_phase(&trace, &ls),
@@ -414,6 +506,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         }
         (f, v) => return Err(format!("unsupported format/view {f:?}/{v:?}")),
     };
+    drop(sp_render);
     match opts.get("out") {
         Some(out) => {
             std::fs::write(out, output).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -421,11 +514,12 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         }
         None => print!("{output}"),
     }
-    Ok(())
+    obs.finish("render")
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
-    let (trace, ls) = extract_from(args)?;
+    let (trace, ls, obs) = extract_from(args)?;
+    let sp_metrics = obs.rec.span("metrics");
     let idle = idle_experienced(&trace);
     println!("== idle experienced per PE ==");
     for (pe, d) in per_pe_totals(&trace, &idle).iter().enumerate() {
@@ -449,48 +543,61 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     println!("  per-phase sum: {}", imb.total());
     println!("  overall (max PE − min PE): {}", imb.overall());
     println!("  mean relative per phase: {:.1}%", imb.mean_relative() * 100.0);
-    Ok(())
+    drop(sp_metrics);
+    obs.finish("metrics")
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let path = pos.first().ok_or("missing trace file argument")?;
-    let trace = load_windowed(path, &opts)?;
-    let cfg = config_from(&opts);
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
     let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
-    ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
-    let html = lsr::render::html_report(path, &trace, &ls);
+    {
+        let _sp = obs.rec.span("verify");
+        ls.verify(&trace).map_err(|e| format!("internal invariant violated: {e}"))?;
+    }
+    let html = {
+        let _sp = obs.rec.span("render");
+        lsr::render::html_report(path, &trace, &ls)
+    };
     let default = format!("{path}.html");
     let out = opts.get("out").map(String::as_str).unwrap_or(&default);
     std::fs::write(out, html).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
-    Ok(())
+    obs.finish("report")
 }
 
 fn cmd_diff(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let (pa, pb) = match pos.as_slice() {
         [a, b] => (*a, *b),
         _ => return Err("diff wants exactly two trace files".into()),
     };
-    let cfg = config_from(&opts);
-    let (ta, tb) = (load(pa, &opts)?, load(pb, &opts)?);
+    let cfg = config_from(&opts, &obs);
+    let (ta, tb) = (load(pa, &opts, &obs.rec)?, load(pb, &opts, &obs.rec)?);
     let la = try_extract(&ta, &cfg).map_err(|e| format!("{pa}: cannot extract structure: {e}"))?;
     la.verify(&ta).map_err(|e| format!("{pa}: {e}"))?;
     let lb = try_extract(&tb, &cfg).map_err(|e| format!("{pb}: cannot extract structure: {e}"))?;
     lb.verify(&tb).map_err(|e| format!("{pb}: {e}"))?;
-    let d = lsr::metrics::StructureDiff::compute(&ta, &la, &tb, &lb);
+    let d = {
+        let _sp = obs.rec.span("diff");
+        lsr::metrics::StructureDiff::compute(&ta, &la, &tb, &lb)
+    };
     print!("{d}");
     if d.same_structure() {
         println!("=> structurally identical runs");
     } else {
         println!("=> structures diverge; inspect the ! rows above");
     }
-    Ok(())
+    obs.finish("diff")
 }
 
 fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let path = pos.first().ok_or("missing trace file argument")?;
     // Lint wants to diagnose broken files, so single-file logs load
     // without the reader's validation pass (the T lints re-run it with
@@ -500,24 +607,27 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     // (I codes) instead of being printed to stderr.
     let windowed = opts.contains_key("from") || opts.contains_key("to");
     let (trace, ingest) = if opts.contains_key("salvage") {
-        let (t, rep) = load_report(path, &opts)?;
+        let (t, rep) = load_report(path, &opts, &obs.rec)?;
         (apply_window(t, &opts)?, rep)
     } else if windowed || path.ends_with(".sts") {
-        (load_windowed(path, &opts)?, None)
+        (load_windowed(path, &opts, &obs.rec)?, None)
     } else {
+        let _sp = obs.rec.span("ingest");
         let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        let t = logfmt::read_log_unchecked(std::io::BufReader::new(f))
+        let t = logfmt::read_log_unchecked_with(std::io::BufReader::new(f), &obs.rec)
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
         (t, None)
     };
-    let mut lint_opts = lsr::lint::LintOptions::with_config(config_from(&opts));
+    let mut lint_opts = lsr::lint::LintOptions::with_config(config_from(&opts, &obs));
     if let Some(v) = opts.get("limit") {
         lint_opts.limit = v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?;
     }
     if opts.contains_key("no-structure") {
         lint_opts.check_structure = false;
     }
+    let sp_lint = obs.rec.span("lint");
     let mut report = lsr::lint::lint_trace(&trace, &lint_opts);
+    drop(sp_lint);
     if let Some(rep) = &ingest {
         let mut merged = lsr::lint::ingest_diagnostics(rep);
         merged.append(&mut report.diagnostics);
@@ -536,6 +646,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
             if report.structure_checked { "" } else { " (structure passes skipped)" }
         );
     }
+    obs.finish("lint")?;
     let failing = report.error_count() > 0
         || (opts.contains_key("deny-warnings") && report.warning_count() > 0);
     Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
@@ -543,13 +654,15 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
     let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
     let path = pos.first().ok_or("missing trace file argument")?;
-    let trace = load_windowed(path, &opts)?;
-    let cfg = config_from(&opts);
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
     let limit = match opts.get("limit") {
         None => lsr::lint::DEFAULT_DIAG_LIMIT,
         Some(v) => v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?,
     };
+    let sp_races = obs.rec.span("races");
     let report = lsr::lint::analyze_races(&trace, &cfg, limit).map_err(|cyc| {
         let shown: Vec<String> = cyc.iter().take(8).map(|t| t.to_string()).collect();
         format!(
@@ -558,6 +671,7 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
             shown.join(" -> ")
         )
     })?;
+    drop(sp_races);
     if opts.contains_key("json") {
         println!("{}", report.to_json());
     } else {
@@ -573,6 +687,7 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
             if report.truncated { ", truncated" } else { "" }
         );
     }
+    obs.finish("races")?;
     let failing =
         opts.contains_key("deny-structure-affecting") && report.structure_affecting_count() > 0;
     Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
@@ -580,7 +695,9 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_critical_path(args: &[String]) -> Result<(), String> {
     let (pos, opts) = parse_opts(args)?;
-    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts)?;
+    let obs = Obs::from_opts(&opts);
+    let trace = load(pos.first().ok_or("missing trace file argument")?, &opts, &obs.rec)?;
+    let sp_cp = obs.rec.span("critical-path");
     let cp = CriticalPath::compute(&trace);
     println!(
         "critical path: {} tasks, {} work over {} makespan (ratio {:.2})",
@@ -610,5 +727,6 @@ fn cmd_critical_path(args: &[String]) -> Result<(), String> {
             rec.end
         );
     }
-    Ok(())
+    drop(sp_cp);
+    obs.finish("critical-path")
 }

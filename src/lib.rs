@@ -11,6 +11,8 @@
 //!   paper's contribution).
 //! * [`lint`] — diagnostic passes over traces and recovered structure.
 //! * [`metrics`] — idle experienced, differential duration, imbalance.
+//! * [`obs`] — span/counter observability for the pipeline
+//!   ([`lsr_obs`], the `--profile` machinery).
 //! * [`apps`] — proxy applications (Jacobi 2D, LULESH-like, LASSEN-like,
 //!   PDES, merge tree, BT stencil).
 //! * [`render`] — ASCII/SVG views of logical structure and physical time.
@@ -21,5 +23,6 @@ pub use lsr_core as core;
 pub use lsr_lint as lint;
 pub use lsr_metrics as metrics;
 pub use lsr_mpi as mpi;
+pub use lsr_obs as obs;
 pub use lsr_render as render;
 pub use lsr_trace as trace;

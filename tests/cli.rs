@@ -269,3 +269,137 @@ fn missing_file_is_a_clean_error() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Observability: `--profile` / `--profile-json` (docs/observability.md).
+
+/// Validates a profile document against the schema documented in
+/// docs/observability.md: schema tag, command, total, and the span /
+/// counter / anomaly arrays with their required per-element keys.
+fn check_profile_schema(text: &str, command: &str) {
+    // Each command's characteristic top-level span ("gen" works in a
+    // generate+write pair; "report" is ingest+verify+render).
+    let span_name = match command {
+        "gen" => "generate",
+        "report" => "render",
+        other => other,
+    };
+    let v: serde::Value = serde_json::from_str(text)
+        .unwrap_or_else(|e| panic!("{command}: profile JSON parses: {e}"));
+    assert_eq!(
+        v.get("schema"),
+        Some(&serde::Value::Str("lsr-obs-profile/1".into())),
+        "{command}: schema tag"
+    );
+    assert_eq!(v.get("command"), Some(&serde::Value::Str(command.into())), "{command}: command");
+    assert!(matches!(v.get("total_ns"), Some(serde::Value::U64(_))), "{command}: total_ns");
+
+    let Some(serde::Value::Arr(spans)) = v.get("spans") else {
+        panic!("{command}: spans must be an array")
+    };
+    assert!(!spans.is_empty(), "{command}: at least one span");
+    for s in spans {
+        assert!(matches!(s.get("name"), Some(serde::Value::Str(_))), "{command}: span name");
+        assert!(
+            matches!(s.get("parent"), Some(serde::Value::Null | serde::Value::U64(_))),
+            "{command}: span parent is null or an index"
+        );
+        assert!(matches!(s.get("start_ns"), Some(serde::Value::U64(_))), "{command}: start_ns");
+        assert!(
+            matches!(s.get("dur_ns"), Some(serde::Value::U64(_))),
+            "{command}: every span closed by exit"
+        );
+    }
+    assert!(
+        spans.iter().any(|s| s.get("name") == Some(&serde::Value::Str(span_name.into()))),
+        "{command}: spans include the {span_name} span"
+    );
+
+    // Counters serialize as a name -> total map.
+    let Some(serde::Value::Obj(counters)) = v.get("counters") else {
+        panic!("{command}: counters must be an object")
+    };
+    for (name, total) in counters {
+        assert!(!name.is_empty(), "{command}: counter name");
+        assert!(matches!(total, serde::Value::U64(_)), "{command}: counter total");
+    }
+    assert!(matches!(v.get("counter_events"), Some(serde::Value::Arr(_))), "{command}: events");
+    let Some(serde::Value::Arr(anoms)) = v.get("anomalies") else {
+        panic!("{command}: anomalies must be an array")
+    };
+    assert!(anoms.is_empty(), "{command}: a healthy run records no anomalies");
+}
+
+#[test]
+fn profile_flag_reports_to_stderr_only() {
+    let dir = temp_dir("profile");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+
+    let out = lsr(&["extract", "j.lsrtrace", "--profile"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // stdout stays exactly the normal, parseable summary...
+    let plain = stdout(&lsr(&["extract", "j.lsrtrace"], &dir));
+    assert_eq!(stdout(&out), plain, "--profile must not perturb stdout");
+    // ...and the report lands on stderr: header, span tree, counters.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("profile: extract (lsr-obs-profile/1)"), "{err}");
+    assert!(err.contains("spans:"), "{err}");
+    assert!(err.contains("  ingest "), "{err}");
+    assert!(err.contains("    atoms "), "ingest/extract stage spans nested: {err}");
+    assert!(err.contains("counters:"), "{err}");
+    assert!(err.contains("core.atoms"), "{err}");
+    assert!(err.contains("ingest.bytes"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_json_to_stdout_with_dash() {
+    let dir = temp_dir("profdash");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+    let out = lsr(&["extract", "j.lsrtrace", "--profile-json", "-"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    // The JSON document is appended after the normal summary.
+    let start = text.find("{\n").expect("JSON document on stdout");
+    check_profile_schema(text[start..].trim(), "extract");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every subcommand accepts `--profile-json FILE` and writes a document
+/// that validates against the schema (ISSUE 4 acceptance criterion).
+#[test]
+fn every_subcommand_writes_valid_profile_json() {
+    let dir = temp_dir("profall");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "a.lsrtrace"], &dir).status.success());
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "b.lsrtrace"], &dir).status.success());
+
+    let cases: &[(&str, &[&str])] = &[
+        ("gen", &["gen", "divcon", "--out", "d.lsrtrace"]),
+        ("stats", &["stats", "a.lsrtrace"]),
+        ("quality", &["quality", "a.lsrtrace"]),
+        ("extract", &["extract", "a.lsrtrace"]),
+        ("render", &["render", "a.lsrtrace", "--out", "r.txt"]),
+        ("metrics", &["metrics", "a.lsrtrace"]),
+        ("report", &["report", "a.lsrtrace", "--out", "r.html"]),
+        ("diff", &["diff", "a.lsrtrace", "b.lsrtrace"]),
+        ("lint", &["lint", "a.lsrtrace"]),
+        ("races", &["races", "a.lsrtrace"]),
+        ("critical-path", &["critical-path", "a.lsrtrace"]),
+    ];
+    for (command, base) in cases {
+        let json_name = format!("{command}.profile.json");
+        let mut args: Vec<&str> = base.to_vec();
+        args.push("--profile-json");
+        args.push(&json_name);
+        let out = lsr(&args, &dir);
+        assert!(
+            out.status.success(),
+            "{command} --profile-json failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(dir.join(&json_name))
+            .unwrap_or_else(|e| panic!("{command}: profile file written: {e}"));
+        check_profile_schema(&text, command);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -112,3 +112,83 @@ fn mergetree_structure_is_stable() {
     assert_eq!(trace.msgs.len(), 31);
     assert!(ls.max_step() + 1 >= 10);
 }
+
+/// Scrubs the volatile tokens out of a profile report: anything that
+/// looks like a duration becomes `<T>`, any percentage becomes `<P>`.
+/// Everything else — layout, span names, nesting, counter names, and
+/// the deterministic counter *values* — must match exactly.
+fn scrub_profile(report: &str) -> String {
+    report
+        .lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|tok| {
+                    if tok.is_empty() {
+                        return tok.to_owned();
+                    }
+                    let digit_led = tok.chars().next().unwrap().is_ascii_digit();
+                    let is_time = digit_led
+                        && (tok.ends_with("ns")
+                            || tok.ends_with("µs")
+                            || tok.ends_with("ms")
+                            || (tok.ends_with('s') && tok.contains('.')));
+                    if is_time {
+                        "<T>".to_owned()
+                    } else if digit_led && tok.ends_with('%') {
+                        "<P>".to_owned()
+                    } else {
+                        tok.to_owned()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Golden snapshot of the rendered `--profile` report for the
+/// jacobi-fig15 extraction. Span timings vary run to run (scrubbed to
+/// `<T>`/`<P>`), but the span tree shape, stage order, and every
+/// counter value are deterministic; drift here means the pipeline's
+/// instrumentation changed and the snapshot must be re-derived
+/// deliberately.
+#[test]
+fn profile_report_snapshot_is_stable() {
+    let trace = jacobi2d(&JacobiParams::fig15());
+    let rec = lsr_obs::Recorder::enabled();
+    lsr_core::try_extract(&trace, &Config::charm().with_recorder(rec.clone())).unwrap();
+    let p = rec.profile("extract").unwrap();
+    let got = scrub_profile(&lsr_render::profile_report(&p));
+    let want = "\
+profile: extract (lsr-obs-profile/1)
+total: <T>
+spans:
+  extract <T>  <P>
+    atoms <T>  <P>
+    dependency_merge <T>  <P>
+    collective_merge <T>  <P>
+    repair <T>  <P>
+    neighbor_serial <T>  <P>
+    infer <T>  <P>
+    leap_resolution <T>  <P>
+    enforce <T>  <P>
+    ordering <T>  <P>
+counters:
+  core.ordering.phases    12
+  core.atoms              345
+  core.merges.dependency  249
+  core.merges.cycle       1
+  core.merges.repair      44
+  core.merges.leap        39
+  core.edges.inferred     79
+  core.edges.enforce      5
+  core.phases             12
+";
+    assert_eq!(
+        got, want,
+        "profile report drifted from the golden snapshot; if the \
+         instrumentation changed deliberately, re-derive this constant"
+    );
+}

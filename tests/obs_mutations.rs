@@ -1,0 +1,146 @@
+//! Mutation tests for the observability layer: each way a profile can
+//! be corrupted — a dropped stage span, a double-closed span, a zeroed
+//! counter, a broken span tree — must be caught by the validators the
+//! other tests rely on. A profile checker that cannot detect planted
+//! corruption proves nothing when it passes.
+
+use lsr::apps::{jacobi2d, JacobiParams};
+use lsr::core::{try_extract, Config, EXTRACT_STAGE_SPANS};
+use lsr::obs::{Profile, ProfileError, Recorder, PROFILE_SCHEMA};
+
+/// A real profile from a real extraction, as the mutation substrate.
+fn healthy_profile() -> Profile {
+    let trace = jacobi2d(&JacobiParams::fig8());
+    let rec = Recorder::enabled();
+    try_extract(&trace, &Config::charm().with_recorder(rec.clone())).expect("preset extracts");
+    let p = rec.profile("mutation-substrate").expect("profile");
+    assert!(p.validate().is_empty(), "substrate must start healthy: {:?}", p.validate());
+    assert!(p.expect_spans(EXTRACT_STAGE_SPANS).is_empty());
+    p
+}
+
+fn has<F: Fn(&ProfileError) -> bool>(errs: &[ProfileError], pred: F) -> bool {
+    errs.iter().any(pred)
+}
+
+#[test]
+fn dropped_stage_span_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: the pipeline "forgets" to record the ordering stage.
+    let ix = p.spans.iter().position(|s| s.name == "ordering").expect("ordering span");
+    p.spans.remove(ix);
+    let errs = p.expect_spans(EXTRACT_STAGE_SPANS);
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::MissingSpan { name } if name == "ordering")),
+        "dropping a stage span must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn double_closed_span_is_caught() {
+    let rec = Recorder::enabled();
+    drop(rec.span("stage"));
+    // Mutation: a second close for a span that is already closed.
+    rec.__force_close("stage");
+    let p = rec.profile("double-close").expect("profile");
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::Anomaly { .. })),
+        "double-closing a span must surface as an anomaly: {errs:?}"
+    );
+}
+
+#[test]
+fn unclosed_span_is_caught() {
+    let rec = Recorder::enabled();
+    let open = rec.span("leaky");
+    let p = rec.profile("unclosed").expect("profile");
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::UnclosedSpan { name } if name == "leaky")),
+        "an unclosed span must be reported: {errs:?}"
+    );
+    drop(open);
+}
+
+#[test]
+fn zeroed_counter_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: a counter total is wiped while its increments remain.
+    let c = p.counters.iter_mut().find(|c| c.name == "core.atoms").expect("atoms counter");
+    c.total = 0;
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(
+            e,
+            ProfileError::CounterMismatch { name, total: 0, .. } if name == "core.atoms"
+        )),
+        "zeroing a counter must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn zero_delta_increment_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: a bogus zero-delta event appended to the log. (The real
+    // recorder drops `add(_, 0)` calls, so one in the log is tampering.)
+    p.counter_events.push(lsr::obs::CounterEvent { name: "core.atoms".into(), delta: 0 });
+    let errs = p.validate();
+    assert!(
+        has(
+            &errs,
+            |e| matches!(e, ProfileError::NonMonotoneEvent { name } if name == "core.atoms")
+        ),
+        "a zero-delta counter event must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn orphaned_counter_event_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: an increment for a counter that has no total row.
+    p.counter_events.push(lsr::obs::CounterEvent { name: "phantom".into(), delta: 3 });
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::NonMonotoneEvent { name } if name == "phantom")),
+        "an orphaned counter event must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn forward_parent_reference_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: a span claims a later span as its parent.
+    let last = p.spans.len() - 1;
+    p.spans[0].parent = Some(last);
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::BadParent { .. })),
+        "a forward parent index must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn child_escaping_its_parent_is_caught() {
+    let mut p = healthy_profile();
+    // Mutation: stretch a child span past the end of its parent.
+    let ix = p.spans.iter().position(|s| s.parent.is_some()).expect("some nested span");
+    p.spans[ix].dur_ns = Some(u64::MAX / 2);
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::ChildEscapesParent { .. })),
+        "a child outliving its parent must be reported: {errs:?}"
+    );
+}
+
+#[test]
+fn schema_tampering_is_caught() {
+    let mut p = healthy_profile();
+    p.schema = "lsr-obs-profile/0".into();
+    let errs = p.validate();
+    assert!(
+        has(&errs, |e| matches!(e, ProfileError::SchemaMismatch { .. })),
+        "a foreign schema tag must be reported: {errs:?}"
+    );
+    assert_eq!(PROFILE_SCHEMA, "lsr-obs-profile/1");
+}

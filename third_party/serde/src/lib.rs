@@ -143,6 +143,15 @@ impl Serialize for Value {
     }
 }
 
+impl Deserialize for Value {
+    /// Identity: lets callers parse arbitrary JSON into the data model
+    /// (`serde_json::from_str::<Value>`) and inspect it with
+    /// [`Value::get`], e.g. to validate a document against a schema.
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn ser(&self) -> Value {
         Value::Bool(*self)
