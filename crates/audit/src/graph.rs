@@ -1,0 +1,208 @@
+//! The auditor's own graph machinery: a union-find with member lists,
+//! a Tarjan SCC pass, and a Pearce–Kelly incremental topological
+//! order. Deliberately re-implemented here — the point of a
+//! certificate checker is to share no data structures with the
+//! producer it audits (`lsr-core` has its own union-find and DAG code;
+//! a bug there must not validate itself).
+
+/// Union-find over dense `u32` ids with path halving and union by
+/// size, keeping an explicit member list per root so the certificate
+/// checks can ask "does this group contain a task with property P?".
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    /// Root → members (valid only at the root; merged lists move to
+    /// the surviving root).
+    members: Vec<Vec<u32>>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            members: (0..n as u32).map(|i| vec![i]).collect(),
+        }
+    }
+
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the groups of `a` and `b`; false when already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        let moved = std::mem::take(&mut self.members[small as usize]);
+        self.members[big as usize].extend(moved);
+        true
+    }
+
+    /// Members of the group containing `x`.
+    pub fn group(&mut self, x: u32) -> &[u32] {
+        let r = self.find(x);
+        &self.members[r as usize]
+    }
+}
+
+/// Tarjan's strongly connected components over an adjacency list,
+/// iterative (certificate graphs can be deep). Returns a component id
+/// per node; ids are otherwise meaningless.
+pub(crate) fn sccs(n: usize, succs: &[Vec<u32>]) -> Vec<u32> {
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![UNSEEN; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSEEN {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v as usize] = next_index;
+                low[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            if let Some(&w) = succs[v as usize].get(*child) {
+                *child += 1;
+                if index[w as usize] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                frames.pop();
+                if let Some(&mut (u, _)) = frames.last_mut() {
+                    low[u as usize] = low[u as usize].min(low[v as usize]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Incremental topological order (Pearce & Kelly, "A dynamic
+/// topological sort algorithm for directed acyclic graphs", JEA 2007):
+/// maintains a total order `ord` over a fixed node set while edges are
+/// inserted one at a time; an insertion that would close a cycle is
+/// reported instead of applied. Per insertion only the *affected
+/// region* — nodes ordered between the edge's endpoints — is visited.
+pub(crate) struct IncrementalDag {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    /// Node → position in the maintained topological order.
+    ord: Vec<u32>,
+}
+
+impl IncrementalDag {
+    pub fn new(n: usize) -> IncrementalDag {
+        IncrementalDag {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            ord: (0..n as u32).collect(),
+        }
+    }
+
+    /// Inserts `u → v`. Returns false — and leaves the graph
+    /// unchanged — when the edge would create a cycle.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let (lb, ub) = (self.ord[v as usize], self.ord[u as usize]);
+        if lb < ub {
+            // Affected region [lb, ub]: forward from v, backward from u.
+            let mut delta_f: Vec<u32> = Vec::new();
+            if !self.dfs_forward(v, ub, &mut delta_f) {
+                return false; // reached u: cycle
+            }
+            let mut delta_b: Vec<u32> = Vec::new();
+            self.dfs_backward(u, lb, &mut delta_b);
+            self.reorder(delta_f, delta_b);
+        }
+        self.succs[u as usize].push(v);
+        self.preds[v as usize].push(u);
+        true
+    }
+
+    /// Forward DFS from `v` over nodes with ord ≤ `ub`; false when the
+    /// node at position `ub` (the edge source) is reached.
+    fn dfs_forward(&self, v: u32, ub: u32, out: &mut Vec<u32>) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![v];
+        seen.insert(v);
+        while let Some(x) = stack.pop() {
+            if self.ord[x as usize] == ub {
+                return false;
+            }
+            out.push(x);
+            for &w in &self.succs[x as usize] {
+                if self.ord[w as usize] <= ub && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        true
+    }
+
+    fn dfs_backward(&self, u: u32, lb: u32, out: &mut Vec<u32>) {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![u];
+        seen.insert(u);
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &w in &self.preds[x as usize] {
+                if self.ord[w as usize] >= lb && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+
+    /// Re-packs the affected nodes into their old position slots so
+    /// every `delta_b` (ancestors of u) node precedes every `delta_f`
+    /// (descendants of v) node, preserving relative order within each.
+    fn reorder(&mut self, delta_f: Vec<u32>, delta_b: Vec<u32>) {
+        let mut slots: Vec<u32> =
+            delta_b.iter().chain(delta_f.iter()).map(|&x| self.ord[x as usize]).collect();
+        slots.sort_unstable();
+        let mut b_sorted = delta_b;
+        b_sorted.sort_unstable_by_key(|&x| self.ord[x as usize]);
+        let mut f_sorted = delta_f;
+        f_sorted.sort_unstable_by_key(|&x| self.ord[x as usize]);
+        for (slot, node) in slots.into_iter().zip(b_sorted.into_iter().chain(f_sorted)) {
+            self.ord[node as usize] = slot;
+        }
+    }
+}

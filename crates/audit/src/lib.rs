@@ -1,0 +1,55 @@
+//! # lsr-audit
+//!
+//! Certificate checking for the structure-recovery pipeline, plus
+//! delta-debugging counterexample minimization.
+//!
+//! `lsr-core` recovers a [`lsr_core::LogicalStructure`] from a trace
+//! and can emit a [`lsr_core::MergeProvenance`] — the ordered log of
+//! every merge and ordering decision it took. This crate treats that
+//! log as a **certificate**: [`audit`] replays it against the trace
+//! with its own independent data structures (union-find, Tarjan SCC,
+//! Pearce–Kelly incremental topological order — nothing shared with
+//! the pipeline beyond public types) and verifies
+//!
+//! - every rule application was *enabled* by the configuration
+//!   (`A001`) and its precondition held in the replayed partition
+//!   state (`A002`, paper Algorithms 1–5);
+//! - merged tasks really share a phase in the final structure
+//!   (`A003`) and time-witnessed decisions agree with the trace's
+//!   timestamps (`A005`);
+//! - the phase successor relation is acyclic (`A004`, checked by
+//!   incremental topological maintenance);
+//! - the §3.2 step numbering obeys its laws (`A006`).
+//!
+//! Violations surface as `A`-coded [`lsr_lint::Diagnostic`]s, so they
+//! render and serialize exactly like lint findings (`docs/lints.md`
+//! has the full code table; `docs/audit.md` the soundness notes).
+//!
+//! [`shrink_log`] goes the other way: given a log that makes any
+//! diagnostic fire (`I`/`T`/`H`/`S`/`P`/`A`), it minimizes the log to
+//! a 1-minimal set of record lines that still reproduces it, using
+//! ddmin with the salvage reader as the well-formedness filter.
+
+#![warn(missing_docs)]
+
+mod check;
+mod graph;
+mod shrink;
+
+pub use check::{audit, AuditOptions, AuditReport, DEFAULT_AUDIT_LIMIT};
+pub use shrink::{shrink_log, ShrinkError, ShrinkOptions, ShrinkResult};
+
+use lsr_core::{try_extract_with_provenance, Config, ExtractError, LogicalStructure};
+use lsr_trace::Trace;
+
+/// Extracts the structure *with* provenance and immediately audits it:
+/// the self-check entry point (`lsr audit` is this).
+pub fn audit_extract(
+    trace: &Trace,
+    cfg: &Config,
+    opts: AuditOptions,
+) -> Result<(LogicalStructure, AuditReport), ExtractError> {
+    let (ls, prov) = try_extract_with_provenance(trace, cfg)?;
+    let report = audit(trace, cfg, &prov, &ls, opts);
+    Ok((ls, report))
+}

@@ -1,0 +1,88 @@
+//! Cost of the certificate check relative to extraction itself, on the
+//! paper's merge-tree workload from 64 to 1,024 ranks: replaying the
+//! full merge log and re-deriving every precondition, DAG, and step law
+//! must stay within 25% of the extraction time it certifies at the
+//! 1,024-rank scale — cheap enough to run after every extraction.
+
+use lsr_apps::{mergetree_mpi, MergeTreeParams};
+use lsr_audit::{audit, AuditOptions};
+use lsr_bench::{banner, secs, timed, write_artifact};
+use lsr_core::{try_extract_with_provenance, Config};
+use lsr_trace::Dur;
+use std::time::Duration;
+
+/// Best-of-N timing: both pipelines are deterministic on a fixed
+/// input, so the minimum is the least-noisy estimate of the cost.
+fn best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut dur) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        if d < dur {
+            out = o;
+            dur = d;
+        }
+    }
+    (out, dur)
+}
+
+fn main() {
+    banner("exp_audit_overhead", "certificate check vs extraction on the merge tree");
+    let cfg = Config::mpi().with_process_order(false);
+    let reps = if lsr_bench::full_scale() { 10 } else { 5 };
+    let mut rows = String::new();
+    let mut ratio_at_top = 0.0;
+
+    for ranks in [64u32, 256, 1024] {
+        let trace = mergetree_mpi(&MergeTreeParams {
+            ranks,
+            seed: 0x10,
+            base: Dur::from_micros(100),
+            skew: 3.0,
+        });
+        let ((ls, prov), t_extract) =
+            best(reps, || try_extract_with_provenance(&trace, &cfg).expect("merge tree extracts"));
+        let (report, t_audit) =
+            best(reps, || audit(&trace, &cfg, &prov, &ls, AuditOptions::default()));
+        assert!(
+            report.diagnostics.is_empty(),
+            "{ranks} ranks: extraction must certify, got {:?}",
+            report.diagnostics
+        );
+        let ratio = t_audit.as_secs_f64() / t_extract.as_secs_f64();
+        ratio_at_top = ratio;
+        println!(
+            "{ranks:>5} ranks: extract {}  audit {}  ({:.1}% of extraction; {} records, {} checks, {} edges)",
+            secs(t_extract),
+            secs(t_audit),
+            ratio * 100.0,
+            report.records_replayed,
+            report.checks,
+            report.replay_edges
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"extract_s\": {:.6}, \"audit_s\": {:.6}, \
+             \"ratio\": {ratio:.4}, \"records\": {}, \"checks\": {}, \"edges\": {}}}",
+            t_extract.as_secs_f64(),
+            t_audit.as_secs_f64(),
+            report.records_replayed,
+            report.checks,
+            report.replay_edges
+        ));
+    }
+
+    assert!(
+        ratio_at_top <= 0.25,
+        "certificate check must cost ≤25% of extraction at 1,024 ranks, got {:.1}%",
+        ratio_at_top * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"audit_overhead\",\n  \"gate_ratio\": 0.25,\n  \
+         \"ratio_at_1024\": {ratio_at_top:.4},\n  \"scales\": [\n{rows}\n  ]\n}}\n"
+    );
+    write_artifact("BENCH_audit.json", &json);
+    println!("=> full certificate replay clears the 25%-of-extraction bar at paper scale");
+}

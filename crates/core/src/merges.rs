@@ -201,7 +201,7 @@ pub(crate) fn infer_dependencies(stage: &mut Stage<'_>) {
                 // The edge direction was decided by the physical-time
                 // order of these two source events' tasks.
                 let (ta, tb) = (stage.trace.event(ea).task, stage.trace.event(eb).task);
-                stage.note_tasks(ProvenanceRule::InferredEdge, ta, tb);
+                stage.note_tasks_timed(ProvenanceRule::InferredEdge, ta, tb, true);
                 added += 1;
             }
         }
@@ -291,9 +291,10 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
             let ae = v.atoms_in[earlier as usize][0];
             let al = v.atoms_in[later as usize][0];
             stage.extra_edges.push((ae, al));
+            let timed = decided_by.is_some();
             let (da, db) = decided_by
                 .unwrap_or((stage.ag.atoms[ae as usize].task, stage.ag.atoms[al as usize].task));
-            stage.note_tasks(ProvenanceRule::OrderingEdge, da, db);
+            stage.note_tasks_timed(ProvenanceRule::OrderingEdge, da, db, timed);
             added += 1;
         }
         stage.diag.ordering_edges += added;
@@ -364,15 +365,18 @@ fn orient(
             (q, p, Some((task_of(tq.1), task_of(tp.1))))
         };
     }
-    // 2. Earliest events per shared PE.
-    let shared_pes: Vec<_> = per_pe[p as usize]
-        .keys()
-        .filter(|pe| per_pe[q as usize].contains_key(pe))
-        .copied()
-        .collect();
-    if !shared_pes.is_empty() {
-        let tp = shared_pes.iter().map(|pe| per_pe[p as usize][pe]).min().unwrap();
-        let tq = shared_pes.iter().map(|pe| per_pe[q as usize][pe]).min().unwrap();
+    // 2. Earliest events per shared PE. A single fold over the
+    // intersection keeps the mins paired: both are `Some` exactly when
+    // at least one PE is shared, with no possibility of an unguarded
+    // unwrap on an empty set.
+    let shared_mins: Option<(Time, Time)> = per_pe[p as usize]
+        .iter()
+        .filter_map(|(pe, &tp)| per_pe[q as usize].get(pe).map(|&tq| (tp, tq)))
+        .fold(None, |acc, (tp, tq)| match acc {
+            None => Some((tp, tq)),
+            Some((ap, aq)) => Some((ap.min(tp), aq.min(tq))),
+        });
+    if let Some((tp, tq)) = shared_mins {
         if tp != tq {
             return if tp < tq { (p, q, None) } else { (q, p, None) };
         }

@@ -99,6 +99,13 @@ pub struct MergeRecord {
     pub a: TaskId,
     /// Second task of the pair.
     pub b: TaskId,
+    /// True when the decision compared the physical times of two
+    /// specific events of `a` and `b` (so `a`'s earliest event is at or
+    /// before `b`'s latest). False for set-based rules and for the
+    /// structural fallbacks of `orient`, whose recorded pair is a
+    /// representative, not a time witness. Certificate checkers
+    /// (`lsr-audit`) verify the time relation only when this is set.
+    pub timed: bool,
 }
 
 /// All [`MergeRecord`]s of one extraction, in pipeline order. Returned
@@ -111,7 +118,11 @@ pub struct MergeProvenance {
 
 impl MergeProvenance {
     pub(crate) fn push(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId) {
-        self.records.push(MergeRecord { rule, a, b });
+        self.records.push(MergeRecord { rule, a, b, timed: false });
+    }
+
+    pub(crate) fn push_timed(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId, timed: bool) {
+        self.records.push(MergeRecord { rule, a, b, timed });
     }
 
     /// Number of recorded decisions.

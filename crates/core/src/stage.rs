@@ -110,10 +110,12 @@ impl<'t> Stage<'t> {
         }
     }
 
-    /// Logs a decision on two tasks when provenance collection is on.
-    pub fn note_tasks(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId) {
+    /// Logs a decision on two tasks, with an explicit time-witness
+    /// facet: `timed` marks the pair as ordered by comparing physical
+    /// times of two specific events (see [`crate::MergeRecord::timed`]).
+    pub fn note_tasks_timed(&mut self, rule: ProvenanceRule, a: TaskId, b: TaskId, timed: bool) {
         if let Some(p) = &mut self.prov {
-            p.push(rule, a, b);
+            p.push_timed(rule, a, b, timed);
         }
     }
 

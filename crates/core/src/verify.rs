@@ -96,6 +96,13 @@ pub enum InvariantViolation {
         /// The shared step.
         step: u64,
     },
+    /// Collection stopped at the verifier's limit; later checks did not
+    /// run, so per-kind counts are lower bounds. Always the final
+    /// element when present — never silent truncation.
+    Truncated {
+        /// The limit that fired.
+        limit: usize,
+    },
 }
 
 impl InvariantViolation {
@@ -112,6 +119,7 @@ impl InvariantViolation {
             InvariantViolation::MessageSpansPhases { .. }
             | InvariantViolation::MessageDoesNotAdvance { .. } => "S005",
             InvariantViolation::OffsetBeforePredecessor { .. } => "S006",
+            InvariantViolation::Truncated { .. } => "S007",
         }
     }
 }
@@ -152,6 +160,9 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::ChareStepCollision { a, b, chare, step } => {
                 write!(f, "events {a} and {b} of chare {chare} share step {step}")
             }
+            InvariantViolation::Truncated { limit } => {
+                write!(f, "verification stopped at the {limit}-violation limit")
+            }
         }
     }
 }
@@ -191,6 +202,7 @@ impl StructureVerifier {
             ($v:expr) => {
                 out.push($v);
                 if out.len() >= self.limit {
+                    out.push(InvariantViolation::Truncated { limit: self.limit });
                     return out;
                 }
             };
@@ -312,7 +324,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn codes_cover_s001_through_s006() {
+    fn codes_cover_s001_through_s007() {
         let samples = [
             InvariantViolation::TableSizeMismatch,
             InvariantViolation::PhaseGraphCycle,
@@ -330,9 +342,10 @@ mod tests {
                 pred_end: 5,
                 succ_offset: 5,
             },
+            InvariantViolation::Truncated { limit: 64 },
         ];
         let codes: Vec<_> = samples.iter().map(|v| v.code()).collect();
-        assert_eq!(codes, ["S001", "S002", "S003", "S004", "S005", "S006"]);
+        assert_eq!(codes, ["S001", "S002", "S003", "S004", "S005", "S006", "S007"]);
         for v in &samples {
             assert!(!v.to_string().is_empty());
         }

@@ -310,15 +310,18 @@ fn structure_diag(v: InvariantViolation) -> Diagnostic {
             "a phase's global-step offset does not clear its predecessor's \
              end; the phase DAG and offsets disagree",
         ),
+        InvariantViolation::Truncated { .. } => (
+            "VerifierTruncated",
+            Location::Global,
+            "the verifier stopped collecting at its limit; per-kind \
+             violation counts are lower bounds (raise --limit for more)",
+        ),
     };
-    Diagnostic {
-        code: v.code(),
-        name,
-        severity: Severity::Error,
-        location,
-        message: v.to_string(),
-        explanation,
-    }
+    let severity = match &v {
+        InvariantViolation::Truncated { .. } => Severity::Warning,
+        _ => Severity::Error,
+    };
+    Diagnostic { code: v.code(), name, severity, location, message: v.to_string(), explanation }
 }
 
 /// P-codes: pipeline-stage observations.

@@ -9,6 +9,8 @@
 //! lsr metrics <trace> [flags]                idle/differential/imbalance
 //! lsr lint <trace> [flags]                   diagnostic passes (lsr-lint)
 //! lsr races <trace> [flags]                  message-race analysis (R passes)
+//! lsr audit <trace> [flags]                  certificate-check the extraction (A codes)
+//! lsr shrink <trace> --code CODE             minimize a diagnostic reproducer (ddmin)
 //! lsr critical-path <trace>                  longest dependent chain
 //! ```
 //!
@@ -71,6 +73,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "diff" => done(cmd_diff(rest)),
         "lint" => cmd_lint(rest),
         "races" => cmd_races(rest),
+        "audit" => cmd_audit(rest),
+        "shrink" => done(cmd_shrink(rest)),
         "critical-path" => done(cmd_critical_path(rest)),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -94,6 +98,8 @@ fn print_help() {
          \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
          \u{20}  lint <trace> [flags]        diagnostic passes over trace + structure\n\
          \u{20}  races <trace> [flags]       message races under causal happened-before\n\
+         \u{20}  audit <trace> [flags]       replay the merge log as a certificate (A codes)\n\
+         \u{20}  shrink <trace> --code C     ddmin-minimize a diagnostic reproducer\n\
          \u{20}  critical-path <trace>       longest dependent chain\n\n\
          EXTRACTION FLAGS (extract/render/metrics/lint/races)\n\
          \u{20}  --mpi --physical --no-infer --no-split --no-sdag --parallel\n\
@@ -108,6 +114,14 @@ fn print_help() {
          \u{20}  --deny-structure-affecting   exit nonzero when a race can change\n\
          \u{20}                               the recovered structure (R002)\n\
          \u{20}  --limit N                    cap reported races (default 64)\n\n\
+         AUDIT FLAGS (plus the extraction flags above)\n\
+         \u{20}  --json                   machine-readable report\n\
+         \u{20}  --limit N                cap findings (default 64); exits nonzero\n\
+         \u{20}                           on any error-severity A code\n\n\
+         SHRINK FLAGS (plus the extraction flags, which shape the oracle)\n\
+         \u{20}  --code CODE              diagnostic to preserve (I/T/H/S/P/A code)\n\
+         \u{20}  --out FILE               reproducer path (default <trace>.min.lsrtrace)\n\
+         \u{20}  --max-probes N           oracle probe budget (default 4096)\n\n\
          INGESTION (any command that reads a trace)\n\
          \u{20}  --salvage                skip malformed records instead of aborting;\n\
          \u{20}                           findings print to stderr (I codes, see\n\
@@ -130,8 +144,18 @@ fn print_help() {
 fn parse_opts(
     args: &[String],
 ) -> Result<(Vec<&str>, std::collections::HashMap<String, String>), String> {
-    const VALUE_FLAGS: &[&str] =
-        &["out", "view", "format", "metric", "from", "to", "limit", "profile-json"];
+    const VALUE_FLAGS: &[&str] = &[
+        "out",
+        "view",
+        "format",
+        "metric",
+        "from",
+        "to",
+        "limit",
+        "profile-json",
+        "code",
+        "max-probes",
+    ];
     const BOOL_FLAGS: &[&str] = &[
         "profile",
         "mpi",
@@ -691,6 +715,68 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
     let failing =
         opts.contains_key("deny-structure-affecting") && report.structure_affecting_count() > 0;
     Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
+    let mut audit_opts = lsr::audit::AuditOptions::default();
+    if let Some(v) = opts.get("limit") {
+        audit_opts.limit = v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?;
+    }
+    let (ls, report) = lsr::audit::audit_extract(&trace, &cfg, audit_opts)
+        .map_err(|e| format!("cannot extract structure: {e}"))?;
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{path}: certificate {}: {} error(s), {} warning(s); {} record(s) replayed, \
+             {} check(s) over {} phase(s)",
+            if report.is_certified() { "OK" } else { "REJECTED" },
+            report.error_count(),
+            report.warning_count(),
+            report.records_replayed,
+            report.checks,
+            ls.num_phases(),
+        );
+    }
+    obs.finish("audit")?;
+    Ok(if report.is_certified() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_shrink(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
+    let path = pos.first().ok_or("missing trace file argument")?;
+    if path.ends_with(".sts") {
+        return Err("shrink works on single-file logs, not the .sts split layout".into());
+    }
+    let code = opts.get("code").ok_or("--code CODE is required (e.g. --code T005)")?;
+    let log = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut shrink_opts =
+        lsr::audit::ShrinkOptions { config: config_from(&opts, &obs), ..Default::default() };
+    if let Some(v) = opts.get("max-probes") {
+        shrink_opts.max_probes =
+            v.parse().map_err(|_| format!("--max-probes wants a number, got {v:?}"))?;
+    }
+    let result = lsr::audit::shrink_log(&log, code, &shrink_opts).map_err(|e| e.to_string())?;
+    let default = format!("{path}.min.lsrtrace");
+    let out = opts.get("out").map(String::as_str).unwrap_or(&default);
+    std::fs::write(out, result.log.as_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} -> {} record line(s) ({:.1}% removed) in {} probe(s); {code} still fires",
+        result.original_records,
+        result.final_records,
+        result.reduction() * 100.0,
+        result.probes
+    );
+    obs.finish("shrink")
 }
 
 fn cmd_critical_path(args: &[String]) -> Result<(), String> {

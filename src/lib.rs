@@ -10,6 +10,8 @@
 //! * [`core`] — phase finding, step assignment, and reordering (the
 //!   paper's contribution).
 //! * [`lint`] — diagnostic passes over traces and recovered structure.
+//! * [`audit`] — certificate checking of merge provenance and ddmin
+//!   counterexample minimization ([`lsr_audit`]).
 //! * [`metrics`] — idle experienced, differential duration, imbalance.
 //! * [`obs`] — span/counter observability for the pipeline
 //!   ([`lsr_obs`], the `--profile` machinery).
@@ -18,6 +20,7 @@
 //! * [`render`] — ASCII/SVG views of logical structure and physical time.
 
 pub use lsr_apps as apps;
+pub use lsr_audit as audit;
 pub use lsr_charm as charm;
 pub use lsr_core as core;
 pub use lsr_lint as lint;

@@ -24,7 +24,17 @@ fn help_lists_commands() {
     let out = lsr(&["help"], &dir);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["gen", "stats", "quality", "extract", "render", "metrics", "critical-path"] {
+    for cmd in [
+        "gen",
+        "stats",
+        "quality",
+        "extract",
+        "render",
+        "metrics",
+        "critical-path",
+        "audit",
+        "shrink",
+    ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
     // No arguments behaves like help.
@@ -372,6 +382,9 @@ fn every_subcommand_writes_valid_profile_json() {
     let dir = temp_dir("profall");
     assert!(lsr(&["gen", "jacobi-fig15", "--out", "a.lsrtrace"], &dir).status.success());
     assert!(lsr(&["gen", "jacobi-fig15", "--out", "b.lsrtrace"], &dir).status.success());
+    // A log with a planted parse error, for the shrink case below.
+    let a = std::fs::read_to_string(dir.join("a.lsrtrace")).expect("read log");
+    std::fs::write(dir.join("c.lsrtrace"), format!("{a}GARBAGE not a record\n")).expect("write");
 
     let cases: &[(&str, &[&str])] = &[
         ("gen", &["gen", "divcon", "--out", "d.lsrtrace"]),
@@ -385,6 +398,8 @@ fn every_subcommand_writes_valid_profile_json() {
         ("lint", &["lint", "a.lsrtrace"]),
         ("races", &["races", "a.lsrtrace"]),
         ("critical-path", &["critical-path", "a.lsrtrace"]),
+        ("audit", &["audit", "a.lsrtrace"]),
+        ("shrink", &["shrink", "c.lsrtrace", "--code", "I001", "--out", "c.min.lsrtrace"]),
     ];
     for (command, base) in cases {
         let json_name = format!("{command}.profile.json");
@@ -401,5 +416,82 @@ fn every_subcommand_writes_valid_profile_json() {
             .unwrap_or_else(|e| panic!("{command}: profile file written: {e}"));
         check_profile_schema(&text, command);
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Certificate checking and counterexample minimization (docs/audit.md).
+
+#[test]
+fn audit_certifies_clean_traces_across_configs() {
+    let dir = temp_dir("audit");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+
+    let out = lsr(&["audit", "j.lsrtrace"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("certificate OK"), "{text}");
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+
+    // Machine-readable form.
+    let out = lsr(&["audit", "j.lsrtrace", "--json"], &dir);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(json.contains("\"certified\": true"), "{json}");
+    assert!(json.contains("\"errors\": 0"), "{json}");
+
+    // Config flags thread through to both extraction and the check:
+    // the MPI preset certifies under its own flags, and the ablation
+    // flags still certify (each produces a matching certificate).
+    assert!(lsr(&["gen", "lulesh-mpi", "--out", "l.lsrtrace"], &dir).status.success());
+    let out = lsr(&["audit", "l.lsrtrace", "--mpi"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("certificate OK"), "{}", stdout(&out));
+    let out = lsr(&["audit", "j.lsrtrace", "--no-sdag", "--limit", "8"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("certificate OK"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shrink_minimizes_a_planted_corruption_to_a_replayable_reproducer() {
+    let dir = temp_dir("shrink");
+    assert!(lsr(&["gen", "jacobi-fig15", "--out", "j.lsrtrace"], &dir).status.success());
+
+    // Shrinking a clean trace for a code that never fires is an error.
+    let out = lsr(&["shrink", "j.lsrtrace", "--code", "T005"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not fire"));
+
+    // Invert one task's span (same corruption as the lint test).
+    let path = dir.join("j.lsrtrace");
+    let text = std::fs::read_to_string(&path).expect("read log");
+    let mut swapped = false;
+    let corrupt: Vec<String> = text
+        .lines()
+        .map(|l| {
+            let mut f: Vec<&str> = l.split_whitespace().collect();
+            if !swapped && f.first() == Some(&"TASK") && f.len() >= 8 && f[5] != f[6] {
+                swapped = true;
+                f.swap(5, 6);
+                f.join(" ")
+            } else {
+                l.to_owned()
+            }
+        })
+        .collect();
+    assert!(swapped, "no task line found to corrupt");
+    std::fs::write(&path, corrupt.join("\n") + "\n").expect("write corrupt log");
+
+    let out = lsr(&["shrink", "j.lsrtrace", "--code", "T005", "--out", "min.lsrtrace"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("T005 still fires"), "{text}");
+    assert!(dir.join("min.lsrtrace").exists());
+
+    // The reproducer is tiny and still triggers exactly the code.
+    let out = lsr(&["lint", "min.lsrtrace"], &dir);
+    assert!(!out.status.success(), "reproducer must still fail the lint");
+    assert!(stdout(&out).contains("T005"), "{}", stdout(&out));
     std::fs::remove_dir_all(&dir).ok();
 }

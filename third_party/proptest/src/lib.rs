@@ -3,12 +3,15 @@
 //! `Just` / tuple / `prop_oneof!` / `collection::vec` / string
 //! strategies, and `prop_assert!`/`prop_assert_eq!`.
 //!
-//! Compared to the real crate there is no shrinking and no persisted
-//! regression corpus: each test runs a fixed number of deterministic
-//! cases derived from the test's name, and a failing case panics with
-//! the generated inputs' debug representation via the normal assert
-//! machinery. That keeps the property suites meaningful (deterministic,
-//! reproducible, varied inputs) in a container with no registry access.
+//! Compared to the real crate there is no shrinking: each test runs a
+//! fixed number of deterministic cases derived from the test's name,
+//! and a failing case panics with the generated inputs' debug
+//! representation via the normal assert machinery. Persisted `cc <hex>`
+//! seeds in the test file's `.proptest-regressions` sibling are folded
+//! into extra RNG seeds and replayed before the novel cases, so a
+//! committed regression corpus keeps exercising every property. That
+//! keeps the property suites meaningful (deterministic, reproducible,
+//! varied inputs) in a container with no registry access.
 
 /// Test-runner configuration (`ProptestConfig` in the prelude).
 pub mod test_runner {
@@ -261,7 +264,31 @@ macro_rules! prop_oneof {
     }};
 }
 
-/// Defines property tests: each `fn` runs `cases` deterministic inputs.
+/// Folds the `cc <hex>` seed lines of `source_file`'s sibling
+/// `.proptest-regressions` file into RNG seeds. `source_file` is the
+/// test's `file!()`, resolved against the crate root when relative (the
+/// working directory of `cargo test`). A missing file means no seeds.
+pub fn persisted_seeds(source_file: &str) -> Vec<u64> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("cc "))
+        .map(|rest| {
+            let hex = rest.split_whitespace().next().unwrap_or("");
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in hex.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        })
+        .collect()
+}
+
+/// Defines property tests: each `fn` first replays any persisted
+/// regression seeds, then runs `cases` novel deterministic inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -283,13 +310,20 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::Config = $cfg;
-            for __case in 0..__config.cases {
+            let mut __run = |__seed: u64| {
                 let mut __rng = $crate::strategy::case_rng(
                     concat!(module_path!(), "::", stringify!($name)),
-                    __case as u64,
+                    __seed,
                 );
                 $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
                 $body
+            };
+            // Committed regression cases replay before novel ones.
+            for __seed in $crate::persisted_seeds(file!()) {
+                __run(__seed);
+            }
+            for __case in 0..__config.cases {
+                __run(__case as u64);
             }
         }
     )*};
