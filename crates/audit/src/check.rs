@@ -446,7 +446,10 @@ pub fn audit(
     }
 
     // A004: the final phase successor relation must stay acyclic under
-    // incremental (Pearce-Kelly) insertion.
+    // incremental (Pearce-Kelly) insertion. Detection stays
+    // independent of the pipeline; only the *witness* in the message
+    // comes from the flow oracle's rejected build (a cold path — it
+    // runs once per reported cycle, never on clean structures).
     let nphases = ls.phases.len();
     let mut dag = IncrementalDag::new(nphases);
     'phases: for (p, succs) in ls.phase_succs.iter().enumerate() {
@@ -459,7 +462,10 @@ pub fn audit(
                     "PhaseDagCycle",
                     Location::Phase { phase: p as u32 },
                     if (s as usize) < nphases {
-                        format!("inserting phase edge {p} -> {s} closes a cycle")
+                        format!(
+                            "inserting phase edge {p} -> {s} closes a cycle{}",
+                            phase_cycle_witness(ls)
+                        )
                     } else {
                         format!("phase edge {p} -> {s} points past the {nphases}-phase table")
                     },
@@ -479,6 +485,26 @@ pub fn audit(
     cfg.recorder.add("audit.edges", report.replay_edges as u64);
     cfg.recorder.add("audit.violations", report.error_count() as u64);
     report
+}
+
+/// Renders a cycle witness for an A004 message by asking the flow
+/// oracle to index the phase DAG: the build is rejected with one
+/// cycle's members in edge order. Returns an empty string when the
+/// oracle unexpectedly accepts (only possible when the offending edge
+/// was out of range, which A004 reports separately).
+fn phase_cycle_witness(ls: &LogicalStructure) -> String {
+    match lsr_flow::ReachOracle::build(&lsr_flow::FlowGraph::phase_dag(ls)) {
+        Err(cycle) => {
+            let shown: Vec<String> = cycle.iter().take(8).map(|p| p.to_string()).collect();
+            format!(
+                " through {} phase(s): {}{}",
+                cycle.len(),
+                shown.join(" -> "),
+                if cycle.len() > 8 { " -> ..." } else { "" }
+            )
+        }
+        Ok(_) => String::new(),
+    }
 }
 
 /// §3.2 step-assignment laws, re-derived from the paper rather than

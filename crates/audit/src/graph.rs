@@ -59,7 +59,11 @@ impl UnionFind {
 /// Tarjan's strongly connected components over an adjacency list,
 /// iterative (certificate graphs can be deep). Returns a component id
 /// per node; ids are otherwise meaningless.
-pub(crate) fn sccs(n: usize, succs: &[Vec<u32>]) -> Vec<u32> {
+///
+/// `pub` (though hidden from the docs) so differential tests can pit
+/// it against `lsr_core::graph::DiGraph::sccs` — the two
+/// implementations must agree while sharing no code.
+pub fn sccs(n: usize, succs: &[Vec<u32>]) -> Vec<u32> {
     const UNSEEN: u32 = u32::MAX;
     let mut index = vec![UNSEEN; n];
     let mut low = vec![0u32; n];

@@ -33,7 +33,8 @@
 #![warn(missing_docs)]
 
 mod check;
-mod graph;
+#[doc(hidden)]
+pub mod graph;
 mod shrink;
 
 pub use check::{audit, AuditOptions, AuditReport, DEFAULT_AUDIT_LIMIT};

@@ -102,8 +102,10 @@ impl DiGraph {
         self.succs.is_empty()
     }
 
-    /// Kahn topological order. Returns `None` if the graph has a cycle.
-    pub fn topo_order(&self) -> Option<Vec<u32>> {
+    /// Kahn topological order. On a cyclic graph returns `Err` with
+    /// the members of one offending cycle, in edge order, so callers
+    /// can name the culprits instead of reporting "cycle detected".
+    pub fn topo_order(&self) -> Result<Vec<u32>, Vec<u32>> {
         let mut indeg = self.indeg.clone();
         let mut queue: Vec<u32> =
             (0..self.len() as u32).filter(|&v| indeg[v as usize] == 0).collect();
@@ -120,7 +122,47 @@ impl DiGraph {
                 }
             }
         }
-        (order.len() == self.len()).then_some(order)
+        if order.len() == self.len() {
+            Ok(order)
+        } else {
+            Err(self.residual_cycle(&indeg))
+        }
+    }
+
+    /// Extracts one cycle from the residual graph Kahn left behind
+    /// (nodes with positive remaining in-degree). Every residual node
+    /// has a residual predecessor — its remaining in-degree counts
+    /// exactly the edges from never-dequeued nodes — so a predecessor
+    /// walk from any residual node must revisit one; the segment
+    /// between the two visits is a cycle, returned in edge order.
+    fn residual_cycle(&self, indeg: &[u32]) -> Vec<u32> {
+        let mut pred = vec![u32::MAX; self.len()];
+        for u in 0..self.len() {
+            if indeg[u] > 0 {
+                for &v in &self.succs[u] {
+                    if indeg[v as usize] > 0 && pred[v as usize] == u32::MAX {
+                        pred[v as usize] = u as u32;
+                    }
+                }
+            }
+        }
+        let start = (0..self.len() as u32)
+            .find(|&v| indeg[v as usize] > 0)
+            .expect("residual graph is non-empty");
+        let mut seen_at = vec![usize::MAX; self.len()];
+        let mut path: Vec<u32> = Vec::new();
+        let mut cur = start;
+        loop {
+            if seen_at[cur as usize] != usize::MAX {
+                path.drain(..seen_at[cur as usize]);
+                path.reverse(); // predecessor walk yields reverse edge order
+                return path;
+            }
+            seen_at[cur as usize] = path.len();
+            path.push(cur);
+            cur = pred[cur as usize];
+            debug_assert_ne!(cur, u32::MAX, "residual node keeps a residual predecessor");
+        }
     }
 
     /// Longest-path distance from any root (in-degree 0), i.e. the
@@ -129,7 +171,9 @@ impl DiGraph {
     /// # Panics
     /// Panics if the graph has a cycle.
     pub fn leaps(&self) -> Vec<u32> {
-        let order = self.topo_order().expect("leaps require a DAG");
+        let order = self
+            .topo_order()
+            .unwrap_or_else(|cycle| panic!("leaps require a DAG; cycle through {cycle:?}"));
         let mut leap = vec![0u32; self.len()];
         for &u in &order {
             for &v in &self.succs[u as usize] {
@@ -249,9 +293,41 @@ mod tests {
     }
 
     #[test]
-    fn topo_order_detects_cycle() {
+    fn topo_order_detects_cycle_with_witness() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
-        assert!(g.topo_order().is_none());
+        let cycle = g.topo_order().unwrap_err();
+        assert_eq!(cycle.len(), 3, "all three nodes are on the cycle");
+        // Edge order: each member's successor list contains the next.
+        for (i, &u) in cycle.iter().enumerate() {
+            let v = cycle[(i + 1) % cycle.len()];
+            assert!(g.succs[u as usize].contains(&v), "{u} -> {v} must be an edge");
+        }
+    }
+
+    /// A node downstream of a cycle (or feeding into one) is residual
+    /// after Kahn but not on any cycle; the witness must skip it.
+    #[test]
+    fn cycle_witness_excludes_dangling_residuals() {
+        // 3 -> {0,1,2 cycle} -> 4
+        let g = DiGraph::from_edges(5, [(3, 0), (0, 1), (1, 2), (2, 0), (2, 4)]);
+        let cycle = g.topo_order().unwrap_err();
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        for (i, &u) in cycle.iter().enumerate() {
+            let v = cycle[(i + 1) % cycle.len()];
+            assert!(g.succs[u as usize].contains(&v), "{u} -> {v} must be an edge");
+        }
+    }
+
+    /// Two disjoint cycles: the witness names exactly one of them.
+    #[test]
+    fn cycle_witness_is_a_single_cycle() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 0), (3, 4), (4, 5), (5, 3)]);
+        let cycle = g.topo_order().unwrap_err();
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert!(sorted == vec![0, 1] || sorted == vec![3, 4, 5], "got {sorted:?}");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// timestamps), but unchecked or salvaged traces can carry timestamps
 /// that contradict causality; those used to panic deep inside step
 /// assignment and now surface here instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExtractError {
     /// Step assignment found a dependency cycle in `phase` even under
     /// physical-time ordering: some receive is stamped before the send
@@ -57,17 +57,27 @@ pub enum ExtractError {
     StepCycle {
         /// Dense id of the phase whose step graph is cyclic.
         phase: u32,
+        /// Events on one offending dependency cycle, in edge order
+        /// (from the physical-time attempt, the last one tried).
+        cycle: Vec<lsr_trace::EventId>,
     },
 }
 
 impl std::fmt::Display for ExtractError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExtractError::StepCycle { phase } => write!(
-                f,
-                "step assignment cycle in phase {phase}: timestamps contradict causality \
-                 (a receive precedes its matching send); run `lsr lint` to locate it"
-            ),
+            ExtractError::StepCycle { phase, cycle } => {
+                let shown: Vec<String> = cycle.iter().take(8).map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "step assignment cycle in phase {phase} through {} event(s): {}{} — \
+                     timestamps contradict causality (a receive precedes its matching send); \
+                     run `lsr lint` to locate it",
+                    cycle.len(),
+                    shown.join(" -> "),
+                    if cycle.len() > 8 { " -> ..." } else { "" }
+                )
+            }
         }
     }
 }
@@ -123,7 +133,7 @@ pub const EXTRACT_STAGE_SPANS: &[&str] =
 /// reported to the [`extract_observed`] callback. Used by the lint
 /// framework to check invariant 1 (the partition graph is a DAG after
 /// every merge stage) without exposing the internal `Stage`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageSnapshot {
     /// Stage name (matches the [`StageTimings`] field names plus the
     /// sub-stages they aggregate).
@@ -133,6 +143,9 @@ pub struct StageSnapshot {
     /// Whether the condensed partition graph is acyclic. Every merge
     /// stage ends with a cycle merge, so this must hold after each.
     pub is_dag: bool,
+    /// When `is_dag` is false, the members of one offending cycle
+    /// (partition ids at this stage), in edge order; empty otherwise.
+    pub cycle: Vec<u32>,
 }
 
 /// Runs the full logical-structure pipeline on `trace`.
@@ -229,10 +242,12 @@ fn extract_inner(
             if let Some(obs) = observer.as_deref_mut() {
                 elapsed += mark.elapsed();
                 let v = $stage.view();
+                let cycle = v.graph.topo_order().err().unwrap_or_default();
                 obs(StageSnapshot {
                     stage: $name,
                     partitions: v.len(),
-                    is_dag: v.graph.topo_order().is_some(),
+                    is_dag: cycle.is_empty(),
+                    cycle,
                 });
                 mark = Instant::now();
             }
@@ -456,7 +471,10 @@ fn assemble(
 
     // Global offsets along the phase DAG.
     let leaps = if nphases > 0 { v.graph.leaps() } else { Vec::new() };
-    let order = v.graph.topo_order().expect("phase graph must be a DAG");
+    let order = v
+        .graph
+        .topo_order()
+        .unwrap_or_else(|cycle| panic!("phase graph must be a DAG; cycle through {cycle:?}"));
     let mut offset = vec![0u64; nphases];
     for &p in &order {
         let end = offset[p as usize] + results[p as usize].max_local;

@@ -584,7 +584,7 @@ mod tests {
         let v = stage.view();
         assert_eq!(v.len(), 1, "ring must collapse into a single partition");
         assert!(stage.diag.dependency_merges >= 4);
-        assert!(v.graph.topo_order().is_some());
+        assert!(v.graph.topo_order().is_ok());
     }
 
     /// Two independent chains on disjoint chares stay separate phases.

@@ -310,7 +310,7 @@ mod tests {
         // cycle merge leaves a DAG either way.
         stage.cycle_merge();
         let v = stage.view();
-        assert!(v.graph.topo_order().is_some(), "after cycle merge the graph is a DAG");
+        assert!(v.graph.topo_order().is_ok(), "after cycle merge the graph is a DAG");
     }
 
     #[test]

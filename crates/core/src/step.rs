@@ -48,7 +48,7 @@ pub(crate) fn assign_phase_steps(
     cfg: &Config,
 ) -> Result<PhaseResult, ExtractError> {
     let mut result = try_assign(trace, ag, phase_of_event, input, cfg, cfg.ordering);
-    if result.is_none() && cfg.ordering == OrderingPolicy::Reordered {
+    if result.is_err() && cfg.ordering == OrderingPolicy::Reordered {
         // Pathological reordering (paper: "pathological examples can be
         // constructed"): fall back to the recorded order, which is
         // cycle-free because all dependencies point forward in time.
@@ -63,7 +63,7 @@ pub(crate) fn assign_phase_steps(
                 r
             });
     }
-    result.ok_or(ExtractError::StepCycle { phase: input.id })
+    result.map_err(|cycle| ExtractError::StepCycle { phase: input.id, cycle })
 }
 
 fn try_assign(
@@ -73,19 +73,14 @@ fn try_assign(
     input: &PhaseInput,
     cfg: &Config,
     ordering: OrderingPolicy,
-) -> Option<PhaseResult> {
+) -> Result<PhaseResult, Vec<EventId>> {
     // --- collect the phase's events, with a dense local numbering ---
     let mut events: Vec<EventId> = Vec::new();
     for &a in &input.atoms {
         events.extend(ag.atoms[a as usize].events.iter().copied());
     }
     if events.is_empty() {
-        return Some(PhaseResult {
-            id: input.id,
-            local: Vec::new(),
-            max_local: 0,
-            fallback: false,
-        });
+        return Ok(PhaseResult { id: input.id, local: Vec::new(), max_local: 0, fallback: false });
     }
     let local_of: HashMap<EventId, u32> =
         events.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
@@ -193,7 +188,7 @@ fn try_assign(
         }
     }
 
-    // --- longest-path steps via Kahn; None on cycle ---
+    // --- longest-path steps via Kahn; Err(cycle witness) on cycle ---
     let mut steps = vec![0u64; n];
     let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
     let mut head = 0;
@@ -213,11 +208,18 @@ fn try_assign(
         }
     }
     if visited != n {
-        return None;
+        // Rebuild as a DiGraph only on this cold path: its witness
+        // extraction names one offending cycle, mapped back to events.
+        let g = crate::graph::DiGraph::from_edges(
+            n,
+            succs.iter().enumerate().flat_map(|(u, vs)| vs.iter().map(move |&v| (u as u32, v))),
+        );
+        let cycle = g.topo_order().expect_err("Kahn already found a cycle");
+        return Err(cycle.into_iter().map(|le| events[le as usize]).collect());
     }
     let max_local = steps.iter().copied().max().unwrap_or(0);
     let local = events.iter().zip(&steps).map(|(&e, &s)| (e, s)).collect();
-    Some(PhaseResult { id: input.id, local, max_local, fallback: false })
+    Ok(PhaseResult { id: input.id, local, max_local, fallback: false })
 }
 
 /// Computes the `w` clock for every event of the phase (§3.2.1).

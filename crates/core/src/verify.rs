@@ -48,7 +48,10 @@ pub enum InvariantViolation {
         event: EventId,
     },
     /// The phase graph contains a cycle.
-    PhaseGraphCycle,
+    PhaseGraphCycle {
+        /// Members of one offending cycle, in edge order.
+        cycle: Vec<u32>,
+    },
     /// A successor phase starts at or before a predecessor's end.
     OffsetBeforePredecessor {
         /// Predecessor phase id.
@@ -113,7 +116,7 @@ impl InvariantViolation {
             | InvariantViolation::EventWithoutPhase { .. }
             | InvariantViolation::LocalStepExceedsMax { .. }
             | InvariantViolation::GlobalStepMismatch { .. } => "S001",
-            InvariantViolation::PhaseGraphCycle => "S002",
+            InvariantViolation::PhaseGraphCycle { .. } => "S002",
             InvariantViolation::ChareStepCollision { .. } => "S003",
             InvariantViolation::LeapChareOverlap { .. } => "S004",
             InvariantViolation::MessageSpansPhases { .. }
@@ -139,8 +142,15 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::GlobalStepMismatch { event } => {
                 write!(f, "event {event} global step != offset + local")
             }
-            InvariantViolation::PhaseGraphCycle => {
-                write!(f, "phase graph has a cycle")
+            InvariantViolation::PhaseGraphCycle { cycle } => {
+                let shown: Vec<String> = cycle.iter().take(8).map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "phase graph has a cycle through {} phase(s): {}{}",
+                    cycle.len(),
+                    shown.join(" -> "),
+                    if cycle.len() > 8 { " -> ..." } else { "" }
+                )
             }
             InvariantViolation::OffsetBeforePredecessor { pred, succ, pred_end, succ_offset } => {
                 write!(
@@ -244,8 +254,8 @@ impl StructureVerifier {
                 .enumerate()
                 .flat_map(|(p, ss)| ss.iter().map(move |&s| (p as u32, s))),
         );
-        if g.topo_order().is_none() {
-            emit!(InvariantViolation::PhaseGraphCycle);
+        if let Err(cycle) = g.topo_order() {
+            emit!(InvariantViolation::PhaseGraphCycle { cycle });
         }
         for (p, succs) in ls.phase_succs.iter().enumerate() {
             let pend = ls.phases[p].offset + ls.phases[p].max_local;
@@ -327,7 +337,7 @@ mod tests {
     fn codes_cover_s001_through_s007() {
         let samples = [
             InvariantViolation::TableSizeMismatch,
-            InvariantViolation::PhaseGraphCycle,
+            InvariantViolation::PhaseGraphCycle { cycle: vec![0, 1] },
             InvariantViolation::ChareStepCollision {
                 a: EventId(0),
                 b: EventId(1),

@@ -1,0 +1,95 @@
+//! The flow graph the framework runs over: dense `u32` nodes with both
+//! successor and predecessor adjacency, so forward and backward
+//! analyses pay the same costs.
+
+use lsr_core::LogicalStructure;
+
+/// A directed graph over dense `u32` nodes. Unlike the pipeline's
+/// `lsr_core::graph::DiGraph` (successors only), both directions are
+/// materialized: backward dataflow walks `preds` exactly as forward
+/// walks `succs`.
+#[derive(Debug, Clone)]
+pub struct FlowGraph {
+    /// Out-neighbors per node, sorted and deduplicated.
+    pub succs: Vec<Vec<u32>>,
+    /// In-neighbors per node, sorted and deduplicated.
+    pub preds: Vec<Vec<u32>>,
+}
+
+impl FlowGraph {
+    /// Builds from an edge list, dropping self-loops and duplicates
+    /// (mirroring `DiGraph::from_edges`, so both views of one relation
+    /// agree on the edge set).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> FlowGraph {
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u != v {
+                succs[u as usize].push(v);
+                preds[v as usize].push(u);
+            }
+        }
+        for list in succs.iter_mut().chain(preds.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        FlowGraph { succs, preds }
+    }
+
+    /// The phase DAG of a recovered structure: one node per phase,
+    /// edges from `phase_succs`. Out-of-range successor ids (possible
+    /// only in corrupted structures) are dropped — the S/A passes own
+    /// that complaint.
+    pub fn phase_dag(ls: &LogicalStructure) -> FlowGraph {
+        let n = ls.phases.len();
+        FlowGraph::from_edges(
+            n,
+            ls.phase_succs.iter().enumerate().flat_map(|(p, ss)| {
+                ss.iter().filter(|&&s| (s as usize) < n).map(move |&s| (p as u32, s))
+            }),
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// In-degree of `v`.
+    pub fn indeg(&self, v: u32) -> usize {
+        self.preds[v as usize].len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn outdeg(&self, v: u32) -> usize {
+        self.succs[v as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_mirrors() {
+        let g = FlowGraph::from_edges(3, [(0, 1), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.succs[0], vec![1]);
+        assert_eq!(g.preds[1], vec![0]);
+        assert_eq!(g.preds[2], vec![1]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.indeg(1), 1);
+        assert_eq!(g.outdeg(1), 1);
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Join-semilattices the dataflow facts live in.
+//!
+//! The solver only ever needs one operation: join another fact into an
+//! accumulator and learn whether anything changed. Monotone transfer
+//! functions over finite-height lattices then guarantee the worklist
+//! terminates at the least fixpoint.
+
+/// A join-semilattice: a partial order with least upper bounds.
+///
+/// Implementations must make `join` idempotent, commutative, and
+/// associative; the solver relies on "no change" (a `false` return) to
+/// decide convergence.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self`; returns true iff `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// The max-plus lattice over `u64`: join is `max`, bottom is `0`.
+/// Longest-path (critical-path / earliest-step) analyses live here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxU64(pub u64);
+
+impl JoinSemiLattice for MaxU64 {
+    fn join(&mut self, other: &Self) -> bool {
+        if other.0 > self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A fixed-capacity bitset over dense `u32` node ids; join is union.
+/// The powerset lattice for reachability-style facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `n` elements.
+    pub fn empty(n: usize) -> BitSet {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `v`; returns true iff it was absent.
+    pub fn insert(&mut self, v: u32) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let was = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        was
+    }
+
+    /// True iff `v` is a member.
+    pub fn contains(&self, v: u32) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Intersects with `other` in place; returns true iff `self`
+    /// changed. (Meet of the powerset lattice — dominator analyses run
+    /// the dual order, where this is the join.)
+    pub fn intersect(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no member is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| (wi * 64 + b) as u32)
+        })
+    }
+}
+
+impl JoinSemiLattice for BitSet {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_join_is_max() {
+        let mut a = MaxU64(3);
+        assert!(a.join(&MaxU64(5)));
+        assert!(!a.join(&MaxU64(4)));
+        assert_eq!(a.0, 5);
+    }
+
+    #[test]
+    fn bitset_union_and_intersect() {
+        let mut a = BitSet::empty(130);
+        assert!(a.insert(0));
+        assert!(a.insert(129));
+        assert!(!a.insert(0));
+        let mut b = BitSet::empty(130);
+        b.insert(129);
+        b.insert(64);
+        assert!(a.join(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(a.len(), 3);
+        let mut c = a.clone();
+        assert!(c.intersect(&b));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![64, 129]);
+        assert!(!c.is_empty());
+        assert!(c.contains(64) && !c.contains(0));
+    }
+}

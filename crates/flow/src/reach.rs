@@ -1,0 +1,265 @@
+//! The precomputed reachability oracle.
+//!
+//! ROADMAP open item 2 asks for partial-order machinery in the spirit
+//! of collective sparse segment trees and DePa's order-maintenance
+//! labels: answer "does `u` reach `v`?" without materializing a vector
+//! clock per trace event. This oracle works on the *condensed* graphs
+//! the pipeline recovers (the phase DAG, or a task graph), combining
+//! two label families built in one topological pass:
+//!
+//! * **Topological levels** — longest-path depth from the roots. If
+//!   `level[u] >= level[v]`, `u` cannot strictly reach `v`: an O(1)
+//!   negative answer that resolves most queries on wide graphs.
+//! * **Chain labels** — the nodes are covered by a greedy path
+//!   decomposition into `chains` chains; each node stores, per chain
+//!   it can reach, the *minimum* position it reaches in that chain
+//!   (reaching position p implies reaching every later position, since
+//!   chains are paths of the graph). A positive answer is one binary
+//!   search in a label of at most `chains` entries; same-chain queries
+//!   compare positions directly.
+//!
+//! Space is O(nodes × chains) worst case but sparse in practice: a
+//! node's label only holds chains it actually reaches, and own-chain
+//! entries are implied by position. No per-node clock is materialized
+//! over the trace's tasks or events — the oracle indexes the structure
+//! graph, whose node count is the number of phases, not events.
+
+use crate::graph::FlowGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reachability index over a DAG. See the module docs for the label
+/// scheme; [`ReachOracle::build`] rejects cyclic graphs with a witness.
+#[derive(Debug)]
+pub struct ReachOracle {
+    /// Longest-path depth from the roots.
+    level: Vec<u32>,
+    /// Chain id of each node in the greedy path cover.
+    chain_of: Vec<u32>,
+    /// Position of each node within its chain.
+    pos: Vec<u32>,
+    /// Number of chains (the cover's width bound).
+    chain_count: u32,
+    /// Per node, sorted by chain id: `(chain, min position reachable)`.
+    /// Own-chain entries are omitted (implied by `pos`).
+    labels: Vec<Box<[(u32, u32)]>>,
+    /// Queries answered; flushed to `flow.oracle.queries` by callers.
+    queries: AtomicU64,
+}
+
+impl ReachOracle {
+    /// Builds the oracle. `Err` carries the members of one cycle, in
+    /// edge order, when the graph is not a DAG.
+    pub fn build(g: &FlowGraph) -> Result<ReachOracle, Vec<u32>> {
+        let n = g.len();
+        // Kahn order; delegate witness extraction to the pipeline's
+        // DiGraph on the cold path so both report cycles identically.
+        let indeg0: Vec<u32> = (0..n).map(|v| g.preds[v].len() as u32).collect();
+        let mut indeg = indeg0.clone();
+        let mut topo: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut head = 0;
+        while head < topo.len() {
+            let u = topo[head];
+            head += 1;
+            for &v in &g.succs[u as usize] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    topo.push(v);
+                }
+            }
+        }
+        if topo.len() < n {
+            let dig = lsr_core::graph::DiGraph { succs: g.succs.clone(), indeg: indeg0 };
+            return Err(dig.topo_order().expect_err("Kahn already found a cycle"));
+        }
+
+        // Topological levels (longest path from any root).
+        let mut level = vec![0u32; n];
+        for &u in &topo {
+            for &v in &g.succs[u as usize] {
+                level[v as usize] = level[v as usize].max(level[u as usize] + 1);
+            }
+        }
+
+        // Greedy path cover in topological order: start a chain at
+        // every uncovered node, extend along the earliest-in-topo
+        // uncovered successor so chains hug long paths.
+        const UNSET: u32 = u32::MAX;
+        let mut topo_pos = vec![0u32; n];
+        for (i, &u) in topo.iter().enumerate() {
+            topo_pos[u as usize] = i as u32;
+        }
+        let mut chain_of = vec![UNSET; n];
+        let mut pos = vec![0u32; n];
+        let mut chain_count = 0u32;
+        for &u in &topo {
+            if chain_of[u as usize] != UNSET {
+                continue;
+            }
+            let c = chain_count;
+            chain_count += 1;
+            let mut cur = u;
+            let mut p = 0u32;
+            loop {
+                chain_of[cur as usize] = c;
+                pos[cur as usize] = p;
+                p += 1;
+                match g.succs[cur as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&v| chain_of[v as usize] == UNSET)
+                    .min_by_key(|&v| topo_pos[v as usize])
+                {
+                    Some(v) => cur = v,
+                    None => break,
+                }
+            }
+        }
+
+        // Chain labels in reverse topological order: merge successors'
+        // labels plus the successors themselves, keeping the minimum
+        // position per chain and dropping the own chain (implied).
+        let mut labels: Vec<Box<[(u32, u32)]>> =
+            (0..n).map(|_| Vec::new().into_boxed_slice()).collect();
+        let mut acc: Vec<(u32, u32)> = Vec::new();
+        for &u in topo.iter().rev() {
+            acc.clear();
+            for &v in &g.succs[u as usize] {
+                acc.push((chain_of[v as usize], pos[v as usize]));
+                acc.extend_from_slice(&labels[v as usize]);
+            }
+            acc.sort_unstable();
+            acc.dedup_by_key(|e| e.0); // keeps the min position per chain
+            acc.retain(|e| e.0 != chain_of[u as usize]);
+            labels[u as usize] = acc.as_slice().into();
+        }
+
+        Ok(ReachOracle { level, chain_of, pos, chain_count, labels, queries: AtomicU64::new(0) })
+    }
+
+    /// Strict reachability: a non-empty path from `u` to `v` exists.
+    /// Matches `HbIndex::happens_before` over the same edge set.
+    pub fn strictly_reaches(&self, u: u32, v: u32) -> bool {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if u == v {
+            return false;
+        }
+        let (cu, cv) = (self.chain_of[u as usize], self.chain_of[v as usize]);
+        if cu == cv {
+            // Chains are paths: later positions are always reachable.
+            return self.pos[v as usize] > self.pos[u as usize];
+        }
+        if self.level[u as usize] >= self.level[v as usize] {
+            return false; // O(1): paths strictly increase the level
+        }
+        match self.labels[u as usize].binary_search_by_key(&cv, |e| e.0) {
+            Ok(i) => self.labels[u as usize][i].1 <= self.pos[v as usize],
+            Err(_) => false,
+        }
+    }
+
+    /// Reflexive reachability: `u == v` or [`Self::strictly_reaches`].
+    pub fn reaches(&self, u: u32, v: u32) -> bool {
+        u == v || self.strictly_reaches(u, v)
+    }
+
+    /// Number of chains in the path cover.
+    pub fn chain_count(&self) -> u32 {
+        self.chain_count
+    }
+
+    /// Longest-path depth of `v` from the roots.
+    pub fn level(&self, v: u32) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// Number of nodes indexed.
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// True when the indexed graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    /// Total `(chain, position)` label entries across all nodes.
+    pub fn label_entries(&self) -> usize {
+        self.labels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Maximum number of nodes sharing one level — the DAG's level
+    /// width (≥ 2 means the structure exposes parallelism).
+    pub fn max_width(&self) -> usize {
+        let mut per = vec![0usize; self.level.iter().map(|&l| l as usize + 1).max().unwrap_or(0)];
+        for &l in &self.level {
+            per[l as usize] += 1;
+        }
+        per.into_iter().max().unwrap_or(0)
+    }
+
+    /// Queries answered so far (relaxed tally; see `flow.oracle.queries`).
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(n: usize, g: &FlowGraph) -> Vec<Vec<bool>> {
+        let mut r = vec![vec![false; n]; n];
+        for (u, vs) in g.succs.iter().enumerate() {
+            for &v in vs {
+                r[u][v as usize] = true;
+            }
+        }
+        for k in 0..n {
+            let rk = r[k].clone();
+            for ri in &mut r {
+                if ri[k] {
+                    for (dst, &src) in ri.iter_mut().zip(&rk) {
+                        *dst |= src;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn matches_brute_force_on_diamond_with_tail() {
+        let g = FlowGraph::from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let o = ReachOracle::build(&g).unwrap();
+        let r = brute(6, &g);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(o.strictly_reaches(u, v), r[u as usize][v as usize], "reach({u},{v})");
+            }
+        }
+        assert!(o.reaches(5, 5), "reflexive on the isolated node");
+        assert!(o.query_count() > 0);
+        assert!(o.chain_count() >= 2);
+        assert_eq!(o.level(3), 2);
+        assert_eq!(o.len(), 6);
+        assert!(o.max_width() >= 2);
+    }
+
+    #[test]
+    fn cyclic_graph_reports_witness() {
+        let g = FlowGraph::from_edges(4, [(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let cycle = ReachOracle::build(&g).unwrap_err();
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = FlowGraph::from_edges(0, []);
+        let o = ReachOracle::build(&g).unwrap();
+        assert!(o.is_empty());
+        assert_eq!(o.label_entries(), 0);
+        assert_eq!(o.max_width(), 0);
+    }
+}

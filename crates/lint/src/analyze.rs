@@ -1,0 +1,239 @@
+//! D passes: dataflow analyses over a recovered structure.
+//!
+//! The heavy lifting lives in `lsr-flow` (the dataflow framework, the
+//! reachability oracle, and the typed [`Finding`]s); this module maps
+//! those findings onto the linter's [`Diagnostic`] machinery with
+//! stable `D` codes (full table in `docs/lints.md`):
+//!
+//! - **D001** `SerializationBottleneck` — a join/fork phase dominating
+//!   (or post-dominating) at least `bottleneck_share` of the work
+//!   outside it, in a DAG that elsewhere exposes parallelism;
+//! - **D002** `RedundantPhaseEdge` — a phase edge implied by the
+//!   transitive closure of its sibling edges;
+//! - **D003** `OrphanPhase` — a phase with no events and no tasks;
+//! - **D004** `SlackDisagreement` — a phase offset that disagrees with
+//!   the longest-path earliest start, or a message-linked critical-path
+//!   hop between phases the structure leaves unordered;
+//! - **D005** `AnalysisTruncated` — the finding cap cut the list short.
+//!
+//! All D codes are warnings: a structure can carry them and still be a
+//! faithful recovery of its trace. `lsr analyze --deny <CODE>` turns
+//! any of them into a failing exit status.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::LintReport;
+use lsr_core::LogicalStructure;
+use lsr_flow::{AnalyzeOptions, Finding, GateSide};
+use lsr_obs::Recorder;
+use lsr_trace::Trace;
+
+/// Runs the D-family analyses over a recovered structure and renders
+/// the findings as diagnostics.
+///
+/// A cyclic phase graph yields the same `S002`/`PhaseGraphCycle`
+/// diagnostic the structure verifier would emit — the D analyses all
+/// presuppose a DAG, so nothing else is reported in that case.
+pub fn analyze_structure(
+    trace: &Trace,
+    ls: &LogicalStructure,
+    rec: &Recorder,
+    opts: &AnalyzeOptions,
+) -> LintReport {
+    let diagnostics = match lsr_flow::analyze(trace, ls, rec, opts) {
+        Ok(report) => {
+            let mut out: Vec<Diagnostic> =
+                report.findings.iter().map(|f| finding_diag(f, opts)).collect();
+            if report.truncated {
+                out.push(Diagnostic {
+                    code: "D005",
+                    name: "AnalysisTruncated",
+                    severity: Severity::Warning,
+                    location: Location::Global,
+                    message: format!("analysis stopped at the limit of {}", opts.limit),
+                    explanation: "more findings exist than the reporting cap; raise \
+                                  --limit to see them all",
+                });
+            }
+            out
+        }
+        Err(cycle) => {
+            let shown: Vec<String> = cycle.iter().take(8).map(|p| p.to_string()).collect();
+            vec![Diagnostic {
+                code: "S002",
+                name: "PhaseGraphCycle",
+                severity: Severity::Error,
+                location: Location::Global,
+                message: format!(
+                    "phase graph has a cycle through {} phase(s): {}{}",
+                    cycle.len(),
+                    shown.join(" -> "),
+                    if cycle.len() > 8 { " -> ..." } else { "" }
+                ),
+                explanation: "the phase DAG contains a cycle; ordering is undefined",
+            }]
+        }
+    };
+    LintReport { diagnostics, structure_checked: true }
+}
+
+/// The D-code diagnostic for one flow finding.
+fn finding_diag(f: &Finding, opts: &AnalyzeOptions) -> Diagnostic {
+    match *f {
+        Finding::SerializationBottleneck { phase, side, gated_phases, gated_share } => {
+            let (what, where_) = match side {
+                GateSide::Dominator => ("every path into", "downstream"),
+                GateSide::PostDominator => ("every path out of", "upstream"),
+            };
+            Diagnostic {
+                code: "D001",
+                name: "SerializationBottleneck",
+                severity: Severity::Warning,
+                location: Location::Phase { phase },
+                message: format!(
+                    "phase {phase} gates {what} {gated_phases} {where_} phase(s) \
+                     carrying {:.0}% of the work outside it (threshold {:.0}%)",
+                    gated_share * 100.0,
+                    opts.bottleneck_share * 100.0
+                ),
+                explanation: "a join/fork phase dominates (or post-dominates) most of \
+                              the run's work while running on fewer chares than wait \
+                              on it: the DAG exposes parallelism elsewhere, but it \
+                              all funnels through this one narrow phase — the shape \
+                              the paper's phase profiles exist to surface",
+            }
+        }
+        Finding::RedundantDependence { pred, succ, via } => Diagnostic {
+            code: "D002",
+            name: "RedundantPhaseEdge",
+            severity: Severity::Warning,
+            location: Location::Phase { phase: pred },
+            message: format!(
+                "phase edge {pred} -> {succ} is implied transitively (phase {via}, \
+                 another successor of {pred}, already reaches {succ})"
+            ),
+            explanation: "a dependence edge adds no ordering the remaining edges do \
+                          not already imply; harmless for correctness but noise for \
+                          layout and for slack attribution",
+        },
+        Finding::OrphanPhase { phase } => Diagnostic {
+            code: "D003",
+            name: "OrphanPhase",
+            severity: Severity::Warning,
+            location: Location::Phase { phase },
+            message: format!("phase {phase} has no events and no tasks"),
+            explanation: "the pipeline only mints phases for non-empty partitions, so \
+                          an empty phase means the structure's tables were truncated \
+                          or hand-edited",
+        },
+        Finding::StretchedOffset { phase, expected, actual } => Diagnostic {
+            code: "D004",
+            name: "SlackDisagreement",
+            severity: Severity::Warning,
+            location: Location::Phase { phase },
+            message: format!(
+                "phase {phase} is committed at global-step offset {actual}, but its \
+                 longest predecessor path ends at step {expected}"
+            ),
+            explanation: "phase offsets must pack tightly against the longest \
+                          predecessor path (§3.2's global step numbering); slack here \
+                          means the step tables were stretched, or an edge the \
+                          numbering used has been dropped",
+        },
+        Finding::CritPathUnordered { first, second, first_phase, second_phase } => Diagnostic {
+            code: "D004",
+            name: "SlackDisagreement",
+            severity: Severity::Warning,
+            location: Location::Phase { phase: first_phase },
+            message: format!(
+                "critical-path hop from task {first} (phase {first_phase}) to task \
+                 {second} (phase {second_phase}) is message-linked, but the structure \
+                 leaves the two phases unordered"
+            ),
+            explanation: "a message dependence that bounded the run's makespan should \
+                          be reflected in the phase DAG; its absence means the \
+                          recovered structure under-constrains the execution it came \
+                          from",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    fn clean_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let app = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(app, 0, PeId(0));
+        let c1 = b.add_chare(app, 1, PeId(1));
+        let e = b.add_entry("m", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c1, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c1, e, PeId(1), Time(3), m);
+        b.end_task(t1, Time(4));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn recovered_structure_is_analysis_clean() {
+        let tr = clean_trace();
+        let ls = lsr_core::extract(&tr, &Config::charm());
+        let rec = Recorder::disabled();
+        let report = analyze_structure(&tr, &ls, &rec, &AnalyzeOptions::default());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.structure_checked);
+    }
+
+    #[test]
+    fn orphan_phase_is_reported() {
+        let tr = clean_trace();
+        let mut ls = lsr_core::extract(&tr, &Config::charm());
+        // Append an empty phase nothing points at: D003, and its
+        // zero-offset disagreement with nothing — still offset 0 with
+        // no predecessors, so no D004.
+        let id = ls.phases.len() as u32;
+        ls.phases.push(lsr_core::Phase {
+            id,
+            is_runtime: false,
+            leap: 0,
+            offset: 0,
+            max_local: 0,
+            tasks: Vec::new(),
+            chares: Vec::new(),
+        });
+        ls.phase_succs.push(Vec::new());
+        let rec = Recorder::disabled();
+        let report = analyze_structure(&tr, &ls, &rec, &AnalyzeOptions::default());
+        assert!(report.diagnostics.iter().any(|d| d.code == "D003"), "{report}");
+    }
+
+    #[test]
+    fn cyclic_phase_graph_reports_s002_and_nothing_else() {
+        let tr = clean_trace();
+        let mut ls = lsr_core::extract(&tr, &Config::charm());
+        // Append two empty phases closing a 2-cycle: the D passes all
+        // presuppose a DAG, so only S002 may be reported.
+        let a = ls.phases.len() as u32;
+        for id in [a, a + 1] {
+            ls.phases.push(lsr_core::Phase {
+                id,
+                is_runtime: false,
+                leap: 0,
+                offset: 0,
+                max_local: 0,
+                tasks: Vec::new(),
+                chares: Vec::new(),
+            });
+        }
+        ls.phase_succs.push(vec![a + 1]);
+        ls.phase_succs.push(vec![a]);
+        let rec = Recorder::disabled();
+        let report = analyze_structure(&tr, &ls, &rec, &AnalyzeOptions::default());
+        assert_eq!(report.diagnostics.len(), 1, "{report}");
+        assert_eq!(report.diagnostics[0].code, "S002");
+        assert_eq!(report.error_count(), 1);
+    }
+}

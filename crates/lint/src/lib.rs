@@ -1,7 +1,7 @@
 //! `lsr-lint`: diagnostic passes that statically verify event traces
 //! and the logical structure recovered from them.
 //!
-//! Five pass families, each with stable codes (full table in
+//! Six pass families, each with stable codes (full table in
 //! `docs/lints.md`):
 //!
 //! - **T*** — trace well-formedness, one code per
@@ -15,7 +15,12 @@
 //!   after every merge stage ([`lsr_core::StageSnapshot`]);
 //! - **R*** — message races under the *causal* happened-before
 //!   relation ([`HbMode::Causal`]), classified benign or
-//!   structure-affecting via merge provenance ([`analyze_races`]).
+//!   structure-affecting via merge provenance ([`analyze_races`]);
+//! - **D*** — dataflow analyses over the recovered structure
+//!   ([`analyze_structure`], `lsr analyze`): serialization
+//!   bottlenecks, redundant dependence edges, orphan phases, and
+//!   slack / critical-path disagreement, built on the `lsr-flow`
+//!   dataflow framework and its reachability oracle.
 //!
 //! [`lint_trace`] runs the T/H/S/P families end to end (extraction is
 //! skipped if the trace-level passes already found errors);
@@ -24,13 +29,15 @@
 //! traces routinely contain benign races, so they are reported
 //! separately from the well-formedness lints.
 
+mod analyze;
 mod diag;
 mod hb;
 mod passes;
 mod race;
 
+pub use analyze::analyze_structure;
 pub use diag::{Diagnostic, Location, Severity};
-pub use hb::{HbIndex, HbMode, HbStats};
+pub use hb::{HbIndex, HbMode, HbQuery, HbStats, ScheduleOracle};
 pub use race::{
     analyze_races, causal_mode, classify, swap_adjacent_delivery, swappable_races, Race, RaceClass,
     RaceReport, RaceScope, UntracedPair,

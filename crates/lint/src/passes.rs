@@ -3,7 +3,7 @@
 //! `docs/lints.md`.
 
 use crate::diag::{Diagnostic, Location, Severity};
-use crate::hb::HbIndex;
+use crate::hb::{HbIndex, HbQuery};
 use lsr_core::{
     ExtractError, InvariantViolation, LogicalStructure, StageSnapshot, StructureVerifier,
 };
@@ -220,9 +220,9 @@ fn hb_diagnostics(trace: &Trace, hb: &HbIndex, limit: usize) -> Vec<Diagnostic> 
 /// H003 and the race pass's R004 cross-link: the earliest spontaneous
 /// task on the destination chare that starts after the send and is not
 /// already ordered after the sender.
-pub(crate) fn untraced_candidate(
+pub(crate) fn untraced_candidate<Q: HbQuery>(
     trace: &Trace,
-    hb: &HbIndex,
+    hb: &Q,
     m: &lsr_trace::MsgRec,
 ) -> Option<lsr_trace::TaskId> {
     let from = trace.event(m.send_event).task;
@@ -238,7 +238,7 @@ pub(crate) fn untraced_candidate(
                 && t.begin >= m.send_time
                 && t.sink
                     .is_none_or(|s| matches!(trace.event(s).kind, EventKind::Recv { msg: None }))
-                && !hb.happens_before(from, t.id)
+                && !hb.ordered_before(from, t.id)
         })
         .min_by_key(|t| (t.begin, t.id))
         .map(|t| t.id)
@@ -280,7 +280,7 @@ fn structure_diag(v: InvariantViolation) -> Diagnostic {
                  the trace; the structure was truncated or hand-edited",
             )
         }
-        InvariantViolation::PhaseGraphCycle => (
+        InvariantViolation::PhaseGraphCycle { .. } => (
             "PhaseGraphCycle",
             Location::Global,
             "the phase DAG contains a cycle; ordering is undefined",
@@ -329,18 +329,31 @@ pub(crate) fn stage_passes(snapshots: &[StageSnapshot]) -> Vec<Diagnostic> {
     snapshots
         .iter()
         .filter(|s| !s.is_dag)
-        .map(|s| Diagnostic {
-            code: "P001",
-            name: "StageNotADag",
-            severity: Severity::Error,
-            location: Location::Stage { stage: s.stage.to_string() },
-            message: format!(
-                "partition graph has a cycle after stage '{}' ({} partitions)",
-                s.stage, s.partitions
-            ),
-            explanation: "every merge stage ends with a cycle merge, so the \
+        .map(|s| {
+            let shown: Vec<String> = s.cycle.iter().take(8).map(|p| p.to_string()).collect();
+            let witness = if s.cycle.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "; cycle through {} partition(s): {}{}",
+                    s.cycle.len(),
+                    shown.join(" -> "),
+                    if s.cycle.len() > 8 { " -> ..." } else { "" }
+                )
+            };
+            Diagnostic {
+                code: "P001",
+                name: "StageNotADag",
+                severity: Severity::Error,
+                location: Location::Stage { stage: s.stage.to_string() },
+                message: format!(
+                    "partition graph has a cycle after stage '{}' ({} partitions){witness}",
+                    s.stage, s.partitions
+                ),
+                explanation: "every merge stage ends with a cycle merge, so the \
                           partition graph must be a DAG afterwards (DESIGN §7 \
                           invariant 1)",
+            }
         })
         .collect()
 }
@@ -348,7 +361,7 @@ pub(crate) fn stage_passes(snapshots: &[StageSnapshot]) -> Vec<Diagnostic> {
 /// P002: the extraction pipeline aborted with a typed error instead of
 /// producing a structure.
 pub(crate) fn extract_error_diag(e: &ExtractError) -> Diagnostic {
-    let ExtractError::StepCycle { phase } = *e;
+    let ExtractError::StepCycle { phase, .. } = *e;
     Diagnostic {
         code: "P002",
         name: "ExtractAborted",
@@ -418,7 +431,10 @@ mod tests {
 
     #[test]
     fn p002_names_the_phase_and_cause() {
-        let d = extract_error_diag(&ExtractError::StepCycle { phase: 3 });
+        let d = extract_error_diag(&ExtractError::StepCycle {
+            phase: 3,
+            cycle: vec![lsr_trace::EventId(4), lsr_trace::EventId(7)],
+        });
         assert_eq!(d.code, "P002");
         assert_eq!(d.severity, Severity::Error);
         assert_eq!(d.location, Location::Phase { phase: 3 });
@@ -428,8 +444,8 @@ mod tests {
     #[test]
     fn stage_pass_flags_only_cyclic_snapshots() {
         let snaps = [
-            StageSnapshot { stage: "atoms", partitions: 5, is_dag: true },
-            StageSnapshot { stage: "infer", partitions: 3, is_dag: false },
+            StageSnapshot { stage: "atoms", partitions: 5, is_dag: true, cycle: Vec::new() },
+            StageSnapshot { stage: "infer", partitions: 3, is_dag: false, cycle: vec![2, 0] },
         ];
         let diags = stage_passes(&snaps);
         assert_eq!(diags.len(), 1);

@@ -424,16 +424,21 @@ fn race_diagnostics(
     // an unmatched message, the diagnostic names that message.
     if !untraced.is_empty() {
         // Unmatched-message candidates, resolved once: TaskId -> MsgId.
+        // The schedule relation is consulted through the flow crate's
+        // reachability oracle rather than a second sparse-clock index:
+        // the candidate filter is almost entirely negative queries,
+        // which the oracle's level prune answers in O(1). `build`
+        // returns None on a cyclic schedule (H002 territory) — no
+        // candidates are resolvable then, matching the old behavior.
         let mut candidates: Vec<(TaskId, lsr_trace::MsgId)> = Vec::new();
-        let sched = HbIndex::build(trace, ix);
-        if sched.cycle().is_empty() {
+        if let Some(sched) = crate::hb::ScheduleOracle::build(trace, ix) {
             for m in trace.msgs.iter().filter(|m| m.recv_task.is_none()) {
                 if let Some(c) = passes::untraced_candidate(trace, &sched, m) {
                     candidates.push((c, m.id));
                 }
             }
+            rec.add("lint.hb.queries", sched.query_count());
         }
-        rec.add("lint.hb.queries", sched.query_count());
         for u in untraced {
             let untriggered = if message_triggered(trace, u.first) { u.second } else { u.first };
             let link = candidates

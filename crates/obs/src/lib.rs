@@ -590,6 +590,9 @@ fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
 
+    // Only the non-noop tests build a real profile; under `noop` the
+    // recorder records nothing, so this helper would be dead code.
+    #[cfg(not(feature = "noop"))]
     fn healthy_profile() -> Profile {
         let rec = Recorder::enabled();
         {

@@ -8,6 +8,7 @@
 //! lsr render <trace> [flags]                 ASCII/SVG views
 //! lsr metrics <trace> [flags]                idle/differential/imbalance
 //! lsr lint <trace> [flags]                   diagnostic passes (lsr-lint)
+//! lsr analyze <trace> [flags]                dataflow analyses over the structure (D passes)
 //! lsr races <trace> [flags]                  message-race analysis (R passes)
 //! lsr audit <trace> [flags]                  certificate-check the extraction (A codes)
 //! lsr shrink <trace> --code CODE             minimize a diagnostic reproducer (ddmin)
@@ -72,6 +73,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "report" => done(cmd_report(rest)),
         "diff" => done(cmd_diff(rest)),
         "lint" => cmd_lint(rest),
+        "analyze" => cmd_analyze(rest),
         "races" => cmd_races(rest),
         "audit" => cmd_audit(rest),
         "shrink" => done(cmd_shrink(rest)),
@@ -97,6 +99,7 @@ fn print_help() {
          \u{20}  report <trace> [flags]      self-contained HTML analysis report\n\
          \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
          \u{20}  lint <trace> [flags]        diagnostic passes over trace + structure\n\
+         \u{20}  analyze <trace> [flags]     dataflow analyses over the recovered structure\n\
          \u{20}  races <trace> [flags]       message races under causal happened-before\n\
          \u{20}  audit <trace> [flags]       replay the merge log as a certificate (A codes)\n\
          \u{20}  shrink <trace> --code C     ddmin-minimize a diagnostic reproducer\n\
@@ -109,6 +112,12 @@ fn print_help() {
          \u{20}  --deny-warnings          exit nonzero on warnings too\n\
          \u{20}  --limit N                cap findings per pass family (default 64)\n\
          \u{20}  --no-structure           skip extraction; trace-level passes only\n\n\
+         ANALYZE FLAGS (plus the extraction flags above)\n\
+         \u{20}  --json                   machine-readable report\n\
+         \u{20}  --deny CODES             comma-separated D codes (or `warnings`) that\n\
+         \u{20}                           make the exit status failing (e.g. D002,D004)\n\
+         \u{20}  --bottleneck-share X     D001 gated-work threshold in [0,1] (default 0.5)\n\
+         \u{20}  --limit N                cap findings (default 64)\n\n\
          RACES FLAGS\n\
          \u{20}  --json                       machine-readable report\n\
          \u{20}  --deny-structure-affecting   exit nonzero when a race can change\n\
@@ -155,6 +164,8 @@ fn parse_opts(
         "profile-json",
         "code",
         "max-probes",
+        "deny",
+        "bottleneck-share",
     ];
     const BOOL_FLAGS: &[&str] = &[
         "profile",
@@ -673,6 +684,53 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     obs.finish("lint")?;
     let failing = report.error_count() > 0
         || (opts.contains_key("deny-warnings") && report.warning_count() > 0);
+    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
+    let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
+
+    let mut aopts = lsr::flow::AnalyzeOptions::default();
+    if let Some(v) = opts.get("limit") {
+        aopts.limit = v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?;
+    }
+    if let Some(v) = opts.get("bottleneck-share") {
+        aopts.bottleneck_share = v
+            .parse::<f64>()
+            .ok()
+            .filter(|s| (0.0..=1.0).contains(s))
+            .ok_or_else(|| format!("--bottleneck-share wants a number in [0,1], got {v:?}"))?;
+    }
+    let report = lsr::lint::analyze_structure(&trace, &ls, &obs.rec, &aopts);
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{path}: {} error(s), {} warning(s) over {} phase(s)",
+            report.error_count(),
+            report.warning_count(),
+            ls.num_phases()
+        );
+    }
+    obs.finish("analyze")?;
+
+    // Exit status: errors always fail; `--deny D002,D004` (or
+    // `--deny warnings`) promotes the named codes.
+    let denied: Vec<&str> =
+        opts.get("deny").map(|v| v.split(',').map(str::trim).collect()).unwrap_or_default();
+    let failing = report.error_count() > 0
+        || report.diagnostics.iter().any(|d| {
+            denied.contains(&d.code)
+                || (denied.contains(&"warnings") && d.severity == lsr::lint::Severity::Warning)
+        });
     Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 

@@ -9,6 +9,8 @@
 //! * [`mpi`] — a message-passing process simulator.
 //! * [`core`] — phase finding, step assignment, and reordering (the
 //!   paper's contribution).
+//! * [`flow`] — monotone dataflow framework and reachability oracle
+//!   over recovered structure ([`lsr_flow`], the D analyses).
 //! * [`lint`] — diagnostic passes over traces and recovered structure.
 //! * [`audit`] — certificate checking of merge provenance and ddmin
 //!   counterexample minimization ([`lsr_audit`]).
@@ -23,6 +25,7 @@ pub use lsr_apps as apps;
 pub use lsr_audit as audit;
 pub use lsr_charm as charm;
 pub use lsr_core as core;
+pub use lsr_flow as flow;
 pub use lsr_lint as lint;
 pub use lsr_metrics as metrics;
 pub use lsr_mpi as mpi;

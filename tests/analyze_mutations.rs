@@ -1,0 +1,305 @@
+//! Mutation tests for the D-family analyses (`lsr analyze`): every D
+//! code must fire when a structure is corrupted the way the code
+//! describes, and none may fire on a faithful recovery — neither on the
+//! hand-built harness below nor on any proxy-app preset.
+//!
+//! The harness builds a trace and its *exact* logical structure by
+//! hand (one chare, task, and phase per DAG node; one message per
+//! edge), so each mutation flips precisely one invariant and the test
+//! can assert the one diagnostic it expects.
+
+use lsr::core::{extract, Config, LogicalStructure, Phase};
+use lsr::flow::AnalyzeOptions;
+use lsr::lint::analyze_structure;
+use lsr::obs::Recorder;
+use lsr::trace::{ChareId, Kind, MsgId, PeId, TaskId, Time, Trace, TraceBuilder};
+
+/// One chare per node on its own PE, one task per chare, one message
+/// per DAG edge (the first incoming edge triggers the task; extra
+/// in-edges stay unmatched sends, which is legal). `edges` must be
+/// topologically numbered (`u < v`).
+fn harness(edges: &[(usize, usize)], durs: &[u64]) -> (Trace, LogicalStructure) {
+    let n = durs.len();
+    let mut b = TraceBuilder::new(n as u32);
+    let app = b.add_array("a", Kind::Application);
+    let chares: Vec<ChareId> = (0..n).map(|i| b.add_chare(app, i as u32, PeId(i as u32))).collect();
+    let e = b.add_entry("step", None);
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        assert!(u < v, "edge list must be topological");
+        succs[u].push(v);
+        preds[v].push(u);
+    }
+
+    let mut end = vec![0u64; n];
+    let mut trigger: Vec<Option<MsgId>> = vec![None; n];
+    for i in 0..n {
+        assert!(durs[i] >= 1, "tasks must be long enough to hold their sends");
+        let begin = preds[i].iter().map(|&p| end[p] + 1).max().unwrap_or(0);
+        let t = match trigger[i] {
+            Some(m) => b.begin_task_from(chares[i], e, PeId(i as u32), Time(begin), m),
+            None => b.begin_task(chares[i], e, PeId(i as u32), Time(begin)),
+        };
+        for &s in &succs[i] {
+            let m = b.record_send(t, Time(begin + 1), chares[s], e);
+            if trigger[s].is_none() {
+                trigger[s] = Some(m);
+            }
+        }
+        b.end_task(t, Time(begin + durs[i]));
+        end[i] = begin + durs[i];
+    }
+    let tr = b.build().expect("harness trace is valid");
+
+    // Longest-path offsets with unit weights (max_local = 0), exactly
+    // what §3.2's assembly would commit.
+    let mut offset = vec![0u64; n];
+    for i in 0..n {
+        for &p in &preds[i] {
+            offset[i] = offset[i].max(offset[p] + 1);
+        }
+    }
+    let phases: Vec<Phase> = (0..n)
+        .map(|i| Phase {
+            id: i as u32,
+            is_runtime: false,
+            leap: offset[i] as u32,
+            offset: offset[i],
+            max_local: 0,
+            tasks: vec![TaskId(i as u32)],
+            chares: vec![chares[i]],
+        })
+        .collect();
+    let phase_of_event: Vec<u32> = tr.events.iter().map(|ev| ev.task.0).collect();
+    let nev = tr.events.len();
+    let ls = LogicalStructure {
+        phases,
+        phase_succs: succs.iter().map(|ss| ss.iter().map(|&s| s as u32).collect()).collect(),
+        phase_of_event,
+        local_step: vec![0; nev],
+        step: vec![0; nev],
+        task_phase: (0..n as u32).collect(),
+        diagnostics: Default::default(),
+    };
+    (tr, ls)
+}
+
+/// Fork-join-fork with a bypass: `0 -> {1,2} -> 3 -> {4,5}`, plus an
+/// independent branch `0 -> 6` so not all work funnels through the
+/// gate. Phase 3 is the only join, it touches one chare while two wait
+/// on each side, and work is balanced, so the clean harness carries no
+/// finding.
+fn diamond() -> (Trace, LogicalStructure) {
+    harness(&[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (0, 6)], &[2, 2, 2, 2, 2, 2, 2])
+}
+
+fn codes(tr: &Trace, ls: &LogicalStructure) -> Vec<&'static str> {
+    codes_with(tr, ls, &AnalyzeOptions::default())
+}
+
+fn codes_with(tr: &Trace, ls: &LogicalStructure, opts: &AnalyzeOptions) -> Vec<&'static str> {
+    analyze_structure(tr, ls, &Recorder::disabled(), opts)
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn harness_is_analysis_clean() {
+    let (tr, ls) = diamond();
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    assert!(report.is_clean(), "{report}");
+}
+
+// ---- D001: serialization bottlenecks. -------------------------------
+
+#[test]
+fn d001_dominator_gate_over_heavy_downstream_work() {
+    let (mut tr, ls) = diamond();
+    // Inflate a post-join task: the single-chare join (phase 3) now
+    // dominates nearly all the run's work, and the two chares of
+    // phases 4 and 5 both wait on it.
+    tr.tasks[4].end = Time(tr.tasks[4].end.0 + 100);
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D001"], "{report}");
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("phase 3"), "{}", d.message);
+    assert!(d.message.contains("downstream"), "{}", d.message);
+}
+
+#[test]
+fn d001_postdominator_gate_over_heavy_upstream_work() {
+    let (mut tr, ls) = diamond();
+    // Inflate a pre-join task instead: everything before the fork must
+    // now drain through phase 3.
+    tr.tasks[1].end = Time(tr.tasks[1].end.0 + 100);
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D001"], "{report}");
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("phase 3"), "{}", d.message);
+    assert!(d.message.contains("upstream"), "{}", d.message);
+}
+
+// ---- D002: redundant (transitively implied, witness-free) edges. ----
+
+#[test]
+fn d002_planted_skip_edge_over_the_join() {
+    let (tr, mut ls) = diamond();
+    // 0 -> 3 is implied via 1 (and 2), and phases 0 and 3 share no
+    // chare: nothing in the trace could have minted the edge.
+    ls.phase_succs[0].push(3);
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D002"], "{report}");
+    assert!(report.diagnostics[0].message.contains("0 -> 3"), "{}", report.diagnostics[0].message);
+}
+
+#[test]
+fn d002_planted_edge_past_the_join_names_its_witness() {
+    let (tr, mut ls) = diamond();
+    // 1 -> 4 is implied because 3 (another successor of 1) reaches 4.
+    ls.phase_succs[1].push(4);
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D002"], "{report}");
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("1 -> 4"), "{msg}");
+    assert!(msg.contains("phase 3"), "{msg}");
+}
+
+// ---- D003: orphan phases. -------------------------------------------
+
+fn orphan(id: u32) -> Phase {
+    Phase {
+        id,
+        is_runtime: false,
+        leap: 0,
+        offset: 0,
+        max_local: 0,
+        tasks: Vec::new(),
+        chares: Vec::new(),
+    }
+}
+
+#[test]
+fn d003_truncated_tables_leave_an_orphan_phase() {
+    let (tr, mut ls) = diamond();
+    let id = ls.phases.len() as u32;
+    ls.phases.push(orphan(id));
+    ls.phase_succs.push(Vec::new());
+    assert_eq!(codes(&tr, &ls), ["D003"]);
+}
+
+#[test]
+fn d003_fires_once_per_orphan() {
+    let (tr, mut ls) = diamond();
+    let id = ls.phases.len() as u32;
+    for k in 0..2 {
+        ls.phases.push(orphan(id + k));
+        ls.phase_succs.push(Vec::new());
+    }
+    assert_eq!(codes(&tr, &ls), ["D003", "D003"]);
+}
+
+// ---- D004: slack / critical-path disagreement. ----------------------
+
+#[test]
+fn d004_stretched_offset() {
+    let (tr, mut ls) = diamond();
+    ls.phases[4].offset = 9; // longest predecessor path ends at 3
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D004"], "{report}");
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("offset 9"), "{msg}");
+    assert!(msg.contains("step 3"), "{msg}");
+}
+
+#[test]
+fn d004_shrunk_offset() {
+    let (tr, mut ls) = diamond();
+    ls.phases[3].offset = 0; // inside its predecessors' span
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D004"], "{report}");
+    assert!(report.diagnostics[0].message.contains("phase 3"));
+}
+
+#[test]
+fn d004_critical_path_hop_between_unordered_phases() {
+    let (tr, mut ls) = diamond();
+    // Drop the 3 -> {4,5} edges and re-pack both successors' offsets
+    // so the only disagreement left is the critical path: its
+    // message-linked hop t3 -> t4 now crosses phases the structure
+    // calls concurrent.
+    ls.phase_succs[3].clear();
+    ls.phases[4].offset = 0;
+    ls.phases[5].offset = 0;
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["D004"], "{report}");
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("critical-path hop"), "{msg}");
+    assert!(msg.contains("phase 3") && msg.contains("phase 4"), "{msg}");
+}
+
+// ---- D005 and the cyclic-input guard. -------------------------------
+
+#[test]
+fn d005_reports_truncation_at_the_limit() {
+    let (tr, mut ls) = diamond();
+    let id = ls.phases.len() as u32;
+    for k in 0..3 {
+        ls.phases.push(orphan(id + k));
+        ls.phase_succs.push(Vec::new());
+    }
+    let opts = AnalyzeOptions { limit: 1, ..AnalyzeOptions::default() };
+    assert_eq!(codes_with(&tr, &ls, &opts), ["D003", "D005"]);
+}
+
+#[test]
+fn cyclic_phase_graph_reports_s002_only() {
+    let (tr, mut ls) = diamond();
+    ls.phase_succs[4].push(0); // 0 -> 1 -> 3 -> 4 -> 0
+    let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["S002"], "{report}");
+    assert_eq!(report.error_count(), 1);
+}
+
+// ---- No false positives: every proxy app analyzes clean. ------------
+
+#[test]
+fn all_proxy_apps_analyze_clean() {
+    use lsr::apps::{
+        bt_mpi, divcon_charm, jacobi2d, lassen_charm, lulesh_charm, lulesh_mpi, mergetree_mpi,
+        pdes_charm, BtParams, DivConParams, JacobiParams, LassenParams, LuleshParams,
+        MergeTreeParams, PdesParams,
+    };
+    let charm = Config::charm();
+    let mpi = Config::mpi();
+    let cases: Vec<(&str, Trace, Config)> = vec![
+        ("jacobi", jacobi2d(&JacobiParams::fig15()), charm.clone()),
+        ("lulesh-charm", lulesh_charm(&LuleshParams::fig16_charm()), charm.clone()),
+        ("lulesh-mpi", lulesh_mpi(&LuleshParams::fig16_mpi()), mpi.clone()),
+        ("lassen", lassen_charm(&LassenParams::chares8()), charm.clone()),
+        ("pdes", pdes_charm(&PdesParams::fig24()), charm.clone()),
+        (
+            "mergetree",
+            mergetree_mpi(&MergeTreeParams::small()),
+            mpi.clone().with_process_order(false),
+        ),
+        ("bt", bt_mpi(&BtParams::fig1()), mpi.clone()),
+        ("divcon", divcon_charm(&DivConParams::small()), charm.clone()),
+    ];
+    for (name, tr, cfg) in cases {
+        let ls = extract(&tr, &cfg);
+        let report = analyze_structure(&tr, &ls, &Recorder::disabled(), &AnalyzeOptions::default());
+        assert!(report.is_clean(), "{name} must analyze clean:\n{report}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Documentation drift guard: every diagnostic code a crate can emit
+//! has a row in `docs/lints.md`, and every documented code is still
+//! emitted somewhere. The scan is lexical — any string literal shaped
+//! like a code (`"T005"`, family letter + three digits) in any `.rs`
+//! file counts as emitted — so the test errs on the side of demanding
+//! documentation for codes that only tests mention.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// The diagnostic families `docs/lints.md` documents.
+const FAMILIES: &[u8] = b"THSPIRAD";
+
+/// Extracts `"X###"` literals from one source text.
+fn codes_in(text: &str, out: &mut BTreeSet<String>) {
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i + 6 <= b.len() {
+        if b[i] == b'"'
+            && FAMILIES.contains(&b[i + 1])
+            && b[i + 2].is_ascii_digit()
+            && b[i + 3].is_ascii_digit()
+            && b[i + 4].is_ascii_digit()
+            && b[i + 5] == b'"'
+        {
+            out.insert(String::from_utf8_lossy(&b[i + 1..i + 5]).into_owned());
+            i += 6;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Recursively collects code literals from every `.rs` file under `dir`.
+fn scan_sources(dir: &Path, out: &mut BTreeSet<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            scan_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&path) {
+                codes_in(&text, out);
+            }
+        }
+    }
+}
+
+/// A code is a row in `docs/lints.md` when it is the first cell of a
+/// table line: `| T005 | ... |`.
+fn documented_codes(lints_md: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in lints_md.lines() {
+        let Some(rest) = line.strip_prefix('|') else { continue };
+        let Some(cell) = rest.split('|').next() else { continue };
+        let cell = cell.trim();
+        let b = cell.as_bytes();
+        if b.len() == 4 && FAMILIES.contains(&b[0]) && b[1..].iter().all(u8::is_ascii_digit) {
+            out.insert(cell.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_emitted_code_is_documented_and_vice_versa() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut emitted = BTreeSet::new();
+    for dir in ["src", "crates", "tests", "examples"] {
+        scan_sources(&root.join(dir), &mut emitted);
+    }
+    assert!(emitted.len() >= 40, "source scan looks broken: only found {emitted:?}");
+
+    let lints_md =
+        fs::read_to_string(root.join("docs/lints.md")).expect("docs/lints.md must exist");
+    let documented = documented_codes(&lints_md);
+
+    let undocumented: Vec<&String> = emitted.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "codes emitted in source but missing from docs/lints.md: {undocumented:?}"
+    );
+    let stale: Vec<&String> = documented.difference(&emitted).collect();
+    assert!(stale.is_empty(), "codes documented in docs/lints.md but emitted nowhere: {stale:?}");
+}

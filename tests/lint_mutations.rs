@@ -324,8 +324,13 @@ fn s006_offset_inside_predecessor() {
 #[test]
 fn p001_cyclic_stage_snapshot() {
     let snaps = [
-        StageSnapshot { stage: "atoms", partitions: 9, is_dag: true },
-        StageSnapshot { stage: "dependency_merge", partitions: 4, is_dag: false },
+        StageSnapshot { stage: "atoms", partitions: 9, is_dag: true, cycle: Vec::new() },
+        StageSnapshot {
+            stage: "dependency_merge",
+            partitions: 4,
+            is_dag: false,
+            cycle: vec![1, 3],
+        },
     ];
     let diags = lint_stages(&snaps);
     assert_eq!(diags.len(), 1);
