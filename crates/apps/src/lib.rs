@@ -15,6 +15,7 @@
 //! * [`divcon_charm`] — a Cilk-style fork/join tree (an extension
 //!   exercising recursive dependency topologies).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bt;

@@ -30,6 +30,7 @@
 //! a 1-minimal set of record lines that still reproduces it, using
 //! ddmin with the salvage reader as the well-formedness filter.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod check;

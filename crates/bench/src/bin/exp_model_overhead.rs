@@ -1,0 +1,98 @@
+//! Cost of the M-family skeleton conformance pass relative to
+//! extraction itself, on the paper's merge-tree workload from 64 to
+//! 1,024 ranks: building the static model from the declaration layer
+//! and checking the recovered structure against it (signature
+//! admission per message, collective shape, phase bounds, periodicity)
+//! must stay within 10% of the extraction time it inspects at the
+//! 1,024-rank scale — cheap enough to run as the default oracle after
+//! every extraction.
+
+use lsr_apps::{mergetree_mpi, MergeTreeParams};
+use lsr_bench::{banner, secs, timed, write_artifact};
+use lsr_core::{extract, Config};
+use lsr_model::{check, SkeletonModel};
+use lsr_trace::Dur;
+use std::time::Duration;
+
+/// Best-of-N timing: both pipelines are deterministic on a fixed
+/// input, so the minimum is the least-noisy estimate of the cost.
+fn best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut dur) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        if d < dur {
+            out = o;
+            dur = d;
+        }
+    }
+    (out, dur)
+}
+
+fn main() {
+    banner("exp_model_overhead", "M-family skeleton conformance vs extraction on the merge tree");
+    let cfg = Config::mpi().with_process_order(false);
+    let reps = if lsr_bench::full_scale() { 10 } else { 5 };
+    let mut rows = String::new();
+    let mut ratio_at_top = 0.0;
+
+    for ranks in [64u32, 256, 1024] {
+        let trace = mergetree_mpi(&MergeTreeParams {
+            ranks,
+            seed: 0x10,
+            base: Dur::from_micros(100),
+            skew: 3.0,
+        });
+        let (ls, t_extract) = best(reps, || extract(&trace, &cfg));
+        let ((model, report), t_model) = best(reps, || {
+            let model = SkeletonModel::build(&trace.declarations());
+            let report = check(&model, &trace, &ls);
+            (model, report)
+        });
+        assert!(
+            report.is_clean(),
+            "{ranks} ranks: the merge tree must conform to its own skeleton, got {:?}",
+            report.findings
+        );
+        assert!(!model.degraded, "{ranks} ranks: derived declarations are complete");
+        let ratio = t_model.as_secs_f64() / t_extract.as_secs_f64();
+        ratio_at_top = ratio;
+        println!(
+            "{ranks:>5} ranks: extract {}  model {}  ({:.1}% of extraction; {} families, \
+             {} signatures, {} tree shapes over {} messages)",
+            secs(t_extract),
+            secs(t_model),
+            ratio * 100.0,
+            model.families.len(),
+            model.sigs.len(),
+            model.shapes.len(),
+            trace.msgs.len()
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"extract_s\": {:.6}, \"model_s\": {:.6}, \
+             \"ratio\": {ratio:.4}, \"families\": {}, \"sigs\": {}, \"shapes\": {}, \
+             \"msgs\": {}}}",
+            t_extract.as_secs_f64(),
+            t_model.as_secs_f64(),
+            model.families.len(),
+            model.sigs.len(),
+            model.shapes.len(),
+            trace.msgs.len()
+        ));
+    }
+
+    assert!(
+        ratio_at_top <= 0.10,
+        "M-family pass must cost ≤10% of extraction at 1,024 ranks, got {:.1}%",
+        ratio_at_top * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"model_overhead\",\n  \"gate_ratio\": 0.10,\n  \
+         \"ratio_at_1024\": {ratio_at_top:.4},\n  \"scales\": [\n{rows}\n  ]\n}}\n"
+    );
+    write_artifact("BENCH_model.json", &json);
+    println!("=> skeleton build+check clears the 10%-of-extraction bar at paper scale");
+}

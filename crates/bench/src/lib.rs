@@ -5,6 +5,7 @@
 //! series the corresponding paper figure reports and drops SVG/text
 //! artifacts into `bench_out/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;

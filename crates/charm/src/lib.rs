@@ -29,6 +29,7 @@
 //! assert_eq!(trace.tasks.len(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

@@ -19,6 +19,7 @@
 //!    reordering (§3.2.1), in its task-based and message-passing
 //!    variants, optionally parallelized across phases (§3.3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atoms;
@@ -679,6 +680,7 @@ mod tests {
         };
         Trace {
             pe_count: 2,
+            sigs: Vec::new(),
             arrays: vec![ArrayInfo { id: ArrayId(0), name: "adv".into(), kind: Kind::Application }],
             chares: vec![
                 ChareInfo {

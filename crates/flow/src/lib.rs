@@ -25,6 +25,7 @@
 //! its `Diagnostic` machinery, keeping the framework reusable from
 //! audit and bench code without a lint dependency.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyses;

@@ -1,7 +1,7 @@
 //! Diagnostics: coded findings with severity, location, and an
 //! explanation, renderable for humans and as JSON.
 
-use lsr_trace::{EventId, MsgId, PeId, TaskId};
+use lsr_trace::{ArrayId, ChareId, EventId, MsgId, PeId, SigId, TaskId};
 use serde::Serialize;
 
 /// How bad a finding is.
@@ -66,6 +66,21 @@ pub enum Location {
         /// The stage name.
         stage: String,
     },
+    /// A chare (conformance findings from the skeleton model).
+    Chare {
+        /// The chare id.
+        chare: ChareId,
+    },
+    /// A chare array / family.
+    Array {
+        /// The array id.
+        array: ArrayId,
+    },
+    /// A declared message-type signature.
+    Sig {
+        /// The signature id.
+        sig: SigId,
+    },
     /// A line of an input trace file (ingestion findings from a
     /// salvage read; see `lsr_trace::IngestDiagnostic`).
     Input {
@@ -88,6 +103,9 @@ impl std::fmt::Display for Location {
             Location::Idle { index } => write!(f, "idle[{index}]"),
             Location::Phase { phase } => write!(f, "phase {phase}"),
             Location::Stage { stage } => write!(f, "stage {stage}"),
+            Location::Chare { chare } => write!(f, "chare {chare}"),
+            Location::Array { array } => write!(f, "array {array}"),
+            Location::Sig { sig } => write!(f, "{sig}"),
             Location::Input { file, line } => match (file, line) {
                 (Some(name), 0) => write!(f, "{name}"),
                 (Some(name), n) => write!(f, "{name}:{n}"),

@@ -1,7 +1,7 @@
 //! `lsr-lint`: diagnostic passes that statically verify event traces
 //! and the logical structure recovered from them.
 //!
-//! Six pass families, each with stable codes (full table in
+//! Seven pass families, each with stable codes (full table in
 //! `docs/lints.md`):
 //!
 //! - **T*** — trace well-formedness, one code per
@@ -20,7 +20,10 @@
 //!   ([`analyze_structure`], `lsr analyze`): serialization
 //!   bottlenecks, redundant dependence edges, orphan phases, and
 //!   slack / critical-path disagreement, built on the `lsr-flow`
-//!   dataflow framework and its reachability oracle.
+//!   dataflow framework and its reachability oracle;
+//! - **M*** — conformance of the recovered structure against the static
+//!   skeleton model `lsr-model` builds from the declaration layer
+//!   ([`model_diagnostics`], `lsr model`).
 //!
 //! [`lint_trace`] runs the T/H/S/P families end to end (extraction is
 //! skipped if the trace-level passes already found errors);
@@ -29,15 +32,20 @@
 //! traces routinely contain benign races, so they are reported
 //! separately from the well-formedness lints.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod analyze;
 mod diag;
 mod hb;
+mod model;
 mod passes;
 mod race;
 
 pub use analyze::analyze_structure;
 pub use diag::{Diagnostic, Location, Severity};
 pub use hb::{HbIndex, HbMode, HbQuery, HbStats, ScheduleOracle};
+pub use model::{model_diagnostics, model_report_json};
 pub use race::{
     analyze_races, causal_mode, classify, swap_adjacent_delivery, swappable_races, Race, RaceClass,
     RaceReport, RaceScope, UntracedPair,

@@ -1,0 +1,151 @@
+//! M family: conformance of a recovered structure against the static
+//! skeleton model built by `lsr-model` from the declaration layer.
+//!
+//! The model work itself lives in [`lsr_model`]; this module only
+//! renders its typed [`Finding`]s as coded [`Diagnostic`]s:
+//!
+//! - `M001` `NonCommunicatingEdge` (error) — a traced message between
+//!   statically non-communicating chares;
+//! - `M002` `CollectiveShape` (error) — recovered reduction deeper or
+//!   wider than the declared collective allows;
+//! - `M003` `PhaseCountBounds` (error) — phases touching a family
+//!   outside the static bounds;
+//! - `M004` `UnobservedPath` (warning) — declared but unexercised
+//!   communication path;
+//! - `M005` `PeriodicityMismatch` (error) — SDAG serials out of cyclic
+//!   order on a chare of an iterative family;
+//! - `M006` `ModelDegraded` (warning) — the declaration layer could not
+//!   support a full model, so may-communicate checks were suppressed.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use lsr_model::{ConformanceReport, Finding, SkeletonModel};
+use serde::{Serialize, Value};
+
+/// Renders a conformance report as `M`-family diagnostics, capped at
+/// `limit` (errors sort first so the cap never hides an error behind
+/// warnings).
+pub fn model_diagnostics(report: &ConformanceReport, limit: usize) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = report.findings.iter().map(diag_for).collect();
+    diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    diags.truncate(limit.max(1));
+    diags
+}
+
+/// Renders the skeleton model alongside its rendered diagnostics as
+/// pretty-printed JSON (the `lsr model --json` payload).
+pub fn model_report_json(model: &SkeletonModel, diags: &[Diagnostic]) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let obj = Value::Obj(vec![
+        ("errors".into(), Value::U64(errors as u64)),
+        ("warnings".into(), Value::U64((diags.len() - errors) as u64)),
+        ("model".into(), model.ser()),
+        ("diagnostics".into(), diags.ser()),
+    ]);
+    serde_json::to_string_pretty(&obj).expect("value rendering is infallible")
+}
+
+fn diag_for(f: &Finding) -> Diagnostic {
+    let (code, name, location, explanation) = match f {
+        Finding::NonCommunicating { msg, .. } => (
+            "M001",
+            "NonCommunicatingEdge",
+            Location::Msg { msg: *msg },
+            "a traced message connects chares between which no declared \
+             signature admits communication; the trace, its declaration \
+             layer, or ingestion is inconsistent",
+        ),
+        Finding::CollectiveShape { sig, .. } => (
+            "M002",
+            "CollectiveShape",
+            Location::Sig { sig: *sig },
+            "traffic under a declared tree signature combines wider or \
+             chains deeper than any legal combining layout for the \
+             declared collective",
+        ),
+        Finding::PhaseCount { array, .. } => (
+            "M003",
+            "PhaseCountBounds",
+            Location::Array { array: *array },
+            "the number of recovered phases touching a chare family lies \
+             outside the bounds implied by its declared signature volumes; \
+             the recovery over- or under-merged",
+        ),
+        Finding::UnobservedPath { sig } => (
+            "M004",
+            "UnobservedPath",
+            Location::Sig { sig: *sig },
+            "a declared communication path carried no message in this \
+             trace; the declaration may be stale, or this run simply did \
+             not exercise it",
+        ),
+        Finding::Periodicity { chare, .. } => (
+            "M005",
+            "PeriodicityMismatch",
+            Location::Chare { chare: *chare },
+            "a chare of an iterative family executed its SDAG serial \
+             numbers out of cyclic order; the recovered iteration \
+             structure disagrees with the declared loop body",
+        ),
+        Finding::Degraded { .. } => (
+            "M006",
+            "ModelDegraded",
+            Location::Global,
+            "the declaration layer could not support a full skeleton \
+             model (missing or unclassified signatures); may-communicate \
+             and phase-bound checks were suppressed",
+        ),
+    };
+    Diagnostic {
+        code,
+        name,
+        severity: if f.is_error() { Severity::Error } else { Severity::Warning },
+        location,
+        message: f.to_string(),
+        explanation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_trace::{ArrayId, ChareId, MsgId, SigId};
+
+    fn sample_report() -> ConformanceReport {
+        ConformanceReport {
+            findings: vec![
+                Finding::Degraded { reason: "no signatures declared".into() },
+                Finding::NonCommunicating { msg: MsgId(3), src: ChareId(0), dst: ChareId(5) },
+                Finding::UnobservedPath { sig: SigId(2) },
+                Finding::PhaseCount { array: ArrayId(1), observed: 9, lo: 1, hi: 4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn findings_map_to_coded_diagnostics() {
+        let diags = model_diagnostics(&sample_report(), 64);
+        assert_eq!(diags.len(), 4);
+        // Errors sort first.
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[1].severity, Severity::Error);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"M001") && codes.contains(&"M003"));
+        assert!(codes.contains(&"M004") && codes.contains(&"M006"));
+    }
+
+    #[test]
+    fn limit_keeps_errors_over_warnings() {
+        let diags = model_diagnostics(&sample_report(), 2);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn m001_renders_like_other_lints() {
+        let diags = model_diagnostics(&sample_report(), 64);
+        let m001 = diags.iter().find(|d| d.code == "M001").unwrap();
+        assert_eq!(m001.location, Location::Msg { msg: MsgId(3) });
+        let s = m001.to_string();
+        assert!(s.starts_with("error M001 [NonCommunicatingEdge] msg m3:"), "{s}");
+    }
+}

@@ -10,6 +10,7 @@
 //! can be mapped straight onto either the logical-structure view or the
 //! physical timeline (as the paper's figures do).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod critpath;

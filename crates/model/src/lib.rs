@@ -1,0 +1,767 @@
+//! # lsr-model
+//!
+//! Static skeleton analysis of a trace's *declaration layer*, and
+//! conformance checking of recovered logical structure against it.
+//!
+//! Every other analysis in the workspace is dynamic: it replays the
+//! event stream (or a structure recovered from it). This crate goes the
+//! other way, the direction of Yadav et al.'s program-side dependence
+//! analysis: it abstract-interprets only what the program *declared* —
+//! arrays, chares, entry methods, and message-type signatures
+//! ([`lsr_trace::SigInfo`]) — into a [`SkeletonModel`] of what any
+//! execution could possibly do:
+//!
+//! * the **may-communicate** relation between chare families
+//!   ([`SkeletonModel::may_communicate`]);
+//! * **collective shape** bounds per tree signature (maximum combining
+//!   width, maximum chain depth — [`SigShape`]);
+//! * **phase-count bounds** per chare family ([`FamilyModel`]);
+//! * **iteration candidates** from declared SDAG serial numbers.
+//!
+//! [`SkeletonModel::build`] consumes a [`lsr_trace::Declarations`]
+//! view, which holds *no* reference to tasks, events, messages, or idle
+//! spans — the model is static by type. [`check`] then diffs the model
+//! against a recovered [`LogicalStructure`] plus the trace it came
+//! from, producing [`Finding`]s that `lsr-lint` surfaces as the `M`
+//! diagnostic family. Because every model bound over-approximates the
+//! declarations (derived signatures admit all recorded traffic by
+//! construction), a may-communicate or shape violation is a true
+//! positive: either the trace, the declarations, or the recovery is
+//! wrong.
+//!
+//! [`conforms`] packages the pair as a yes/no equivalence oracle for
+//! the scenario fuzzer (ROADMAP item 5).
+//!
+//! ```
+//! use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new(2);
+//! let arr = b.add_array("workers", Kind::Application);
+//! let a = b.add_chare(arr, 0, PeId(0));
+//! let c = b.add_chare(arr, 1, PeId(1));
+//! let go = b.add_entry("go", None);
+//! let t0 = b.begin_task(a, go, PeId(0), Time(0));
+//! let m = b.record_send(t0, Time(5), c, go);
+//! b.end_task(t0, Time(10));
+//! let t1 = b.begin_task_from(c, go, PeId(1), Time(14), m);
+//! b.end_task(t1, Time(20));
+//! let trace = b.build().unwrap();
+//!
+//! // The model sees only declarations; the recovered structure must fit.
+//! let model = lsr_model::SkeletonModel::build(&trace.declarations());
+//! assert!(model.may_communicate(arr, arr));
+//! let ls = lsr_core::extract(&trace, &lsr_core::Config::default());
+//! assert!(lsr_model::conforms(&trace, &ls));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lsr_core::LogicalStructure;
+use lsr_obs::Recorder;
+use lsr_trace::{
+    ArrayId, ChareId, CommPattern, Declarations, EntryId, MsgId, SigId, SigInfo, TaskId, Trace,
+};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Static bounds for one chare family (one array), derived from the
+/// declared signature table alone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FamilyModel {
+    /// The array this family models.
+    pub array: ArrayId,
+    /// The array's declared name.
+    pub name: String,
+    /// Number of chares declared in the family.
+    pub chare_count: u32,
+    /// Lower bound on the number of recovered phases that may touch the
+    /// family: 1 when any declared signature sends from it with a
+    /// positive registered volume, else 0.
+    pub phase_lo: u64,
+    /// Upper bound on the number of recovered phases that may touch the
+    /// family: the total registered message volume of every signature
+    /// whose source or destination is the family. Each phase touching
+    /// the family consumes at least one of its events, and each event
+    /// is carried by at most one registered message, so the volume sum
+    /// bounds the phase count.
+    pub phase_hi: u64,
+    /// Distinct SDAG serial numbers among the family-side entries of
+    /// its signatures, sorted. Two or more distinct serials mean the
+    /// compiler laid out an iteration body.
+    pub sdag_cycle: Vec<u32>,
+    /// True when `sdag_cycle` has at least two members: the model
+    /// claims the family iterates its serials cyclically.
+    pub iterative: bool,
+}
+
+/// Shape bounds for one declared [`CommPattern::Tree`] signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SigShape {
+    /// The signature the bounds belong to.
+    pub sig: SigId,
+    /// Maximum distinct senders any single destination chare may
+    /// combine: the declared arity plus one for the down-tree parent.
+    pub width_max: u32,
+    /// Maximum length (in messages) of a dependent message chain under
+    /// this signature: an up-and-down tree over `p` participants needs
+    /// at most `2 * ceil(log2 p) + 1` hops regardless of arity (the
+    /// binary tree is the deepest legal combining layout).
+    pub depth_max: u32,
+}
+
+/// The static skeleton: everything the declaration layer promises about
+/// any execution of the program. Built by [`SkeletonModel::build`] from
+/// a [`Declarations`] view — never from the event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SkeletonModel {
+    /// Per-family bounds, one per declared array, in array-id order.
+    pub families: Vec<FamilyModel>,
+    /// The declared signature table the model interprets (copied so the
+    /// model is self-contained).
+    pub sigs: Vec<SigInfo>,
+    /// Shape bounds for every tree signature, in signature order.
+    pub shapes: Vec<SigShape>,
+    /// True when the declaration layer could not support a full model:
+    /// no signatures were declared at all, or some signature's pattern
+    /// is [`CommPattern::Unknown`]. A degraded model suppresses
+    /// may-communicate verdicts (they would be vacuous or unsound).
+    pub degraded: bool,
+    /// Human-readable reasons for the degradation, one per cause.
+    pub degraded_reasons: Vec<String>,
+}
+
+impl SkeletonModel {
+    /// Abstract-interprets the declaration layer into the skeleton.
+    pub fn build(decls: &Declarations<'_>) -> SkeletonModel {
+        let mut degraded_reasons = Vec::new();
+        if decls.sigs.is_empty() && !decls.arrays.is_empty() {
+            degraded_reasons.push("no signatures declared: may-communicate is unknown".to_owned());
+        }
+        for s in decls.sigs {
+            if s.pattern == CommPattern::Unknown {
+                degraded_reasons.push(format!("{} has an unclassified pattern", s.id));
+            }
+        }
+
+        // Family-side entries and volume sums per array.
+        let mut touching_msgs: BTreeMap<ArrayId, u64> = BTreeMap::new();
+        let mut src_volume: BTreeMap<ArrayId, u64> = BTreeMap::new();
+        let mut serials: BTreeMap<ArrayId, BTreeSet<u32>> = BTreeMap::new();
+        let mut side = |array: ArrayId, entry: EntryId| {
+            if let Some(serial) = decls.entries[entry.index()].sdag_serial {
+                serials.entry(array).or_default().insert(serial);
+            }
+        };
+        for s in decls.sigs {
+            *touching_msgs.entry(s.src_array).or_default() += s.msgs;
+            if s.src_array != s.dst_array {
+                *touching_msgs.entry(s.dst_array).or_default() += s.msgs;
+            } else {
+                // Same-family traffic still counts both endpoints: each
+                // message is one send event and at most one receive.
+                *touching_msgs.entry(s.dst_array).or_default() += s.msgs;
+            }
+            *src_volume.entry(s.src_array).or_default() += s.msgs;
+            side(s.src_array, s.src_entry);
+            side(s.dst_array, s.dst_entry);
+        }
+
+        let families = decls
+            .arrays
+            .iter()
+            .map(|a| {
+                let sdag_cycle: Vec<u32> =
+                    serials.get(&a.id).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                let iterative = sdag_cycle.len() >= 2;
+                FamilyModel {
+                    array: a.id,
+                    name: a.name.clone(),
+                    chare_count: decls.chare_count(a.id),
+                    phase_lo: u64::from(src_volume.get(&a.id).copied().unwrap_or(0) > 0),
+                    phase_hi: touching_msgs.get(&a.id).copied().unwrap_or(0),
+                    sdag_cycle,
+                    iterative,
+                }
+            })
+            .collect();
+
+        let shapes = decls
+            .sigs
+            .iter()
+            .filter_map(|s| match s.pattern {
+                CommPattern::Tree { arity } => {
+                    let p =
+                        decls.chare_count(s.src_array).max(decls.chare_count(s.dst_array)).max(2);
+                    // ceil(log2 p) for p >= 2.
+                    let log2 = 32 - (p - 1).leading_zeros();
+                    Some(SigShape { sig: s.id, width_max: arity + 1, depth_max: 2 * log2 + 1 })
+                }
+                _ => None,
+            })
+            .collect();
+
+        SkeletonModel {
+            families,
+            sigs: decls.sigs.to_vec(),
+            shapes,
+            degraded: !degraded_reasons.is_empty(),
+            degraded_reasons,
+        }
+    }
+
+    /// True when the declarations admit any message from a chare of
+    /// `src` to a chare of `dst`. On a degraded model this is always
+    /// true (the model cannot rule anything out).
+    pub fn may_communicate(&self, src: ArrayId, dst: ArrayId) -> bool {
+        self.degraded || self.sigs.iter().any(|s| s.src_array == src && s.dst_array == dst)
+    }
+
+    /// The family model for `array`.
+    pub fn family(&self, array: ArrayId) -> &FamilyModel {
+        &self.families[array.index()]
+    }
+}
+
+/// One disagreement between the static skeleton and the observed trace
+/// or its recovered structure. The stable code, severity, and prose
+/// live with the variant; `lsr-lint` maps each onto an `M` diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// `M001`: a traced message travels a path no declared signature
+    /// admits — either endpoints with no signature at all, or indices
+    /// outside a neighbor signature's radius.
+    NonCommunicating {
+        /// The offending message.
+        msg: MsgId,
+        /// Sending chare.
+        src: ChareId,
+        /// Receiving chare.
+        dst: ChareId,
+    },
+    /// `M002`: traffic under a tree signature combines wider or chains
+    /// deeper than the declared collective allows.
+    CollectiveShape {
+        /// The tree signature whose bounds were exceeded.
+        sig: SigId,
+        /// Longest observed dependent message chain.
+        depth: u32,
+        /// The model's depth bound.
+        depth_max: u32,
+        /// Widest observed per-destination fan-in.
+        width: u32,
+        /// The model's width bound.
+        width_max: u32,
+    },
+    /// `M003`: the number of recovered phases touching a family lies
+    /// outside the model's static bounds.
+    PhaseCount {
+        /// The family whose bound was violated.
+        array: ArrayId,
+        /// Observed phases touching the family.
+        observed: u64,
+        /// Static lower bound.
+        lo: u64,
+        /// Static upper bound.
+        hi: u64,
+    },
+    /// `M004`: a declared communication path carried no observed
+    /// message. Dead declarations are suspicious but legal (the run may
+    /// simply not exercise the path), so this is a warning.
+    UnobservedPath {
+        /// The unexercised signature.
+        sig: SigId,
+    },
+    /// `M005`: a chare of an iterative family executes its SDAG serials
+    /// out of cyclic order — the recovered task order disagrees with
+    /// the declared iteration body.
+    Periodicity {
+        /// The chare whose serial order breaks the cycle.
+        chare: ChareId,
+        /// Serial of the earlier task.
+        prev: u32,
+        /// Serial of the later task: a second, different wrap-around
+        /// target, so the chare has no single cycle start.
+        next: u32,
+    },
+    /// `M006`: the model is degraded (no signatures, or unclassifiable
+    /// patterns); may-communicate checking was suppressed.
+    Degraded {
+        /// Why the model degraded.
+        reason: String,
+    },
+}
+
+impl Finding {
+    /// The stable diagnostic code (`M001`–`M006`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Finding::NonCommunicating { .. } => "M001",
+            Finding::CollectiveShape { .. } => "M002",
+            Finding::PhaseCount { .. } => "M003",
+            Finding::UnobservedPath { .. } => "M004",
+            Finding::Periodicity { .. } => "M005",
+            Finding::Degraded { .. } => "M006",
+        }
+    }
+
+    /// True for the codes that are sound by construction (`M001`,
+    /// `M002`, `M003`, `M005`); the rest are warnings.
+    pub fn is_error(&self) -> bool {
+        !matches!(self, Finding::UnobservedPath { .. } | Finding::Degraded { .. })
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::NonCommunicating { msg, src, dst } => {
+                write!(f, "message {msg} ({src} -> {dst}) is admitted by no declared signature")
+            }
+            Finding::CollectiveShape { sig, depth, depth_max, width, width_max } => write!(
+                f,
+                "traffic under {sig} exceeds the declared collective shape \
+                 (depth {depth} of {depth_max}, width {width} of {width_max})"
+            ),
+            Finding::PhaseCount { array, observed, lo, hi } => write!(
+                f,
+                "{observed} phase(s) touch {array}, outside the static bounds [{lo}, {hi}]"
+            ),
+            Finding::UnobservedPath { sig } => {
+                write!(f, "declared path {sig} carried no observed message")
+            }
+            Finding::Periodicity { chare, prev, next } => write!(
+                f,
+                "{chare} runs SDAG serial {next} after {prev}, breaking the declared cycle"
+            ),
+            Finding::Degraded { reason } => write!(f, "model degraded: {reason}"),
+        }
+    }
+}
+
+/// Output of [`check`]: every disagreement between model and recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConformanceReport {
+    /// The findings, in check order (M006, M001, M002, M003, M004,
+    /// M005).
+    pub findings: Vec<Finding>,
+}
+
+impl ConformanceReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.is_error()).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+
+    /// True when nothing was found at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Checks a recovered structure (and the trace it came from) against
+/// the static skeleton. See the crate docs for the soundness argument;
+/// the trace and structure are consulted only on the *observed* side of
+/// each comparison — every bound comes from `model`.
+pub fn check(model: &SkeletonModel, trace: &Trace, ls: &LogicalStructure) -> ConformanceReport {
+    let mut findings = Vec::new();
+
+    // M006 — degradation, reported first because it suppresses M001.
+    for reason in &model.degraded_reasons {
+        findings.push(Finding::Degraded { reason: reason.clone() });
+    }
+
+    let by_key: HashMap<(ArrayId, EntryId, ArrayId, EntryId), Vec<&SigInfo>> = {
+        let mut m: HashMap<_, Vec<&SigInfo>> = HashMap::new();
+        for s in &model.sigs {
+            m.entry(s.key()).or_default().push(s);
+        }
+        m
+    };
+
+    // One pass over the messages feeds M001, M002's shape inputs, and
+    // M004's per-signature match counts.
+    let mut matched = vec![0u64; model.sigs.len()];
+    let shape_of: HashMap<SigId, usize> =
+        model.shapes.iter().enumerate().map(|(i, sh)| (sh.sig, i)).collect();
+    let mut shape_msgs: Vec<Vec<MsgId>> = vec![Vec::new(); model.shapes.len()];
+    for m in &trace.msgs {
+        let sender = trace.task(trace.event(m.send_event).task);
+        let src = trace.chare(sender.chare);
+        let dst = trace.chare(m.dst_chare);
+        let key = (src.array, sender.entry, dst.array, m.dst_entry);
+        let mut admitted = false;
+        for s in by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]) {
+            let fits = match s.pattern {
+                CommPattern::Neighbor { radius } => src.index.abs_diff(dst.index) <= radius,
+                CommPattern::Tree { .. } | CommPattern::Any | CommPattern::Unknown => true,
+            };
+            if fits {
+                admitted = true;
+                matched[s.id.index()] += 1;
+                if let Some(&i) = shape_of.get(&s.id) {
+                    shape_msgs[i].push(m.id);
+                }
+            }
+        }
+        if !admitted && !model.degraded {
+            findings.push(Finding::NonCommunicating { msg: m.id, src: src.id, dst: dst.id });
+        }
+    }
+
+    // M002 — observed tree shape against the declared bounds.
+    for (i, shape) in model.shapes.iter().enumerate() {
+        let msgs = &shape_msgs[i];
+        if msgs.is_empty() {
+            continue;
+        }
+        let width = observed_width(trace, msgs);
+        let depth = observed_depth(trace, msgs);
+        if width > shape.width_max || depth > shape.depth_max {
+            findings.push(Finding::CollectiveShape {
+                sig: shape.sig,
+                depth,
+                depth_max: shape.depth_max,
+                width,
+                width_max: shape.width_max,
+            });
+        }
+    }
+
+    // M003 — phases touching each family, against the static bounds.
+    let mut touched: BTreeMap<ArrayId, u64> = BTreeMap::new();
+    for phase in &ls.phases {
+        let mut arrays: BTreeSet<ArrayId> = BTreeSet::new();
+        for &c in &phase.chares {
+            arrays.insert(trace.chare(c).array);
+        }
+        for a in arrays {
+            *touched.entry(a).or_default() += 1;
+        }
+    }
+    for fam in &model.families {
+        if model.degraded {
+            break; // the bounds are derived from the sig table too
+        }
+        let observed = touched.get(&fam.array).copied().unwrap_or(0);
+        if observed < fam.phase_lo || observed > fam.phase_hi {
+            findings.push(Finding::PhaseCount {
+                array: fam.array,
+                observed,
+                lo: fam.phase_lo,
+                hi: fam.phase_hi,
+            });
+        }
+    }
+
+    // M004 — declared paths no message exercised.
+    for s in &model.sigs {
+        if matched[s.id.index()] == 0 {
+            findings.push(Finding::UnobservedPath { sig: s.id });
+        }
+    }
+
+    // M005 — SDAG serial order per chare of each iterative family.
+    check_periodicity(model, trace, &mut findings);
+
+    ConformanceReport { findings }
+}
+
+/// Widest per-destination fan-in among `msgs`: the largest number of
+/// distinct sending chares any single destination chare combines.
+fn observed_width(trace: &Trace, msgs: &[MsgId]) -> u32 {
+    let mut srcs: HashMap<ChareId, BTreeSet<ChareId>> = HashMap::new();
+    for &m in msgs {
+        let rec = trace.msg(m);
+        let sender = trace.task(trace.event(rec.send_event).task).chare;
+        srcs.entry(rec.dst_chare).or_default().insert(sender);
+    }
+    srcs.values().map(|s| s.len() as u32).max().unwrap_or(0)
+}
+
+/// Longest dependent chain among `msgs`, in messages: `m2` extends `m1`
+/// when `m2` is sent by the task `m1` awoke. Memoized longest-path over
+/// the (acyclic in a valid trace) chain DAG; a cycle introduced by a
+/// corrupt trace is cut rather than recursed into.
+fn observed_depth(trace: &Trace, msgs: &[MsgId]) -> u32 {
+    let mut by_recv_task: HashMap<TaskId, Vec<u32>> = HashMap::new();
+    for (i, &m) in msgs.iter().enumerate() {
+        if let Some(rt) = trace.msg(m).recv_task {
+            by_recv_task.entry(rt).or_default().push(i as u32);
+        }
+    }
+    let preds = |i: usize| -> &[u32] {
+        let sender = trace.event(trace.msg(msgs[i]).send_event).task;
+        by_recv_task.get(&sender).map(Vec::as_slice).unwrap_or(&[])
+    };
+    let mut depth: Vec<u32> = vec![0; msgs.len()]; // 0 = unknown
+    let mut on_stack = vec![false; msgs.len()];
+    let mut best = 0;
+    for start in 0..msgs.len() {
+        if depth[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<u32> = vec![start as u32];
+        on_stack[start] = true;
+        while let Some(&i) = stack.last() {
+            let i = i as usize;
+            let mut ready = true;
+            let mut d = 0;
+            for &p in preds(i) {
+                let p = p as usize;
+                if depth[p] == 0 {
+                    if on_stack[p] {
+                        continue; // corrupt-trace cycle: cut the edge
+                    }
+                    stack.push(p as u32);
+                    on_stack[p] = true;
+                    ready = false;
+                    break;
+                }
+                d = d.max(depth[p]);
+            }
+            if ready {
+                depth[i] = d + 1;
+                best = best.max(depth[i]);
+                on_stack[i] = false;
+                stack.pop();
+            }
+        }
+    }
+    best
+}
+
+/// M005: for each chare of an iterative family, the serials that recur
+/// must run in cyclic non-decreasing order — each may be followed by an
+/// equal-or-later serial, or wrap back to start the next iteration.
+/// A consistent cycle wraps to one serial (the loop head) every time;
+/// two distinct wrap-around targets mean the order is not periodic.
+fn check_periodicity(model: &SkeletonModel, trace: &Trace, findings: &mut Vec<Finding>) {
+    let iterative: BTreeSet<ArrayId> =
+        model.families.iter().filter(|f| f.iterative).map(|f| f.array).collect();
+    if iterative.is_empty() {
+        return;
+    }
+    let ix = trace.index();
+    for chare in &trace.chares {
+        if !iterative.contains(&chare.array) {
+            continue;
+        }
+        // Serials of the chare's tasks in begin-time order.
+        let seq: Vec<u32> = ix.tasks_by_chare[chare.id.index()]
+            .iter()
+            .filter_map(|&t| trace.entry(trace.task(t).entry).sdag_serial)
+            .collect();
+        let mut count: BTreeMap<u32, u32> = BTreeMap::new();
+        for &s in &seq {
+            *count.entry(s).or_default() += 1;
+        }
+        // One-shot serials (setup entries) are not part of the cycle.
+        let recurring: BTreeSet<u32> =
+            count.iter().filter(|&(_, &n)| n >= 2).map(|(&s, _)| s).collect();
+        if recurring.len() < 2 {
+            continue;
+        }
+        let cycle: Vec<u32> = seq.into_iter().filter(|s| recurring.contains(s)).collect();
+        let mut wrap: Option<u32> = None;
+        for pair in cycle.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            if next >= prev {
+                continue; // forward progress within the iteration
+            }
+            match wrap {
+                None => wrap = Some(next), // first wrap fixes the loop head
+                Some(w) if next == w => {}
+                Some(_) => {
+                    findings.push(Finding::Periodicity { chare: chare.id, prev, next });
+                    break; // one finding per chare is enough
+                }
+            }
+        }
+    }
+}
+
+/// The fuzzer's equivalence oracle: builds the model from the trace's
+/// own declarations and accepts when no error-severity finding
+/// disagrees with the recovered structure (warnings — unexercised
+/// paths, degraded models — do not reject).
+pub fn conforms(trace: &Trace, ls: &LogicalStructure) -> bool {
+    let model = SkeletonModel::build(&trace.declarations());
+    check(&model, trace, ls).error_count() == 0
+}
+
+/// [`SkeletonModel::build`] wrapped in the `model.build` span, with the
+/// `model.*` size counters flushed onto `rec`.
+pub fn build_with(decls: &Declarations<'_>, rec: &Recorder) -> SkeletonModel {
+    let _span = rec.span("model.build");
+    let model = SkeletonModel::build(decls);
+    rec.add("model.sigs", model.sigs.len() as u64);
+    rec.add("model.families", model.families.len() as u64);
+    rec.add("model.shapes", model.shapes.len() as u64);
+    model
+}
+
+/// [`check`] wrapped in the `model.check` span, with the finding
+/// tallies flushed onto `rec`.
+pub fn check_with(
+    model: &SkeletonModel,
+    trace: &Trace,
+    ls: &LogicalStructure,
+    rec: &Recorder,
+) -> ConformanceReport {
+    let _span = rec.span("model.check");
+    let report = check(model, trace, ls);
+    rec.add("model.findings", report.findings.len() as u64);
+    rec.add("model.errors", report.error_count() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsr_core::Config;
+    use lsr_trace::{Kind, PeId, Time, TraceBuilder};
+
+    /// Two chares ping-ponging within one array, with a runtime
+    /// reduction manager absorbing a contribution.
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("app", Kind::Application);
+        let rt = b.add_array("CkReductionMgr", Kind::Runtime);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(1));
+        let mgr = b.add_chare(rt, 0, PeId(0));
+        let halo = b.add_entry("recvHalo", Some(1));
+        let next = b.add_entry("nextIter", Some(2));
+        let ctb = b.add_collective_entry("contribute");
+        let mut m_prev = None;
+        let mut now = 0u64;
+        for _ in 0..3 {
+            let t0 = match m_prev {
+                None => b.begin_task(c0, halo, PeId(0), Time(now)),
+                Some(m) => b.begin_task_from(c0, halo, PeId(0), Time(now), m),
+            };
+            let m = b.record_send(t0, Time(now + 1), c1, halo);
+            b.end_task(t0, Time(now + 2));
+            let t1 = b.begin_task_from(c1, halo, PeId(1), Time(now + 3), m);
+            let back = b.record_send(t1, Time(now + 4), c0, halo);
+            b.end_task(t1, Time(now + 5));
+            m_prev = Some(back);
+            now += 6;
+        }
+        let t = b.begin_task_from(c0, halo, PeId(0), Time(now), m_prev.unwrap());
+        let mc = b.record_send(t, Time(now + 1), mgr, ctb);
+        b.end_task(t, Time(now + 2));
+        let tm = b.begin_task_from(mgr, ctb, PeId(0), Time(now + 3), mc);
+        b.end_task(tm, Time(now + 4));
+        let tn = b.begin_task(c0, next, PeId(0), Time(now + 6));
+        b.end_task(tn, Time(now + 7));
+        let tn = b.begin_task(c0, next, PeId(0), Time(now + 8));
+        b.end_task(tn, Time(now + 9));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_is_static_and_self_consistent() {
+        let tr = sample();
+        let model = SkeletonModel::build(&tr.declarations());
+        assert!(!model.degraded);
+        assert_eq!(model.families.len(), 2);
+        assert!(model.may_communicate(ArrayId(0), ArrayId(0)));
+        assert!(model.may_communicate(ArrayId(0), ArrayId(1)));
+        assert!(!model.may_communicate(ArrayId(1), ArrayId(0)));
+        // The contribute path is a tree: one shape with bounds.
+        assert_eq!(model.shapes.len(), 1);
+        assert!(model.shapes[0].depth_max >= 3);
+    }
+
+    #[test]
+    fn clean_extraction_conforms() {
+        let tr = sample();
+        let ls = lsr_core::extract(&tr, &Config::default());
+        let model = SkeletonModel::build(&tr.declarations());
+        let report = check(&model, &tr, &ls);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert!(conforms(&tr, &ls));
+    }
+
+    #[test]
+    fn model_ignores_the_event_stream() {
+        let tr = sample();
+        let full = SkeletonModel::build(&tr.declarations());
+        let mut stripped = tr.clone();
+        stripped.tasks.clear();
+        stripped.events.clear();
+        stripped.msgs.clear();
+        stripped.idles.clear();
+        assert_eq!(SkeletonModel::build(&stripped.declarations()), full);
+    }
+
+    #[test]
+    fn shrunken_radius_flags_m001() {
+        let tr = sample();
+        let mut narrowed = tr.clone();
+        for s in &mut narrowed.sigs {
+            if let CommPattern::Neighbor { radius } = &mut s.pattern {
+                *radius = 0;
+            }
+        }
+        let ls = lsr_core::extract(&narrowed, &Config::default());
+        let model = SkeletonModel::build(&narrowed.declarations());
+        let report = check(&model, &narrowed, &ls);
+        assert!(report.findings.iter().any(|f| f.code() == "M001"), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn empty_sig_table_degrades_and_suppresses_m001() {
+        let tr = sample();
+        let mut blind = tr.clone();
+        blind.sigs.clear();
+        let ls = lsr_core::extract(&blind, &Config::default());
+        let model = SkeletonModel::build(&blind.declarations());
+        assert!(model.degraded);
+        let report = check(&model, &blind, &ls);
+        assert!(report.findings.iter().any(|f| f.code() == "M006"));
+        assert!(report.findings.iter().all(|f| f.code() != "M001"));
+        assert_eq!(report.error_count(), 0);
+        assert!(conforms(&blind, &ls));
+    }
+
+    #[test]
+    fn bogus_declared_path_flags_m004() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("go", None);
+        let ghost = b.add_entry("ghost", None);
+        b.declare_sig(arr, e, arr, e, CommPattern::Any, 4);
+        b.declare_sig(arr, e, arr, ghost, CommPattern::Any, 4);
+        let t = b.begin_task(c, e, PeId(0), Time(0));
+        let m = b.record_send(t, Time(1), c, e);
+        b.end_task(t, Time(2));
+        let t1 = b.begin_task_from(c, e, PeId(0), Time(3), m);
+        b.end_task(t1, Time(4));
+        let tr = b.build().unwrap();
+        let ls = lsr_core::extract(&tr, &Config::default());
+        let model = SkeletonModel::build(&tr.declarations());
+        let report = check(&model, &tr, &ls);
+        let m004: Vec<&Finding> = report.findings.iter().filter(|f| f.code() == "M004").collect();
+        assert_eq!(m004.len(), 1);
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn finding_display_names_entities() {
+        let f = Finding::PhaseCount { array: ArrayId(1), observed: 9, lo: 0, hi: 4 };
+        let s = f.to_string();
+        assert!(s.contains("arr1") && s.contains("[0, 4]"), "{s}");
+        assert_eq!(f.code(), "M003");
+        assert!(f.is_error());
+        assert!(!Finding::UnobservedPath { sig: SigId(0) }.is_error());
+    }
+}

@@ -21,6 +21,7 @@
 //! assert_eq!(trace.msgs.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod program;

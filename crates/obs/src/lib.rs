@@ -26,6 +26,7 @@
 //! closed, nesting intact, counter totals consistent with their
 //! monotone event log.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -7,6 +7,7 @@
 //! figures. Both views can be colored by phase or by a per-event
 //! metric (idle experienced, differential duration, imbalance).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ascii;

@@ -4,9 +4,10 @@
 //! chares, and entry methods, then open tasks, record sends inside them,
 //! and close them. [`TraceBuilder::build`] validates the result.
 
-use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, SigId, TaskId};
 use crate::record::{
-    ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec,
+    ArrayInfo, ChareInfo, CommPattern, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, SigInfo,
+    TaskRec,
 };
 use crate::time::Time;
 use crate::trace::Trace;
@@ -62,6 +63,36 @@ impl TraceBuilder {
             name: name.to_owned(),
             sdag_serial: None,
             collective: true,
+        });
+        id
+    }
+
+    /// Declares a message-type signature: the statement that `src_entry`
+    /// on chares of `src_array` may invoke `dst_entry` on chares of
+    /// `dst_array`, with the given pattern and registered volume.
+    ///
+    /// Declaring any signature by hand disables the automatic derivation
+    /// [`TraceBuilder::build`] would otherwise perform, so a test can
+    /// declare a deliberately wrong table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn declare_sig(
+        &mut self,
+        src_array: ArrayId,
+        src_entry: EntryId,
+        dst_array: ArrayId,
+        dst_entry: EntryId,
+        pattern: CommPattern,
+        msgs: u64,
+    ) -> SigId {
+        let id = SigId::from_index(self.trace.sigs.len());
+        self.trace.sigs.push(SigInfo {
+            id,
+            src_array,
+            src_entry,
+            dst_array,
+            dst_entry,
+            pattern,
+            msgs,
         });
         id
     }
@@ -217,10 +248,14 @@ impl TraceBuilder {
         &self.trace
     }
 
-    /// Finishes the trace: sorts idle spans and validates all invariants.
+    /// Finishes the trace: derives the signature table when none was
+    /// declared, sorts idle spans, and validates all invariants.
     pub fn build(mut self) -> Result<Trace, ValidationError> {
         if let Some(open) = self.open_tasks.iter().position(|&o| o) {
             return Err(ValidationError::OpenTask(TaskId::from_index(open)));
+        }
+        if self.trace.sigs.is_empty() {
+            derive_sigs(&mut self.trace);
         }
         self.trace.idles.sort_unstable_by_key(|i| (i.pe, i.begin));
         validate_fast(&self.trace)?;
@@ -232,6 +267,67 @@ impl TraceBuilder {
     pub fn build_unchecked(mut self) -> Trace {
         self.trace.idles.sort_unstable_by_key(|i| (i.pe, i.begin));
         self.trace
+    }
+}
+
+/// Derives the declared signature table from the recorded messages, the
+/// way a tracing framework derives its registration table at startup.
+///
+/// Messages are grouped by (source array, source entry, destination
+/// array, destination entry). A group whose endpoints touch a collective
+/// entry or a runtime array becomes a [`CommPattern::Tree`] whose arity
+/// is the largest observed fan-in or fan-out; a group within one
+/// application array becomes a [`CommPattern::Neighbor`] with the widest
+/// observed index distance; anything else is [`CommPattern::Any`].
+/// Derived patterns therefore admit every recorded message by
+/// construction.
+fn derive_sigs(trace: &mut Trace) {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[derive(Default)]
+    struct Group {
+        msgs: u64,
+        radius: u32,
+        fan_in: BTreeMap<ChareId, BTreeSet<ChareId>>,
+        fan_out: BTreeMap<ChareId, BTreeSet<ChareId>>,
+    }
+
+    let mut groups: BTreeMap<(ArrayId, EntryId, ArrayId, EntryId), Group> = BTreeMap::new();
+    for m in &trace.msgs {
+        let sender = &trace.tasks[trace.events[m.send_event.index()].task.index()];
+        let src = &trace.chares[sender.chare.index()];
+        let dst = &trace.chares[m.dst_chare.index()];
+        let g = groups.entry((src.array, sender.entry, dst.array, m.dst_entry)).or_default();
+        g.msgs += 1;
+        g.radius = g.radius.max(src.index.abs_diff(dst.index));
+        g.fan_in.entry(dst.id).or_default().insert(src.id);
+        g.fan_out.entry(src.id).or_default().insert(dst.id);
+    }
+
+    for ((src_array, src_entry, dst_array, dst_entry), g) in groups {
+        let collective = trace.entries[src_entry.index()].collective
+            || trace.entries[dst_entry.index()].collective
+            || trace.arrays[src_array.index()].kind.is_runtime()
+            || trace.arrays[dst_array.index()].kind.is_runtime();
+        let pattern = if collective {
+            let fan_in = g.fan_in.values().map(BTreeSet::len).max().unwrap_or(0);
+            let fan_out = g.fan_out.values().map(BTreeSet::len).max().unwrap_or(0);
+            CommPattern::Tree { arity: fan_in.max(fan_out).max(1) as u32 }
+        } else if src_array == dst_array {
+            CommPattern::Neighbor { radius: g.radius }
+        } else {
+            CommPattern::Any
+        };
+        let id = SigId::from_index(trace.sigs.len());
+        trace.sigs.push(SigInfo {
+            id,
+            src_array,
+            src_entry,
+            dst_array,
+            dst_entry,
+            pattern,
+            msgs: g.msgs,
+        });
     }
 }
 
@@ -332,6 +428,70 @@ mod tests {
         let t = b.begin_task(c, e, PeId(0), Time(0));
         b.end_task(t, Time(1));
         let _ = b.record_send(t, Time(2), c, e);
+    }
+
+    #[test]
+    fn build_derives_neighbor_sig_within_one_array() {
+        let mut b = TraceBuilder::new(2);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c2 = b.add_chare(arr, 2, PeId(1));
+        let e = b.add_entry("halo", None);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let m = b.record_send(t0, Time(1), c2, e);
+        b.end_task(t0, Time(2));
+        let t1 = b.begin_task_from(c2, e, PeId(1), Time(3), m);
+        b.end_task(t1, Time(4));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.sigs.len(), 1);
+        let s = &tr.sigs[0];
+        assert_eq!(s.key(), (arr, e, arr, e));
+        assert_eq!(s.pattern, CommPattern::Neighbor { radius: 2 });
+        assert_eq!(s.msgs, 1);
+    }
+
+    #[test]
+    fn build_derives_tree_sig_for_collective_fan_in() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let c1 = b.add_chare(arr, 1, PeId(0));
+        let c2 = b.add_chare(arr, 2, PeId(0));
+        let red = b.add_collective_entry("reduce");
+        let mut msgs = Vec::new();
+        let mut now = 0;
+        for &c in &[c1, c2] {
+            let t = b.begin_task(c, red, PeId(0), Time(now));
+            msgs.push(b.record_send(t, Time(now + 1), c0, red));
+            b.end_task(t, Time(now + 2));
+            now += 2;
+        }
+        for m in msgs {
+            let t = b.begin_task_from(c0, red, PeId(0), Time(now), m);
+            b.end_task(t, Time(now + 1));
+            now += 1;
+        }
+        let tr = b.build().unwrap();
+        assert_eq!(tr.sigs.len(), 1);
+        // two distinct senders into c0 -> arity 2, despite same array
+        assert_eq!(tr.sigs[0].pattern, CommPattern::Tree { arity: 2 });
+        assert_eq!(tr.sigs[0].msgs, 2);
+    }
+
+    #[test]
+    fn explicit_declaration_disables_derivation() {
+        let mut b = TraceBuilder::new(1);
+        let arr = b.add_array("a", Kind::Application);
+        let c0 = b.add_chare(arr, 0, PeId(0));
+        let e = b.add_entry("m", None);
+        let sig = b.declare_sig(arr, e, arr, e, CommPattern::Any, 9);
+        let t0 = b.begin_task(c0, e, PeId(0), Time(0));
+        let _ = b.record_send(t0, Time(1), c0, e);
+        b.end_task(t0, Time(2));
+        let tr = b.build().unwrap();
+        assert_eq!(tr.sigs.len(), 1);
+        assert_eq!(tr.sig(sig).pattern, CommPattern::Any);
+        assert_eq!(tr.sig(sig).msgs, 9);
     }
 
     #[test]

@@ -83,6 +83,14 @@ id_type!(
     MsgId,
     "m"
 );
+id_type!(
+    /// A declared message-type signature: one (source array/entry,
+    /// destination array/entry) communication path with its expected
+    /// pattern. Declaration-layer metadata, never part of the event
+    /// stream.
+    SigId,
+    "sig"
+);
 
 /// Whether a chare (or entry method) belongs to the application or to the
 /// runtime system. The paper keeps application and runtime partitions
@@ -124,6 +132,7 @@ mod tests {
         assert_eq!(MsgId(9).to_string(), "m9");
         assert_eq!(ArrayId(2).to_string(), "arr2");
         assert_eq!(EntryId(5).to_string(), "em5");
+        assert_eq!(SigId(4).to_string(), "sig4");
     }
 
     #[test]

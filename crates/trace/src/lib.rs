@@ -30,6 +30,7 @@
 //! assert_eq!(trace.tasks.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
@@ -46,13 +47,16 @@ pub mod validate;
 mod window;
 
 pub use builder::TraceBuilder;
-pub use ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+pub use ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, SigId, TaskId};
 pub use quality::QualityReport;
 pub use reader::{IngestCode, IngestDiagnostic, IngestReport, ParseError};
-pub use record::{ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec};
+pub use record::{
+    ArrayInfo, ChareInfo, CommPattern, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, SigInfo,
+    TaskRec,
+};
 pub use stats::TraceStats;
 pub use time::{Dur, Time};
-pub use trace::{Lane, MsgEdge, Trace, TraceIndex};
+pub use trace::{Declarations, Lane, MsgEdge, Trace, TraceIndex};
 pub use validate::{
     validate, validate_fast, validate_with_limit, ValidationError, DEFAULT_ERROR_LIMIT,
 };

@@ -38,6 +38,14 @@ pub fn write_log<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
         let c = if e.collective { "C" } else { "-" };
         writeln!(buf, "ENTRY {} {} {} {}", e.id.0, s, c, e.name).unwrap();
     }
+    for s in &trace.sigs {
+        writeln!(
+            buf,
+            "SIG {} {} {} {} {} {} {}",
+            s.id.0, s.src_array.0, s.src_entry.0, s.dst_array.0, s.dst_entry.0, s.pattern, s.msgs
+        )
+        .unwrap();
+    }
     for t in &trace.tasks {
         let sink = t.sink.map_or("-".to_owned(), |s| s.0.to_string());
         writeln!(

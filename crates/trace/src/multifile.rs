@@ -5,7 +5,8 @@
 //! the same layout so simulated runs can be written the way a parallel
 //! tracer would write them:
 //!
-//! * `<base>.sts` — run metadata: PE count, arrays, chares, entries;
+//! * `<base>.sts` — run metadata: PE count, arrays, chares, entries,
+//!   declared signatures;
 //! * `<base>.<pe>.log` — the records of one PE: its serial blocks,
 //!   their dependency events, messages *sent* from it, and idle spans.
 //!
@@ -39,6 +40,14 @@ pub fn write_split(trace: &Trace, dir: &Path, base: &str) -> std::io::Result<usi
         let s = e.sdag_serial.map_or("-".to_owned(), |n| n.to_string());
         let c = if e.collective { "C" } else { "-" };
         writeln!(sts, "ENTRY {} {} {} {}", e.id.0, s, c, e.name).unwrap();
+    }
+    for s in &trace.sigs {
+        writeln!(
+            sts,
+            "SIG {} {} {} {} {} {} {}",
+            s.id.0, s.src_array.0, s.src_entry.0, s.dst_array.0, s.dst_entry.0, s.pattern, s.msgs
+        )
+        .unwrap();
     }
     std::fs::write(dir.join(format!("{base}.sts")), sts)?;
 

@@ -21,9 +21,10 @@
 //!   renumbered dense so the result is referentially intact by
 //!   construction.
 
-use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, SigId, TaskId};
 use crate::record::{
-    ArrayInfo, ChareInfo, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, TaskRec,
+    ArrayInfo, ChareInfo, CommPattern, EntryInfo, EventKind, EventRec, IdleRec, MsgRec, SigInfo,
+    TaskRec,
 };
 use crate::time::Time;
 use crate::trace::Trace;
@@ -394,6 +395,24 @@ fn opt_u64_field(f: Option<&[u8]>) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parses a `SIG` pattern token: `near:R`, `tree:A`, `any`, or `?`.
+fn pattern_field(f: Option<&[u8]>) -> Result<CommPattern, String> {
+    let s = f.ok_or_else(|| "missing field".to_owned())?;
+    match s {
+        b"any" => return Ok(CommPattern::Any),
+        b"?" => return Ok(CommPattern::Unknown),
+        _ => {}
+    }
+    let bad = || format!("bad pattern {:?}", lossy(s));
+    let colon = s.iter().position(|&b| b == b':').ok_or_else(bad)?;
+    let n = parse_u64(&s[colon + 1..]).and_then(|v| u32::try_from(v).ok()).ok_or_else(bad)?;
+    match &s[..colon] {
+        b"near" => Ok(CommPattern::Neighbor { radius: n }),
+        b"tree" => Ok(CommPattern::Tree { arity: n }),
+        _ => Err(bad()),
+    }
+}
+
 /// Which records a file kind may contain.
 #[derive(Clone, Copy, PartialEq)]
 pub(crate) enum Section {
@@ -422,6 +441,7 @@ pub(crate) struct Loader {
     arrays: Vec<(ArrayInfo, Src)>,
     chares: Vec<(RawChare, Src)>,
     entries: Vec<(EntryInfo, Src)>,
+    sigs: Vec<(SigInfo, Src)>,
     tasks: Vec<(TaskRec, Src)>,
     events: Vec<(EventRec, Src)>,
     msgs: Vec<(MsgRec, Src)>,
@@ -444,6 +464,7 @@ impl Loader {
             arrays: Vec::new(),
             chares: Vec::new(),
             entries: Vec::new(),
+            sigs: Vec::new(),
             tasks: Vec::new(),
             events: Vec::new(),
             msgs: Vec::new(),
@@ -635,6 +656,19 @@ impl Loader {
                 let name = utf8_name(f.rest())?;
                 self.entries.push((EntryInfo { id, name, sdag_serial, collective }, src));
             }
+            b"SIG" if meta_ok => {
+                let id = SigId(u32_field(f.next())?);
+                let src_array = ArrayId(u32_field(f.next())?);
+                let src_entry = EntryId(u32_field(f.next())?);
+                let dst_array = ArrayId(u32_field(f.next())?);
+                let dst_entry = EntryId(u32_field(f.next())?);
+                let pattern = pattern_field(f.next())?;
+                let msgs = u64_field(f.next())?;
+                self.sigs.push((
+                    SigInfo { id, src_array, src_entry, dst_array, dst_entry, pattern, msgs },
+                    src,
+                ));
+            }
             b"TASK" if ev_ok => {
                 let id = TaskId(u32_field(f.next())?);
                 let chare = ChareId(u32_field(f.next())?);
@@ -689,8 +723,8 @@ impl Loader {
                 let end = Time(u64_field(f.next())?);
                 self.idles.push(IdleRec { pe, begin, end });
             }
-            b"PES" | b"ARRAY" | b"CHARE" | b"ENTRY" | b"TASK" | b"RECV" | b"SEND" | b"MSG"
-            | b"IDLE" => {
+            b"PES" | b"ARRAY" | b"CHARE" | b"ENTRY" | b"SIG" | b"TASK" | b"RECV" | b"SEND"
+            | b"MSG" | b"IDLE" => {
                 return Err(format!("unexpected record {:?} for this file kind", lossy(tag)));
             }
             other => return Err(format!("unknown record tag {:?}", lossy(other))),
@@ -723,6 +757,7 @@ impl Loader {
             mut arrays,
             mut chares,
             mut entries,
+            mut sigs,
             mut tasks,
             mut events,
             mut msgs,
@@ -732,6 +767,7 @@ impl Loader {
         require_dense("ARRAY", &mut arrays, |a| a.id.0, &files)?;
         require_dense("CHARE", &mut chares, |c| c.id.0, &files)?;
         require_dense("ENTRY", &mut entries, |e| e.id.0, &files)?;
+        require_dense("SIG", &mut sigs, |s| s.id.0, &files)?;
         require_dense("TASK", &mut tasks, |t| t.id.0, &files)?;
         require_dense("event", &mut events, |e| e.id.0, &files)?;
         require_dense("MSG", &mut msgs, |m| m.id.0, &files)?;
@@ -739,6 +775,9 @@ impl Loader {
         let mut trace = Trace { pe_count, ..Trace::default() };
         trace.arrays = arrays.into_iter().map(|(a, _)| a).collect();
         trace.entries = entries.into_iter().map(|(e, _)| e).collect();
+        // Reference validity is checked by the validation pass the
+        // strict readers run afterwards, same as for the other tables.
+        trace.sigs = sigs.into_iter().map(|(s, _)| s).collect();
         for (c, src) in chares {
             let kind = trace
                 .arrays
@@ -782,6 +821,7 @@ impl Loader {
             mut arrays,
             mut chares,
             mut entries,
+            mut sigs,
             mut tasks,
             mut events,
             mut msgs,
@@ -794,6 +834,7 @@ impl Loader {
         dedup("ARRAY", &mut arrays, |a| a.id.0, &mut diags, &files);
         dedup("CHARE", &mut chares, |c| c.id.0, &mut diags, &files);
         dedup("ENTRY", &mut entries, |e| e.id.0, &mut diags, &files);
+        dedup("SIG", &mut sigs, |s| s.id.0, &mut diags, &files);
         dedup("TASK", &mut tasks, |t| t.id.0, &mut diags, &files);
         dedup("event", &mut events, |e| e.id.0, &mut diags, &files);
         dedup("MSG", &mut msgs, |m| m.id.0, &mut diags, &files);
@@ -1124,11 +1165,42 @@ impl Loader {
         }
         idles.sort_by_key(|i| (i.pe.0, i.begin.0));
 
+        // Signatures reference only arrays and entries, which are never
+        // dropped (only deduplicated and renumbered) — so a sig either
+        // remaps cleanly or referenced an id that never existed.
+        let mut sigs2: Vec<SigInfo> = Vec::with_capacity(sigs.len());
+        for (s, src) in sigs {
+            let remapped = (|| {
+                Some(SigInfo {
+                    id: SigId(sigs2.len() as u32),
+                    src_array: ArrayId(*amap2.get(&s.src_array.0)?),
+                    src_entry: EntryId(*emap2.get(&s.src_entry.0)?),
+                    dst_array: ArrayId(*amap2.get(&s.dst_array.0)?),
+                    dst_entry: EntryId(*emap2.get(&s.dst_entry.0)?),
+                    pattern: s.pattern,
+                    msgs: s.msgs,
+                })
+            })();
+            match remapped {
+                Some(sig) => sigs2.push(sig),
+                None => {
+                    diags.push(
+                        IngestCode::DanglingReference,
+                        file_of(&files, src),
+                        src.line as usize,
+                        format!("SIG {} references an unknown ARRAY/ENTRY", s.id.0),
+                    );
+                    diags.skipped += 1;
+                }
+            }
+        }
+
         let trace = Trace {
             pe_count,
             arrays: arrays2,
             chares: chares2,
             entries: entries2,
+            sigs: sigs2,
             tasks: tasks2,
             events: events2,
             msgs: msgs2,

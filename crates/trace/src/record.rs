@@ -11,9 +11,10 @@
 //!   send event may fan out to many messages (a broadcast);
 //! * **idle spans** record time a PE spent with nothing to schedule.
 
-use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, TaskId};
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, Kind, MsgId, PeId, SigId, TaskId};
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Metadata for a chare array (an indexed collection of chares) or a
 /// runtime group (one chare per PE).
@@ -60,6 +61,87 @@ pub struct EntryInfo {
     /// analysis merges each collective instance into one phase.
     #[serde(default)]
     pub collective: bool,
+}
+
+/// The communication pattern a declared signature promises.
+///
+/// Patterns are the *abstract* shapes the declaration layer can state
+/// about a message type — the trace-side analogue of what a `.ci` file
+/// registration (or an `.sts` entry-method table) reveals before any
+/// event is recorded. The static skeleton analysis (`lsr-model`)
+/// interprets them; the event stream never needs to be consulted to do
+/// so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommPattern {
+    /// Point-to-point within an index neighborhood: a chare at index
+    /// `i` may only address indices `j` with `|i - j| <= radius`.
+    Neighbor {
+        /// Maximum index distance the signature admits.
+        radius: u32,
+    },
+    /// Part of a collective combining/distribution tree (reduction,
+    /// broadcast, allreduce) with the given branching factor.
+    Tree {
+        /// Expected branching factor of the combining tree (>= 1).
+        arity: u32,
+    },
+    /// Unconstrained point-to-point (any pair of chares may talk).
+    Any,
+    /// The tracing layer could not classify this signature; the model
+    /// degrades to "may communicate" for it (diagnostic `M006`).
+    Unknown,
+}
+
+impl fmt::Display for CommPattern {
+    /// The log-format token: `near:R`, `tree:A`, `any`, or `?`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommPattern::Neighbor { radius } => write!(f, "near:{radius}"),
+            CommPattern::Tree { arity } => write!(f, "tree:{arity}"),
+            CommPattern::Any => write!(f, "any"),
+            CommPattern::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+/// A declared message-type signature: the declaration layer's statement
+/// that entry `src_entry` on chares of `src_array` may invoke
+/// `dst_entry` on chares of `dst_array`, with the given pattern and
+/// registered message volume.
+///
+/// Signatures belong to the trace's *declaration layer* (alongside
+/// arrays, chares, and entry methods — they are written to the `.sts`
+/// metadata file in the split layout, not to the per-PE event logs).
+/// [`crate::TraceBuilder::build`] derives them from the recorded
+/// messages when none were declared explicitly, the way a tracing
+/// framework derives its registration table at startup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigInfo {
+    /// This signature's id.
+    pub id: SigId,
+    /// Array whose chares send under this signature.
+    pub src_array: ArrayId,
+    /// Entry method the sending task executes.
+    pub src_entry: EntryId,
+    /// Array whose chares receive under this signature.
+    pub dst_array: ArrayId,
+    /// Entry method invoked on the destination.
+    pub dst_entry: EntryId,
+    /// The declared communication pattern.
+    pub pattern: CommPattern,
+    /// Registered message volume for this signature (an upper bound on
+    /// traffic, used for static phase-count bounds; 0 means "declared
+    /// but no volume registered").
+    pub msgs: u64,
+}
+
+impl SigInfo {
+    /// The (src array, src entry, dst array, dst entry) key that
+    /// identifies the communication path.
+    #[inline]
+    pub fn key(&self) -> (ArrayId, EntryId, ArrayId, EntryId) {
+        (self.src_array, self.src_entry, self.dst_array, self.dst_entry)
+    }
 }
 
 /// What a dependency event is.
@@ -217,6 +299,28 @@ mod tests {
         let got: Vec<_> = t.events().collect();
         assert_eq!(got, vec![EventId(1)]);
         assert_eq!(t.event_count(), 1);
+    }
+
+    #[test]
+    fn comm_pattern_tokens() {
+        assert_eq!(CommPattern::Neighbor { radius: 2 }.to_string(), "near:2");
+        assert_eq!(CommPattern::Tree { arity: 4 }.to_string(), "tree:4");
+        assert_eq!(CommPattern::Any.to_string(), "any");
+        assert_eq!(CommPattern::Unknown.to_string(), "?");
+    }
+
+    #[test]
+    fn sig_key_packs_endpoints() {
+        let s = SigInfo {
+            id: SigId(0),
+            src_array: ArrayId(1),
+            src_entry: EntryId(2),
+            dst_array: ArrayId(3),
+            dst_entry: EntryId(4),
+            pattern: CommPattern::Any,
+            msgs: 7,
+        };
+        assert_eq!(s.key(), (ArrayId(1), EntryId(2), ArrayId(3), EntryId(4)));
     }
 
     #[test]

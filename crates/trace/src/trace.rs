@@ -1,7 +1,7 @@
 //! The [`Trace`] container and its derived indexes.
 
-use crate::ids::{ArrayId, ChareId, EntryId, EventId, MsgId, PeId, TaskId};
-use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventRec, IdleRec, MsgRec, TaskRec};
+use crate::ids::{ArrayId, ChareId, EntryId, EventId, MsgId, PeId, SigId, TaskId};
+use crate::record::{ArrayInfo, ChareInfo, EntryInfo, EventRec, IdleRec, MsgRec, SigInfo, TaskRec};
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,10 @@ pub struct Trace {
     pub chares: Vec<ChareInfo>,
     /// Entry-method metadata.
     pub entries: Vec<EntryInfo>,
+    /// Declared message-type signatures (declaration layer; defaults
+    /// to empty for traces recorded before signatures existed).
+    #[serde(default)]
+    pub sigs: Vec<SigInfo>,
     /// Serial blocks (entry-method executions).
     pub tasks: Vec<TaskRec>,
     /// Dependency events.
@@ -65,6 +69,29 @@ impl Trace {
     #[inline]
     pub fn entry(&self, id: EntryId) -> &EntryInfo {
         &self.entries[id.index()]
+    }
+
+    /// Looks up a declared message-type signature.
+    #[inline]
+    pub fn sig(&self, id: SigId) -> &SigInfo {
+        &self.sigs[id.index()]
+    }
+
+    /// The trace's *declaration layer*: PE count, arrays, chares, entry
+    /// methods, and message-type signatures — everything a tracing
+    /// framework registers before the run produces events. Static
+    /// analyses (`lsr-model`) take this view instead of the whole
+    /// [`Trace`] so the type system guarantees they never read the
+    /// event stream.
+    #[inline]
+    pub fn declarations(&self) -> Declarations<'_> {
+        Declarations {
+            pe_count: self.pe_count,
+            arrays: &self.arrays,
+            chares: &self.chares,
+            entries: &self.entries,
+            sigs: &self.sigs,
+        }
     }
 
     /// The chare a dependency event belongs to.
@@ -128,6 +155,49 @@ impl Trace {
         self.msgs.iter().filter_map(|m| {
             m.recv_task.map(|to| MsgEdge { msg: m.id, from: self.event(m.send_event).task, to })
         })
+    }
+}
+
+/// A read-only view of a trace's declaration layer (see
+/// [`Trace::declarations`]): the metadata tables only, with no access
+/// to tasks, events, messages, or idle spans. Holding one of these is
+/// a proof that an analysis is static.
+#[derive(Debug, Clone, Copy)]
+pub struct Declarations<'a> {
+    /// Number of PEs in the run.
+    pub pe_count: u32,
+    /// Chare array metadata.
+    pub arrays: &'a [ArrayInfo],
+    /// Chare metadata.
+    pub chares: &'a [ChareInfo],
+    /// Entry-method metadata.
+    pub entries: &'a [EntryInfo],
+    /// Declared message-type signatures.
+    pub sigs: &'a [SigInfo],
+}
+
+impl Declarations<'_> {
+    /// Looks up an array record.
+    #[inline]
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.index()]
+    }
+
+    /// Looks up a chare record.
+    #[inline]
+    pub fn chare(&self, id: ChareId) -> &ChareInfo {
+        &self.chares[id.index()]
+    }
+
+    /// Looks up an entry-method record.
+    #[inline]
+    pub fn entry(&self, id: EntryId) -> &EntryInfo {
+        &self.entries[id.index()]
+    }
+
+    /// Number of chares declared in `array`.
+    pub fn chare_count(&self, array: ArrayId) -> u32 {
+        self.chares.iter().filter(|c| c.array == array).count() as u32
     }
 }
 

@@ -176,6 +176,23 @@ fn collect(trace: &Trace, limit: usize, errs: &mut Vec<ValidationError>) {
             emit!(errs, limit, E::IdMismatch("entries", i));
         }
     }
+    for (i, s) in trace.sigs.iter().enumerate() {
+        if s.id.index() != i {
+            emit!(errs, limit, E::IdMismatch("sigs", i));
+        }
+        if s.src_array.index() >= trace.arrays.len() {
+            emit!(errs, limit, E::DanglingRef("sig.src_array", i));
+        }
+        if s.src_entry.index() >= trace.entries.len() {
+            emit!(errs, limit, E::DanglingRef("sig.src_entry", i));
+        }
+        if s.dst_array.index() >= trace.arrays.len() {
+            emit!(errs, limit, E::DanglingRef("sig.dst_array", i));
+        }
+        if s.dst_entry.index() >= trace.entries.len() {
+            emit!(errs, limit, E::DanglingRef("sig.dst_entry", i));
+        }
+    }
     for (i, t) in trace.tasks.iter().enumerate() {
         if t.id.index() != i {
             emit!(errs, limit, E::IdMismatch("tasks", i));
@@ -409,6 +426,23 @@ mod tests {
         let mut tr = b.build_unchecked();
         tr.msgs[m.index()].recv_time = Some(Time(3)); // no longer the task begin
         assert!(matches!(validate_fast(&tr), Err(ValidationError::InconsistentMessage(_))));
+    }
+
+    #[test]
+    fn detects_dangling_sig_reference() {
+        let mut b = base();
+        let arr = b.add_array("a", Kind::Application);
+        let e = b.add_entry("m", None);
+        b.declare_sig(arr, e, arr, e, crate::record::CommPattern::Any, 1);
+        let mut tr = b.build_unchecked();
+        tr.sigs[0].dst_entry = crate::ids::EntryId(9);
+        assert!(matches!(
+            validate_fast(&tr),
+            Err(ValidationError::DanglingRef("sig.dst_entry", 0))
+        ));
+        tr.sigs[0].dst_entry = e;
+        tr.sigs[0].id = crate::ids::SigId(5);
+        assert!(matches!(validate_fast(&tr), Err(ValidationError::IdMismatch("sigs", 0))));
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::time::Time;
 use crate::trace::Trace;
 
 /// Returns the sub-trace of tasks fully contained in `[from, to]`.
-/// Metadata tables (arrays, chares, entries) are preserved unchanged so
-/// ids in the window remain meaningful.
+/// Metadata tables (arrays, chares, entries, sigs) are preserved
+/// unchanged so ids in the window remain meaningful.
 pub fn window(trace: &Trace, from: Time, to: Time) -> Trace {
     assert!(from <= to, "empty window");
     const DROP: u32 = u32::MAX;
@@ -120,6 +120,7 @@ pub fn window(trace: &Trace, from: Time, to: Time) -> Trace {
         arrays: trace.arrays.clone(),
         chares: trace.chares.clone(),
         entries: trace.entries.clone(),
+        sigs: trace.sigs.clone(),
         tasks,
         events,
         msgs,

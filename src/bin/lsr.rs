@@ -9,6 +9,7 @@
 //! lsr metrics <trace> [flags]                idle/differential/imbalance
 //! lsr lint <trace> [flags]                   diagnostic passes (lsr-lint)
 //! lsr analyze <trace> [flags]                dataflow analyses over the structure (D passes)
+//! lsr model <trace> [flags]                  conformance against the static skeleton (M passes)
 //! lsr races <trace> [flags]                  message-race analysis (R passes)
 //! lsr audit <trace> [flags]                  certificate-check the extraction (A codes)
 //! lsr shrink <trace> --code CODE             minimize a diagnostic reproducer (ddmin)
@@ -74,6 +75,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "diff" => done(cmd_diff(rest)),
         "lint" => cmd_lint(rest),
         "analyze" => cmd_analyze(rest),
+        "model" => cmd_model(rest),
         "races" => cmd_races(rest),
         "audit" => cmd_audit(rest),
         "shrink" => done(cmd_shrink(rest)),
@@ -100,11 +102,12 @@ fn print_help() {
          \u{20}  diff <a> <b> [flags]        compare two runs' structures\n\
          \u{20}  lint <trace> [flags]        diagnostic passes over trace + structure\n\
          \u{20}  analyze <trace> [flags]     dataflow analyses over the recovered structure\n\
+         \u{20}  model <trace> [flags]       check structure against the static skeleton model\n\
          \u{20}  races <trace> [flags]       message races under causal happened-before\n\
          \u{20}  audit <trace> [flags]       replay the merge log as a certificate (A codes)\n\
          \u{20}  shrink <trace> --code C     ddmin-minimize a diagnostic reproducer\n\
          \u{20}  critical-path <trace>       longest dependent chain\n\n\
-         EXTRACTION FLAGS (extract/render/metrics/lint/races)\n\
+         EXTRACTION FLAGS (extract/render/metrics/lint/analyze/model/races)\n\
          \u{20}  --mpi --physical --no-infer --no-split --no-sdag --parallel\n\
          \u{20}  --no-process-order --verify\n\n\
          LINT FLAGS\n\
@@ -117,6 +120,11 @@ fn print_help() {
          \u{20}  --deny CODES             comma-separated D codes (or `warnings`) that\n\
          \u{20}                           make the exit status failing (e.g. D002,D004)\n\
          \u{20}  --bottleneck-share X     D001 gated-work threshold in [0,1] (default 0.5)\n\
+         \u{20}  --limit N                cap findings (default 64)\n\n\
+         MODEL FLAGS (plus the extraction flags above)\n\
+         \u{20}  --json                   machine-readable report (model + M diagnostics)\n\
+         \u{20}  --deny CODES             comma-separated M codes (or `warnings`) that\n\
+         \u{20}                           make the exit status failing (e.g. M004)\n\
          \u{20}  --limit N                cap findings (default 64)\n\n\
          RACES FLAGS\n\
          \u{20}  --json                       machine-readable report\n\
@@ -372,6 +380,40 @@ fn apply_window(
         return Err(format!("--from {from} exceeds --to {to}"));
     }
     Ok(lsr::trace::window(&trace, lsr::trace::Time(from), lsr::trace::Time(to)))
+}
+
+/// Unified `--deny` exit policy for the diagnostic commands (the table
+/// lives in docs/lints.md §"Exit codes"). The denied set is the
+/// comma-separated `--deny` value plus the aliases `--deny-warnings`
+/// (the token `warnings`) and `--deny-structure-affecting` (`R002`).
+/// A run fails when any reported diagnostic carries a denied code, when
+/// `warnings` is denied and any warning was reported — or, for the
+/// commands where errors are hard failures (`errors_fail`: lint,
+/// analyze, model — not races, whose R family is opt-in by design),
+/// when any error-severity diagnostic was reported.
+fn exit_status(
+    opts: &std::collections::HashMap<String, String>,
+    diagnostics: &[lsr::lint::Diagnostic],
+    errors_fail: bool,
+) -> ExitCode {
+    let mut denied: Vec<&str> =
+        opts.get("deny").map(|v| v.split(',').map(str::trim).collect()).unwrap_or_default();
+    if opts.contains_key("deny-warnings") {
+        denied.push("warnings");
+    }
+    if opts.contains_key("deny-structure-affecting") {
+        denied.push("R002");
+    }
+    let failing = diagnostics.iter().any(|d| {
+        (errors_fail && d.severity == lsr::lint::Severity::Error)
+            || denied.contains(&d.code)
+            || (denied.contains(&"warnings") && d.severity == lsr::lint::Severity::Warning)
+    });
+    if failing {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn extract_from(args: &[String]) -> Result<(Trace, LogicalStructure, Obs), String> {
@@ -682,9 +724,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     obs.finish("lint")?;
-    let failing = report.error_count() > 0
-        || (opts.contains_key("deny-warnings") && report.warning_count() > 0);
-    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+    Ok(exit_status(&opts, &report.diagnostics, true))
 }
 
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
@@ -721,17 +761,46 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     obs.finish("analyze")?;
+    Ok(exit_status(&opts, &report.diagnostics, true))
+}
 
-    // Exit status: errors always fail; `--deny D002,D004` (or
-    // `--deny warnings`) promotes the named codes.
-    let denied: Vec<&str> =
-        opts.get("deny").map(|v| v.split(',').map(str::trim).collect()).unwrap_or_default();
-    let failing = report.error_count() > 0
-        || report.diagnostics.iter().any(|d| {
-            denied.contains(&d.code)
-                || (denied.contains(&"warnings") && d.severity == lsr::lint::Severity::Warning)
-        });
-    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+fn cmd_model(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, opts) = parse_opts(args)?;
+    let obs = Obs::from_opts(&opts);
+    let path = pos.first().ok_or("missing trace file argument")?;
+    let trace = load_windowed(path, &opts, &obs.rec)?;
+    let cfg = config_from(&opts, &obs);
+    let ls = try_extract(&trace, &cfg).map_err(|e| format!("cannot extract structure: {e}"))?;
+    let limit = match opts.get("limit") {
+        None => lsr::lint::DEFAULT_DIAG_LIMIT,
+        Some(v) => v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?,
+    };
+    // The skeleton is built from the declaration layer only; the trace
+    // and the recovered structure appear only on the observed side of
+    // the conformance check.
+    let model = lsr::model::build_with(&trace.declarations(), &obs.rec);
+    let report = lsr::model::check_with(&model, &trace, &ls, &obs.rec);
+    let diags = lsr::lint::model_diagnostics(&report, limit);
+    if opts.contains_key("json") {
+        println!("{}", lsr::lint::model_report_json(&model, &diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let errors = diags.iter().filter(|d| d.severity == lsr::lint::Severity::Error).count();
+        println!(
+            "{path}: {} error(s), {} warning(s); skeleton: {} family(ies), \
+             {} signature(s), {} tree shape(s){}",
+            errors,
+            diags.len() - errors,
+            model.families.len(),
+            model.sigs.len(),
+            model.shapes.len(),
+            if model.degraded { " (degraded)" } else { "" }
+        );
+    }
+    obs.finish("model")?;
+    Ok(exit_status(&opts, &diags, true))
 }
 
 fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
@@ -770,9 +839,7 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     obs.finish("races")?;
-    let failing =
-        opts.contains_key("deny-structure-affecting") && report.structure_affecting_count() > 0;
-    Ok(if failing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+    Ok(exit_status(&opts, &report.diagnostics, false))
 }
 
 fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {

@@ -12,6 +12,9 @@
 //! * [`flow`] — monotone dataflow framework and reachability oracle
 //!   over recovered structure ([`lsr_flow`], the D analyses).
 //! * [`lint`] — diagnostic passes over traces and recovered structure.
+//! * [`model`] — static skeleton analysis of the declaration layer and
+//!   conformance checking against recovered structure ([`lsr_model`],
+//!   the M diagnostics and the fuzzer's equivalence oracle).
 //! * [`audit`] — certificate checking of merge provenance and ddmin
 //!   counterexample minimization ([`lsr_audit`]).
 //! * [`metrics`] — idle experienced, differential duration, imbalance.
@@ -21,6 +24,9 @@
 //!   PDES, merge tree, BT stencil).
 //! * [`render`] — ASCII/SVG views of logical structure and physical time.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use lsr_apps as apps;
 pub use lsr_audit as audit;
 pub use lsr_charm as charm;
@@ -28,6 +34,7 @@ pub use lsr_core as core;
 pub use lsr_flow as flow;
 pub use lsr_lint as lint;
 pub use lsr_metrics as metrics;
+pub use lsr_model as model;
 pub use lsr_mpi as mpi;
 pub use lsr_obs as obs;
 pub use lsr_render as render;

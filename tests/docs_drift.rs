@@ -10,7 +10,7 @@ use std::fs;
 use std::path::Path;
 
 /// The diagnostic families `docs/lints.md` documents.
-const FAMILIES: &[u8] = b"THSPIRAD";
+const FAMILIES: &[u8] = b"THSPIRADM";
 
 /// Extracts `"X###"` literals from one source text.
 fn codes_in(text: &str, out: &mut BTreeSet<String>) {
