@@ -14,10 +14,18 @@
 //!    `BENCH_pipeline.json`; a stage that more than doubles its share
 //!    (plus 5pp slack for fast stages) fails the run. Shares, not
 //!    absolute times, so the gate holds across machines.
+//! 4. **Threads axis** — each case is re-timed at 1/2/4 threads,
+//!    asserting bit-identical structure *and* provenance against the
+//!    serial run (docs/parallel.md). With `LSR_BENCH_SCALING=1` on a
+//!    host with ≥4 cores, the 4-thread mergetree_1024 run must reach
+//!    ≥1.8x speedup over serial; on smaller hosts the gate is skipped
+//!    (the identity assertions still run).
 
 use lsr_apps::{jacobi2d, mergetree_mpi, JacobiParams, MergeTreeParams};
 use lsr_bench::{banner, secs, timed, write_artifact};
-use lsr_core::{try_extract, Config, LogicalStructure, EXTRACT_STAGE_SPANS};
+use lsr_core::{
+    try_extract, try_extract_with_provenance, Config, LogicalStructure, EXTRACT_STAGE_SPANS,
+};
 use lsr_obs::{Profile, Recorder};
 use lsr_trace::{Dur, Trace};
 use std::time::Duration;
@@ -44,6 +52,8 @@ struct CaseResult {
     extract_ns: u64,
     /// `(stage, ns, share-of-extract)` for every child of the extract span.
     stages: Vec<(String, u64, f64)>,
+    /// `(threads, best-of-N ns)` for the threads axis, serial first.
+    threads: Vec<(usize, u128)>,
 }
 
 /// Extracts once with a fresh enabled recorder; returns the structure
@@ -107,6 +117,34 @@ fn run_case(
         );
     }
 
+    // Threads axis: best-of-N at each thread count, each run checked
+    // bit-identical (structure + provenance) against the serial
+    // reference. Fewer reps — the identity assertions dominate the
+    // value here; the timings back the opt-in scaling gate.
+    let treps = reps.div_ceil(4);
+    let (serial_ref, t1) = best(treps, || {
+        try_extract_with_provenance(trace, &cfg.clone().with_threads(1)).expect("preset extracts")
+    });
+    let mut threads = vec![(1usize, t1.as_nanos())];
+    for n in [2usize, 4] {
+        let (par, tn) = best(treps, || {
+            try_extract_with_provenance(trace, &cfg.clone().with_threads(n))
+                .expect("preset extracts")
+        });
+        assert_eq!(
+            serial_ref, par,
+            "{name}: {n}-thread extraction must be bit-identical to serial"
+        );
+        threads.push((n, tn.as_nanos()));
+    }
+    for &(n, ns) in &threads[1..] {
+        println!(
+            "    threads={n}: {:>12} ns  speedup {:.2}x",
+            ns,
+            threads[0].1 as f64 / ns.max(1) as f64
+        );
+    }
+
     CaseResult {
         name,
         disabled_ns: t_disabled.as_nanos(),
@@ -114,6 +152,7 @@ fn run_case(
         overhead_vs_noop,
         extract_ns,
         stages,
+        threads,
     }
 }
 
@@ -161,6 +200,29 @@ fn gate(results: &[CaseResult], committed: &[(String, String, f64)]) {
         }
     }
     println!("  stage gate: {checked} stage share(s) within bounds");
+}
+
+/// Opt-in scaling-efficiency gate (`LSR_BENCH_SCALING=1`): the
+/// 4-thread mergetree_1024 extraction must be ≥1.8x faster than
+/// serial. Timing-based, so it needs the parallelism to be physical:
+/// on hosts with fewer than 4 cores the gate reports itself skipped
+/// (the bit-identity assertions in `run_case` ran regardless).
+fn scaling_gate(results: &[CaseResult]) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        println!("  scaling gate: skipped (host has {cores} core(s), need >= 4)");
+        return;
+    }
+    let r =
+        results.iter().find(|r| r.name == "mergetree_1024").expect("mergetree_1024 case present");
+    let t1 = r.threads.iter().find(|&&(n, _)| n == 1).expect("serial timing").1;
+    let t4 = r.threads.iter().find(|&&(n, _)| n == 4).expect("4-thread timing").1;
+    let speedup = t1 as f64 / t4.max(1) as f64;
+    assert!(
+        speedup >= 1.8,
+        "mergetree_1024: 4-thread speedup {speedup:.2}x below the 1.8x scaling gate"
+    );
+    println!("  scaling gate: mergetree_1024 4-thread speedup {speedup:.2}x (>= 1.8x)");
 }
 
 fn baseline(path: &std::path::Path, key: &str) -> Option<u64> {
@@ -215,6 +277,10 @@ fn main() {
         }
     }
 
+    if std::env::var("LSR_BENCH_SCALING").map(|v| v == "1").unwrap_or(false) {
+        scaling_gate(&results);
+    }
+
     let mut case_json = Vec::new();
     for r in &results {
         let stages = r
@@ -229,10 +295,17 @@ fn main() {
             Some(x) => format!("{x:.4}"),
             None => "null".to_owned(),
         };
+        let threads = r
+            .threads
+            .iter()
+            .map(|(n, ns)| format!("      {{\"threads\": {n}, \"ns\": {ns}}}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
         case_json.push(format!(
             "    {{\n      \"name\": \"{}\",\n      \"disabled_ns\": {},\n      \
              \"enabled_ns\": {},\n      \"overhead_vs_noop\": {overhead},\n      \
-             \"extract_ns\": {},\n      \"stages\": [\n{stages}\n      ]\n    }}",
+             \"extract_ns\": {},\n      \"stages\": [\n{stages}\n      ],\n      \
+             \"threads\": [\n{threads}\n      ]\n    }}",
             r.name, r.disabled_ns, r.enabled_ns, r.extract_ns
         ));
     }

@@ -76,6 +76,17 @@ pub struct Config {
     pub infer_dependencies: bool,
     /// §3.3: order phases in parallel across worker threads.
     pub parallel_ordering: bool,
+    /// Worker threads for *every* parallel stage (atoms, the sharded
+    /// merge passes, and the §3.3 ordering fan-out). `0` — the default
+    /// — resolves to the machine's available parallelism when
+    /// [`Config::parallel_ordering`] is set and to `1` (fully serial)
+    /// otherwise, so the presets keep their historical serial behavior.
+    /// Any other value forces exactly that count for all stages, with
+    /// `1` meaning serial and `n > 1` enabling the parallel paths even
+    /// without `parallel_ordering`. Extraction output — structure and
+    /// provenance — is bit-identical at every thread count
+    /// (`docs/parallel.md` has the determinism argument).
+    pub threads: usize,
     /// §3.2.1: how `w` ties between serial blocks are broken.
     pub tiebreak: TieBreak,
     /// §3.4: in the message-passing model, assume per-process physical
@@ -109,6 +120,7 @@ impl Config {
             sdag_inference: true,
             infer_dependencies: true,
             parallel_ordering: false,
+            threads: 0,
             tiebreak: TieBreak::ChareId,
             mp_process_order: true,
             verify_invariants: false,
@@ -156,6 +168,30 @@ impl Config {
     pub fn with_parallel(mut self, on: bool) -> Config {
         self.parallel_ordering = on;
         self
+    }
+
+    /// Sets the worker-thread count for every parallel stage: `0` =
+    /// auto (available parallelism when parallel ordering is on,
+    /// serial otherwise), `1` = serial, `n > 1` = exactly `n` workers,
+    /// which also enables the parallel stages on its own.
+    pub fn with_threads(mut self, n: usize) -> Config {
+        self.threads = n;
+        self
+    }
+
+    /// The worker count [`Config::threads`] resolves to on this host:
+    /// what the parallel stages actually use. The historical
+    /// `available_parallelism().unwrap_or(4)` fallback is gone — when
+    /// the host cannot report its parallelism the pipeline runs
+    /// serially rather than guessing.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 if self.parallel_ordering => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            0 => 1,
+            n => n,
+        }
     }
 
     /// Enables/disables the §3.4 per-process control-order assumption
@@ -218,6 +254,17 @@ mod tests {
         assert_eq!(TieBreak::ChareId.key(lsr_trace::ChareId(7)), 7);
         let cfg = Config::charm().with_topology(vec![1, 2]);
         assert!(matches!(cfg.tiebreak, TieBreak::Topology(_)));
+    }
+
+    #[test]
+    fn thread_policy_resolves_as_documented() {
+        let c = Config::charm();
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.resolved_threads(), 1, "threads=0 without parallel ordering is serial");
+        assert_eq!(c.clone().with_threads(1).resolved_threads(), 1);
+        assert_eq!(c.clone().with_threads(6).resolved_threads(), 6, "explicit count is exact");
+        let auto = c.with_parallel(true).resolved_threads();
+        assert!(auto >= 1, "auto resolves to at least one worker");
     }
 
     #[test]

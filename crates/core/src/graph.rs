@@ -166,21 +166,21 @@ impl DiGraph {
     }
 
     /// Longest-path distance from any root (in-degree 0), i.e. the
-    /// paper's *leap* of each node (§3.1.4). Requires a DAG.
-    ///
-    /// # Panics
-    /// Panics if the graph has a cycle.
-    pub fn leaps(&self) -> Vec<u32> {
-        let order = self
-            .topo_order()
-            .unwrap_or_else(|cycle| panic!("leaps require a DAG; cycle through {cycle:?}"));
+    /// paper's *leap* of each node (§3.1.4). Requires a DAG: a cyclic
+    /// graph returns `Err` with the members of one offending cycle in
+    /// edge order (the same witness as [`DiGraph::topo_order`]), which
+    /// the pipeline surfaces as
+    /// [`ExtractError::PhaseCycle`](crate::ExtractError::PhaseCycle)
+    /// instead of panicking.
+    pub fn leaps(&self) -> Result<Vec<u32>, Vec<u32>> {
+        let order = self.topo_order()?;
         let mut leap = vec![0u32; self.len()];
         for &u in &order {
             for &v in &self.succs[u as usize] {
                 leap[v as usize] = leap[v as usize].max(leap[u as usize] + 1);
             }
         }
-        leap
+        Ok(leap)
     }
 
     /// Strongly connected components via iterative Tarjan. Returns
@@ -334,10 +334,19 @@ mod tests {
     fn leaps_are_longest_paths() {
         // 0 -> 1 -> 3, 0 -> 2 -> 3, 4 isolated
         let g = DiGraph::from_edges(5, [(0, 1), (1, 3), (0, 2), (2, 3)]);
-        assert_eq!(g.leaps(), vec![0, 1, 1, 2, 0]);
+        assert_eq!(g.leaps().unwrap(), vec![0, 1, 1, 2, 0]);
         // diamond with a long side: 0->1->2->3 and 0->3
         let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
-        assert_eq!(g.leaps(), vec![0, 1, 2, 3]);
+        assert_eq!(g.leaps().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn leaps_on_cycle_is_a_typed_witness_not_a_panic() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let cycle = g.leaps().expect_err("cyclic graph must not yield leaps");
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
     }
 
     #[test]

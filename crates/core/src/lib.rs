@@ -26,6 +26,7 @@ mod atoms;
 mod config;
 pub mod graph;
 mod merges;
+mod pool;
 mod provenance;
 mod stage;
 mod step;
@@ -41,7 +42,6 @@ pub use structure::{
 pub use verify::{InvariantViolation, StructureVerifier, DEFAULT_VIOLATION_LIMIT};
 
 use lsr_trace::{TaskId, Trace};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A typed extraction failure. The pipeline is total on validated
 /// traces ([`lsr_trace::validate()`] accepts only causally consistent
@@ -62,6 +62,17 @@ pub enum ExtractError {
         /// (from the physical-time attempt, the last one tried).
         cycle: Vec<lsr_trace::EventId>,
     },
+    /// A merge stage left a cycle in the condensed phase graph, so no
+    /// leap assignment or topological phase order exists. Every merge
+    /// pass ends with a cycle merge, so validated traces cannot reach
+    /// this; corrupted partition state surfaces here — through every
+    /// `try_extract*` entry point, serial or parallel — instead of the
+    /// panic it used to be.
+    PhaseCycle {
+        /// Dense partition ids (at the failing stage) on one offending
+        /// cycle, in edge order.
+        cycle: Vec<u32>,
+    },
 }
 
 impl std::fmt::Display for ExtractError {
@@ -74,6 +85,18 @@ impl std::fmt::Display for ExtractError {
                     "step assignment cycle in phase {phase} through {} event(s): {}{} — \
                      timestamps contradict causality (a receive precedes its matching send); \
                      run `lsr lint` to locate it",
+                    cycle.len(),
+                    shown.join(" -> "),
+                    if cycle.len() > 8 { " -> ..." } else { "" }
+                )
+            }
+            ExtractError::PhaseCycle { cycle } => {
+                let shown: Vec<String> = cycle.iter().take(8).map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "phase graph cycle through {} partition(s): {}{} — every merge stage \
+                     must leave a DAG, so the partition state is corrupt; run `lsr lint` \
+                     to locate the offending records",
                     cycle.len(),
                     shown.join(" -> "),
                     if cycle.len() > 8 { " -> ..." } else { "" }
@@ -263,60 +286,97 @@ fn extract_inner(
     let rec = &cfg.recorder;
     let span_extract = rec.span("extract");
 
+    // One resolved thread policy drives every parallel stage; workers
+    // never touch the recorder, so occupancy is tallied in the pool
+    // and flushed here per stage (deterministic for a given input and
+    // thread count — the counter-determinism property must keep
+    // holding at any `--threads`).
+    let pool = pool::Pool::new(cfg.resolved_threads());
+    if rec.is_enabled() {
+        rec.add("core.threads", pool.threads() as u64);
+    }
+    macro_rules! par_occupancy {
+        ($stage:expr, $name:literal, $before:expr) => {
+            if rec.is_enabled() {
+                let d = $stage.pool.dispatched() - $before;
+                if d > 0 {
+                    rec.add(concat!("core.parallel.", $name), d);
+                }
+            }
+        };
+    }
+
     let sp = rec.span("atoms");
     let ix = trace.index();
-    let ag = atoms::build_atoms(trace, &ix, cfg);
+    let ag = atoms::build_atoms(trace, &ix, cfg, &pool);
+    if rec.is_enabled() && pool.dispatched() > 0 {
+        rec.add("core.parallel.atoms", pool.dispatched());
+    }
     let mut stage = if prov_out.is_some() {
-        stage::Stage::with_provenance(trace, ag)
+        stage::Stage::with_provenance(trace, ag, pool)
     } else {
-        stage::Stage::new(trace, ag)
+        stage::Stage::new(trace, ag, pool)
     };
     drop(sp);
     observe!(stage, "atoms");
     stamp(&mut mark, &mut elapsed, &mut t.atoms);
 
+    let before = stage.pool.dispatched();
     let sp = rec.span("dependency_merge");
     merges::dependency_merge(&mut stage);
     drop(sp);
+    par_occupancy!(stage, "dependency_merge", before);
     observe!(stage, "dependency_merge");
+    let before = stage.pool.dispatched();
     let sp = rec.span("collective_merge");
     merges::collective_merge(&mut stage, &ix);
     drop(sp);
+    par_occupancy!(stage, "collective_merge", before);
     observe!(stage, "collective_merge");
     stamp(&mut mark, &mut elapsed, &mut t.dependency_merge);
 
     if cfg.split_app_runtime {
+        let before = stage.pool.dispatched();
         let sp = rec.span("repair");
         merges::repair_merge(&mut stage);
         drop(sp);
+        par_occupancy!(stage, "repair", before);
         observe!(stage, "repair");
     }
     if cfg.sdag_inference {
+        let before = stage.pool.dispatched();
         let sp = rec.span("neighbor_serial");
         merges::neighbor_serial_merge(&mut stage);
         drop(sp);
+        par_occupancy!(stage, "neighbor_serial", before);
         observe!(stage, "neighbor_serial");
     }
     stamp(&mut mark, &mut elapsed, &mut t.repair);
 
     if cfg.infer_dependencies {
+        let before = stage.pool.dispatched();
         let sp = rec.span("infer");
         merges::infer_dependencies(&mut stage);
         drop(sp);
+        par_occupancy!(stage, "infer", before);
         observe!(stage, "infer");
     }
     stamp(&mut mark, &mut elapsed, &mut t.infer);
 
+    let before = stage.pool.dispatched();
     let sp = rec.span("leap_resolution");
-    merges::resolve_leap_overlaps(&mut stage, cfg.infer_dependencies);
+    merges::resolve_leap_overlaps(&mut stage, cfg.infer_dependencies)?;
     drop(sp);
+    par_occupancy!(stage, "leap_resolution", before);
     observe!(stage, "leap_resolution");
     stamp(&mut mark, &mut elapsed, &mut t.leap_resolution);
 
+    let before = stage.pool.dispatched();
     let sp = rec.span("enforce");
-    merges::enforce_chare_paths(&mut stage);
-    merges::chain_chare_phases(&mut stage, cfg.verify_invariants);
+    merges::enforce_chare_paths(&mut stage)?;
+    merges::chain_chare_phases(&mut stage, cfg.verify_invariants)?;
     drop(sp);
+    par_occupancy!(stage, "enforce", before);
     observe!(stage, "enforce");
     stamp(&mut mark, &mut elapsed, &mut t.enforce);
 
@@ -404,62 +464,23 @@ fn assemble(
         .collect();
     let ag_ref = &stage.ag;
     let poe_ref = &phase_of_event;
-    let mut results: Vec<step::PhaseResult> = if cfg.parallel_ordering && inputs.len() > 1 {
-        let workers =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(inputs.len());
-        let next = AtomicUsize::new(0);
-        let collected = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
-        let failed: parking_lot::Mutex<Option<ExtractError>> = parking_lot::Mutex::new(None);
-        // Fan-out occupancy: each worker tallies the phases it ordered
-        // locally and pushes the count once at exit, so the recorder
-        // sees one flush per worker instead of one per phase (workers
-        // must not touch the recorder's span stack; see lsr-obs docs).
-        let per_worker: parking_lot::Mutex<Vec<u64>> = parking_lot::Mutex::new(Vec::new());
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| {
-                    let mut mine = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(input) = inputs.get(i) else { break };
-                        if failed.lock().is_some() {
-                            break;
-                        }
-                        match step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg) {
-                            Ok(r) => {
-                                collected.lock().push(r);
-                                mine += 1;
-                            }
-                            Err(e) => {
-                                *failed.lock() = Some(e);
-                                break;
-                            }
-                        }
-                    }
-                    if mine > 0 {
-                        per_worker.lock().push(mine);
-                    }
-                });
-            }
-        })
-        .expect("phase-ordering worker panicked");
-        if cfg.recorder.is_enabled() {
-            let counts = per_worker.into_inner();
-            cfg.recorder.add("core.ordering.workers", counts.len() as u64);
-            cfg.recorder
-                .add("core.ordering.max_worker_phases", counts.iter().copied().max().unwrap_or(0));
+    // The §3.3 fan-out: dynamic scheduling over phases through the
+    // shared pool. Results come back in phase-id order (inputs are in
+    // id order) and a failure reports the *lowest* failing phase id,
+    // so the returned error is the one a serial run would hit first —
+    // error selection is deterministic at any thread count.
+    let before = stage.pool.dispatched();
+    let (workers, outcome) = stage.pool.try_map_indexed(&inputs, |_, input| {
+        step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg)
+    });
+    if cfg.recorder.is_enabled() {
+        cfg.recorder.add("core.ordering.workers", workers as u64);
+        let d = stage.pool.dispatched() - before;
+        if d > 0 {
+            cfg.recorder.add("core.parallel.ordering", d);
         }
-        if let Some(e) = failed.into_inner() {
-            return Err(e);
-        }
-        collected.into_inner()
-    } else {
-        inputs
-            .iter()
-            .map(|input| step::assign_phase_steps(trace, ag_ref, poe_ref, input, cfg))
-            .collect::<Result<_, _>>()?
-    };
-    results.sort_unstable_by_key(|r| r.id);
+    }
+    let results: Vec<step::PhaseResult> = outcome?;
     diag.reorder_fallbacks = results.iter().filter(|r| r.fallback).count();
 
     // Local steps per event.
@@ -470,12 +491,15 @@ fn assemble(
         }
     }
 
-    // Global offsets along the phase DAG.
-    let leaps = if nphases > 0 { v.graph.leaps() } else { Vec::new() };
-    let order = v
-        .graph
-        .topo_order()
-        .unwrap_or_else(|cycle| panic!("phase graph must be a DAG; cycle through {cycle:?}"));
+    // Global offsets along the phase DAG. A cycle here means a merge
+    // stage violated its leave-a-DAG contract: a typed error, not a
+    // panic, through every `try_extract*` entry point.
+    let leaps = if nphases > 0 {
+        v.graph.leaps().map_err(|cycle| ExtractError::PhaseCycle { cycle })?
+    } else {
+        Vec::new()
+    };
+    let order = v.graph.topo_order().map_err(|cycle| ExtractError::PhaseCycle { cycle })?;
     let mut offset = vec![0u64; nphases];
     for &p in &order {
         let end = offset[p as usize] + results[p as usize].max_local;

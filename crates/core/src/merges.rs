@@ -1,18 +1,92 @@
 //! The phase-finding merge passes (paper §3.1.2–§3.1.4, Algorithms 1–5).
+//!
+//! The heavy passes follow one *generate-then-replay* shape
+//! (`docs/parallel.md`): workers shard the scan that discovers
+//! candidate unions or edges — in an order derived only from input
+//! indices — and a serial replay applies them against the real stage
+//! state in canonical order. Provenance and diagnostics are written
+//! exclusively by the replay, so output is bit-identical at every
+//! thread count.
 
 use crate::atoms::EdgeKind;
+use crate::graph::UnionFind;
+use crate::pool::Pool;
 use crate::provenance::ProvenanceRule;
 use crate::stage::Stage;
+use crate::ExtractError;
 use lsr_trace::{ChareId, EventId, Time};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Atoms per shard below which the union-style scans stay serial.
+const EDGE_CHUNK: usize = 2048;
+
+/// The *firing set* of a union sequence: the edges that unite two
+/// previously-disconnected sets when `edges` is replayed in order
+/// through a fresh union-find over `n` elements.
+///
+/// Computed sharded: each chunk keeps its local firing set (a spanning
+/// forest tagged with global indices), and forest pairs combine
+/// through the pairwise work-pool merge tree by merging their
+/// index-sorted lists and re-replaying. The result equals the serial
+/// firing set for any chunking and merge order: a union-find's
+/// partition after any prefix is the connected components of *all*
+/// prefix edges, a firing set preserves those components for every
+/// prefix, and component structure of a union of edge sets depends
+/// only on the components of each part — so each tree merge preserves
+/// per-prefix components and the final replay reconstructs exactly the
+/// serial firing decisions.
+fn firing_set(pool: &Pool, n: usize, edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let replay = |list: &[(u32, u32, u32)]| -> Vec<(u32, u32, u32)> {
+        let mut uf = UnionFind::new(n);
+        list.iter().copied().filter(|&(_, u, v)| uf.union(u, v)).collect()
+    };
+    if !pool.is_parallel() || edges.len() < 2 * EDGE_CHUNK {
+        let tagged: Vec<(u32, u32, u32)> =
+            edges.iter().enumerate().map(|(i, &(u, v))| (i as u32, u, v)).collect();
+        return replay(&tagged).into_iter().map(|(_, u, v)| (u, v)).collect();
+    }
+    let tagged: Vec<(u32, u32, u32)> =
+        edges.iter().enumerate().map(|(i, &(u, v))| (i as u32, u, v)).collect();
+    let forests: Vec<Vec<(u32, u32, u32)>> = pool.map_chunks(&tagged, EDGE_CHUNK, replay);
+    let merged = pool.merge_tree(forests, |a, b| {
+        // Merge the two index-sorted forests, then refilter.
+        let mut m = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].0 < b[j].0 {
+                m.push(a[i]);
+                i += 1;
+            } else {
+                m.push(b[j]);
+                j += 1;
+            }
+        }
+        m.extend_from_slice(&a[i..]);
+        m.extend_from_slice(&b[j..]);
+        replay(&m)
+    });
+    merged.unwrap_or_default().into_iter().map(|(_, u, v)| (u, v)).collect()
+}
 
 /// Algorithm 1: merge partitions containing matched send/receive
 /// endpoints, then merge any cycles this created.
 pub(crate) fn dependency_merge(stage: &mut Stage<'_>) {
+    // Generate: the message-edge firing forest, sharded. Edges the
+    // forest dropped are redundant against the stage's union-find too
+    // (its partition is coarser — it starts from the SDAG absorb
+    // pre-unions), so skipping them changes neither unions nor notes.
+    let message_edges: Vec<(u32, u32)> = stage
+        .ag
+        .edges
+        .iter()
+        .filter(|&&(_, _, kind)| kind == EdgeKind::Message)
+        .map(|&(u, v, _)| (u, v))
+        .collect();
+    let fired = firing_set(&stage.pool, stage.ag.atoms.len(), &message_edges);
+    // Replay: apply the surviving unions in serial edge order.
     let mut merges = 0;
-    for i in 0..stage.ag.edges.len() {
-        let (u, v, kind) = stage.ag.edges[i];
-        if kind == EdgeKind::Message && stage.uf.union(u, v) {
+    for (u, v) in fired {
+        if stage.uf.union(u, v) {
             merges += 1;
             stage.note(ProvenanceRule::DependencyMerge, u, v);
         }
@@ -51,21 +125,38 @@ pub(crate) fn repair_merge(stage: &mut Stage<'_>) {
         }
     }
     // (2) Sibling merge across broken-block edges, grouped by
-    // (predecessor partition, fragment entry type, flavor).
+    // (predecessor partition, fragment entry type, flavor). The
+    // qualifying-edge scan (per-edge partition lookups) is sharded in
+    // edge order; the first-occurrence anchoring below is replayed
+    // serially — group anchors are order-sensitive.
     let v = stage.view();
+    let trace = stage.trace;
+    let ag = &stage.ag;
+    let cands: Vec<((u32, lsr_trace::EntryId, bool), u32, u32)> = stage
+        .pool
+        .map_chunks(&ag.edges, EDGE_CHUNK, |edges| {
+            edges
+                .iter()
+                .filter_map(|&(a, b, kind)| {
+                    if kind != EdgeKind::IntraBlock {
+                        return None;
+                    }
+                    let (pa, pb) = (v.part_of_atom[a as usize], v.part_of_atom[b as usize]);
+                    if pa == pb {
+                        return None;
+                    }
+                    let entry = trace.task(ag.atoms[b as usize].task).entry;
+                    let flavor = v.is_runtime[pb as usize];
+                    Some(((pa, entry, flavor), pb, b))
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let mut groups: HashMap<(u32, lsr_trace::EntryId, bool), u32> = HashMap::new();
-    for i in 0..stage.ag.edges.len() {
-        let (a, b, kind) = stage.ag.edges[i];
-        if kind != EdgeKind::IntraBlock {
-            continue;
-        }
-        let (pa, pb) = (v.part_of_atom[a as usize], v.part_of_atom[b as usize]);
-        if pa == pb {
-            continue;
-        }
-        let entry = stage.trace.task(stage.ag.atoms[b as usize].task).entry;
-        let flavor = v.is_runtime[pb as usize];
-        match groups.entry((pa, entry, flavor)) {
+    for (key, pb, b) in cands {
+        match groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 let anchor_part = *e.get();
                 if anchor_part != pb {
@@ -93,24 +184,40 @@ pub(crate) fn repair_merge(stage: &mut Stage<'_>) {
 /// of the same multi-chare phase and are merged.
 pub(crate) fn neighbor_serial_merge(stage: &mut Stage<'_>) {
     let v = stage.view();
-    // Group SDAG-edge targets by (source partition, target entry).
-    let mut groups: HashMap<(u32, lsr_trace::EntryId), Vec<u32>> = HashMap::new();
-    for &(a, b, kind) in &stage.ag.edges {
-        if kind != EdgeKind::Sdag {
-            continue;
-        }
-        let (pa, pb) = (v.part_of_atom[a as usize], v.part_of_atom[b as usize]);
-        if pa == pb {
-            continue;
-        }
-        let entry = stage.trace.task(stage.ag.atoms[b as usize].task).entry;
-        groups.entry((pa, entry)).or_default().push(pb);
+    let trace = stage.trace;
+    let ag = &stage.ag;
+    // Generate SDAG-edge targets sharded (edge order is preserved by
+    // chunk concatenation, though grouping makes it immaterial here).
+    let cands: Vec<((u32, u32), u32)> = stage
+        .pool
+        .map_chunks(&ag.edges, EDGE_CHUNK, |edges| {
+            edges
+                .iter()
+                .filter_map(|&(a, b, kind)| {
+                    if kind != EdgeKind::Sdag {
+                        return None;
+                    }
+                    let (pa, pb) = (v.part_of_atom[a as usize], v.part_of_atom[b as usize]);
+                    if pa == pb {
+                        return None;
+                    }
+                    let entry = trace.task(ag.atoms[b as usize].task).entry;
+                    Some(((pa, entry.0), pb))
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    // Group targets by (source partition, target entry) — a BTreeMap,
+    // so the merge loop walks keys in (partition, entry) order by
+    // construction instead of draining a hash map.
+    let mut groups: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+    for (key, pb) in cands {
+        groups.entry(key).or_default().push(pb);
     }
     let mut merges = 0;
-    let mut keys: Vec<_> = groups.keys().copied().collect();
-    keys.sort_unstable_by_key(|&(p, e)| (p, e.0));
-    for key in keys {
-        let mut parts = groups.remove(&key).expect("key exists");
+    for (_key, mut parts) in groups {
         parts.sort_unstable();
         parts.dedup();
         // Merge same-flavor members of the group pairwise.
@@ -140,27 +247,50 @@ pub(crate) fn neighbor_serial_merge(stage: &mut Stage<'_>) {
 /// a rank (two consecutive collective tasks with nothing in between).
 pub(crate) fn collective_merge(stage: &mut Stage<'_>, ix: &lsr_trace::TraceIndex) {
     let trace = stage.trace;
+    let ag = &stage.ag;
     let is_coll = |t: lsr_trace::TaskId| trace.entry(trace.task(t).entry).collective;
+    // First-atom pair of a collective-to-collective task link, if both
+    // ends materialized atoms.
+    let pair_of = |a: lsr_trace::TaskId, b: lsr_trace::TaskId| -> Option<(u32, u32)> {
+        if !is_coll(a) || !is_coll(b) {
+            return None;
+        }
+        let (fa, fb) = (ag.first_atom_of_task[a.index()], ag.first_atom_of_task[b.index()]);
+        (fa != u32::MAX && fb != u32::MAX).then_some((fa, fb))
+    };
+    // Generate both link families sharded, preserving serial order:
+    // messages between collective tasks first, then rank adjacency
+    // (consecutive collective tasks on one rank belong to the same
+    // instance — distinct collectives are separated by application ops).
+    let mut candidates: Vec<(u32, u32)> = stage
+        .pool
+        .map_chunks(&trace.msgs, EDGE_CHUNK, |msgs| {
+            msgs.iter()
+                .filter_map(|m| m.recv_task.map(|to| (trace.event(m.send_event).task, to)))
+                .filter_map(|(from, to)| pair_of(from, to))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    candidates.extend(
+        stage
+            .pool
+            .map_chunks(&ix.tasks_by_chare, 16, |lists| {
+                lists
+                    .iter()
+                    .flat_map(|list| list.windows(2).filter_map(|w| pair_of(w[0], w[1])))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten(),
+    );
+    let fired = firing_set(&stage.pool, ag.atoms.len(), &candidates);
     let mut merges = 0;
-    let mut union_tasks = |stage: &mut Stage<'_>, a: lsr_trace::TaskId, b: lsr_trace::TaskId| {
-        let (fa, fb) =
-            (stage.ag.first_atom_of_task[a.index()], stage.ag.first_atom_of_task[b.index()]);
-        if fa != u32::MAX && fb != u32::MAX && stage.uf.union(fa, fb) {
+    for (fa, fb) in fired {
+        if stage.uf.union(fa, fb) {
             merges += 1;
             stage.note(ProvenanceRule::CollectiveMerge, fa, fb);
-        }
-    };
-    // Messages between collective tasks.
-    for me in trace.message_edges() {
-        if is_coll(me.from) && is_coll(me.to) {
-            union_tasks(stage, me.from, me.to);
-        }
-    }
-    // Consecutive collective tasks on the same rank belong to the same
-    // instance (distinct collectives are separated by application ops).
-    for (a, b) in ix.chare_order_edges() {
-        if is_coll(a) && is_coll(b) {
-            union_tasks(stage, a, b);
         }
     }
     stage.diag.collective_merges += merges;
@@ -176,8 +306,9 @@ pub(crate) fn infer_dependencies(stage: &mut Stage<'_>) {
     let v = stage.view();
     let init = v.initial_events(stage);
     // chare → list of (time, event, partition) of partition-starting
-    // sources.
-    let mut per_chare: HashMap<ChareId, Vec<(Time, EventId, u32)>> = HashMap::new();
+    // sources. A BTreeMap, so the edge-adding loop below visits chares
+    // in id order by construction — this order reaches provenance.
+    let mut per_chare: BTreeMap<ChareId, Vec<(Time, EventId, u32)>> = BTreeMap::new();
     for (p, map) in init.iter().enumerate() {
         for (&chare, &(t, ev, is_src)) in map {
             if is_src {
@@ -186,10 +317,7 @@ pub(crate) fn infer_dependencies(stage: &mut Stage<'_>) {
         }
     }
     let mut added = 0;
-    let mut chares: Vec<_> = per_chare.keys().copied().collect();
-    chares.sort_unstable();
-    for chare in chares {
-        let mut list = per_chare.remove(&chare).expect("chare exists");
+    for (_chare, mut list) in per_chare {
         list.sort_unstable();
         for w in list.windows(2) {
             let (_, ea, p) = w[0];
@@ -221,14 +349,17 @@ pub(crate) fn infer_dependencies(stage: &mut Stage<'_>) {
 /// of their initial sources. Without it (the Fig. 17 ablation), every
 /// overlap is resolved by ordering, which strings the would-be phase
 /// out in sequence.
-pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bool) {
+pub(crate) fn resolve_leap_overlaps(
+    stage: &mut Stage<'_>,
+    merge_same_flavor: bool,
+) -> Result<(), ExtractError> {
     // Iterate to a fixpoint; each round either merges or adds ordering
     // edges, both of which strictly reduce the number of (partition,
     // partition) overlap pairs at equal leaps or move them apart.
     let cap = 4 * stage.ag.atoms.len().max(16);
     for round in 0..cap {
         let v = stage.view();
-        let leaps = v.graph.leaps();
+        let leaps = v.graph.leaps().map_err(|cycle| ExtractError::PhaseCycle { cycle })?;
         let chares = v.chares(stage);
         // leap → chare → first partition seen.
         let mut by_leap: HashMap<u32, HashMap<ChareId, u32>> = HashMap::new();
@@ -259,7 +390,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
             }
         }
         if merge_pairs.is_empty() && order_pairs.is_empty() {
-            return;
+            return Ok(());
         }
         if !merge_pairs.is_empty() {
             // Algorithm 4: merge concurrent overlapping phases.
@@ -306,7 +437,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
     // Safety valve: if ordering alone cannot separate the overlaps
     // (pathological ties), merge the remainder outright.
     let v = stage.view();
-    let leaps = v.graph.leaps();
+    let leaps = v.graph.leaps().map_err(|cycle| ExtractError::PhaseCycle { cycle })?;
     let chares = v.chares(stage);
     let mut by_leap: HashMap<(u32, ChareId), u32> = HashMap::new();
     let mut merges = 0;
@@ -327,6 +458,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
         stage.diag.leap_merges += merges;
         stage.cycle_merge();
     }
+    Ok(())
 }
 
 /// Chooses the happened-before direction between two same-leap
@@ -337,7 +469,7 @@ pub(crate) fn resolve_leap_overlaps(stage: &mut Stage<'_>, merge_same_flavor: bo
 fn orient(
     stage: &Stage<'_>,
     v: &crate::stage::PartView,
-    init: &[HashMap<ChareId, (Time, EventId, bool)>],
+    init: &[BTreeMap<ChareId, (Time, EventId, bool)>],
     per_pe: &[HashMap<lsr_trace::PeId, Time>],
     chares: &[Vec<ChareId>],
     p: u32,
@@ -409,12 +541,12 @@ fn orient(
 /// successors cover all of its chares (property (2) of §3.1.4), walking
 /// leaps from the last backwards and linking each missing chare to its
 /// next appearance.
-pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
+pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) -> Result<(), ExtractError> {
     let v = stage.view();
     if v.len() == 0 {
-        return;
+        return Ok(());
     }
-    let leaps = v.graph.leaps();
+    let leaps = v.graph.leaps().map_err(|cycle| ExtractError::PhaseCycle { cycle })?;
     let chares = v.chares(stage);
     let max_leap = leaps.iter().copied().max().unwrap_or(0);
     let mut parts_at: Vec<Vec<u32>> = vec![Vec::new(); max_leap as usize + 1];
@@ -476,6 +608,7 @@ pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
         }
     }
     stage.diag.enforce_edges += added;
+    Ok(())
 }
 
 /// Completes Algorithm 5's intent: "a single path through the phase
@@ -484,16 +617,17 @@ pub(crate) fn enforce_chare_paths(stage: &mut Stage<'_>) {
 /// skipped phase then overlaps in steps), so every chare's phases are
 /// chained explicitly in leap order. All added edges run from a
 /// strictly lower leap to a higher one, so the graph stays a DAG.
-pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) {
+pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) -> Result<(), ExtractError> {
     let v = stage.view();
     if v.len() == 0 {
-        return;
+        return Ok(());
     }
-    let leaps = v.graph.leaps();
+    let leaps = v.graph.leaps().map_err(|cycle| ExtractError::PhaseCycle { cycle })?;
     let chares = v.chares(stage);
     // chare → phases containing it, ordered by leap (unique per leap by
-    // property 1).
-    let mut by_chare: HashMap<ChareId, Vec<(u32, u32)>> = HashMap::new();
+    // property 1). A BTreeMap: the chaining loop visits chares in id
+    // order by construction, and its edge order reaches provenance.
+    let mut by_chare: BTreeMap<ChareId, Vec<(u32, u32)>> = BTreeMap::new();
     for p in 0..v.len() as u32 {
         for &c in &chares[p as usize] {
             by_chare.entry(c).or_default().push((leaps[p as usize], p));
@@ -503,10 +637,7 @@ pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) {
         .flat_map(|p| v.graph.succs[p as usize].iter().map(move |&s| (p, s)))
         .collect();
     let mut added = 0;
-    let mut keys: Vec<ChareId> = by_chare.keys().copied().collect();
-    keys.sort_unstable();
-    for c in keys {
-        let mut list = by_chare.remove(&c).expect("chare exists");
+    for (c, mut list) in by_chare {
         list.sort_unstable();
         for w in list.windows(2) {
             let (p, q) = (w[0].1, w[1].1);
@@ -530,6 +661,7 @@ pub(crate) fn chain_chare_phases(stage: &mut Stage<'_>, verify: bool) {
         }
     }
     stage.diag.enforce_edges += added;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -541,8 +673,8 @@ mod tests {
 
     fn stage_for<'t>(trace: &'t Trace, cfg: &Config) -> Stage<'t> {
         let ix = trace.index();
-        let ag = build_atoms(trace, &ix, cfg);
-        Stage::new(trace, ag)
+        let ag = build_atoms(trace, &ix, cfg, &Pool::serial());
+        Stage::new(trace, ag, Pool::serial())
     }
 
     /// The paper's Fig. 3 ring: every chare invokes `recvResult` on its
@@ -674,9 +806,9 @@ mod tests {
         assert_eq!(stage.diag.inferred_edges, 1);
         let v = stage.view();
         assert_eq!(v.len(), 2, "ordering, not merging");
-        let leaps = v.graph.leaps();
+        let leaps = v.graph.leaps().unwrap();
         assert_ne!(leaps[0], leaps[1], "phases now sit at different leaps");
-        resolve_leap_overlaps(&mut stage, true);
+        resolve_leap_overlaps(&mut stage, true).unwrap();
         assert_eq!(stage.view().len(), 2, "no overlap left to resolve");
     }
 
@@ -710,7 +842,7 @@ mod tests {
         // c2 appear in one partition each.
         infer_dependencies(&mut stage);
         assert_eq!(stage.diag.inferred_edges, 0);
-        resolve_leap_overlaps(&mut stage, true);
+        resolve_leap_overlaps(&mut stage, true).unwrap();
         assert_eq!(stage.view().len(), 1, "Fig 5c: overlapping receive-only phases merge");
         assert!(stage.diag.leap_merges > 0);
     }
@@ -738,10 +870,10 @@ mod tests {
         let tr = b.build().unwrap();
         let mut stage = stage_for(&tr, &Config::charm());
         dependency_merge(&mut stage);
-        resolve_leap_overlaps(&mut stage, false);
+        resolve_leap_overlaps(&mut stage, false).unwrap();
         let v = stage.view();
         assert_eq!(v.len(), 2, "no merging in Fig 17 mode");
-        let leaps = v.graph.leaps();
+        let leaps = v.graph.leaps().unwrap();
         assert_ne!(leaps[0], leaps[1], "phases forced into sequence");
         assert!(stage.diag.ordering_edges > 0);
     }
@@ -908,6 +1040,76 @@ mod tests {
         );
     }
 
+    /// Two disconnected two-chare partitions for cycle-injection tests.
+    fn two_partition_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let app = b.add_array("a", Kind::Application);
+        let c: Vec<_> = (0..4).map(|i| b.add_chare(app, i, PeId(i % 2))).collect();
+        let e = b.add_entry("go", None);
+        for pair in [(0usize, 1usize), (2, 3)] {
+            let base = pair.0 as u64 * 100;
+            let t0 = b.begin_task(c[pair.0], e, PeId(pair.0 as u32 % 2), Time(base));
+            let m = b.record_send(t0, Time(base + 1), c[pair.1], e);
+            b.end_task(t0, Time(base + 2));
+            let t1 = b.begin_task_from(c[pair.1], e, PeId(pair.1 as u32 % 2), Time(base + 10), m);
+            b.end_task(t1, Time(base + 11));
+        }
+        b.build().unwrap()
+    }
+
+    /// A cyclic phase graph (impossible from validated traces, whose
+    /// merge stages all end in a cycle merge, but reachable from
+    /// corrupted partition state) must surface as a typed
+    /// `ExtractError::PhaseCycle` with the cycle as witness — from
+    /// every leap-consuming pass, not the panic it used to be.
+    #[test]
+    fn phase_cycle_is_a_typed_error_not_a_panic() {
+        let tr = two_partition_trace();
+        let mut stage = stage_for(&tr, &Config::charm());
+        dependency_merge(&mut stage);
+        let v = stage.view();
+        assert_eq!(v.len(), 2);
+        let (a0, a1) = (v.atoms_in[0][0], v.atoms_in[1][0]);
+        // Inject a 2-cycle between the partitions, bypassing the cycle
+        // merge that every real stage would run.
+        stage.extra_edges.push((a0, a1));
+        stage.extra_edges.push((a1, a0));
+        for err in [
+            resolve_leap_overlaps(&mut stage, true).unwrap_err(),
+            enforce_chare_paths(&mut stage).unwrap_err(),
+            chain_chare_phases(&mut stage, false).unwrap_err(),
+        ] {
+            match err {
+                ExtractError::PhaseCycle { mut cycle } => {
+                    cycle.sort_unstable();
+                    assert_eq!(cycle, vec![0, 1], "witness names both partitions");
+                }
+                other => panic!("expected PhaseCycle, got {other:?}"),
+            }
+        }
+    }
+
+    /// The same injection against a multi-threaded pool: the parallel
+    /// merge machinery must propagate the typed error identically.
+    #[test]
+    fn phase_cycle_propagates_through_the_parallel_pool() {
+        let tr = two_partition_trace();
+        let ix = tr.index();
+        let ag = build_atoms(&tr, &ix, &Config::charm(), &Pool::new(4));
+        let mut stage = Stage::new(&tr, ag, Pool::new(4));
+        dependency_merge(&mut stage);
+        let v = stage.view();
+        assert_eq!(v.len(), 2);
+        let (a0, a1) = (v.atoms_in[0][0], v.atoms_in[1][0]);
+        stage.extra_edges.push((a0, a1));
+        stage.extra_edges.push((a1, a0));
+        let err = resolve_leap_overlaps(&mut stage, true).unwrap_err();
+        assert!(
+            matches!(err, ExtractError::PhaseCycle { ref cycle } if cycle.len() == 2),
+            "parallel pool surfaces the same typed witness: {err:?}"
+        );
+    }
+
     /// Alg 5: a phase whose chare is missing from its direct successors
     /// gets an edge to the next leap containing that chare (Fig. 6).
     #[test]
@@ -942,15 +1144,15 @@ mod tests {
         let mut stage = stage_for(&tr, &Config::charm());
         dependency_merge(&mut stage);
         infer_dependencies(&mut stage);
-        resolve_leap_overlaps(&mut stage, true);
+        resolve_leap_overlaps(&mut stage, true).unwrap();
         let v_before = stage.view();
         let n_before = v_before.len();
-        enforce_chare_paths(&mut stage);
+        enforce_chare_paths(&mut stage).unwrap();
         let v = stage.view();
         assert_eq!(v.len(), n_before, "Alg 5 adds edges, never merges");
         // Property 2: every partition's chares are covered by successors
         // unless no later leap contains them.
-        let leaps = v.graph.leaps();
+        let leaps = v.graph.leaps().unwrap();
         let chares = v.chares(&stage);
         let max_leap = *leaps.iter().max().unwrap();
         for p in 0..v.len() {

@@ -110,7 +110,7 @@ pub struct MergeRecord {
 
 /// All [`MergeRecord`]s of one extraction, in pipeline order. Returned
 /// by [`crate::extract_with_provenance`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergeProvenance {
     /// The records, in the order the pipeline took the decisions.
     pub records: Vec<MergeRecord>,

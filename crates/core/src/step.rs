@@ -20,9 +20,11 @@ pub(crate) struct PhaseInput {
     pub atoms: Vec<u32>,
 }
 
-/// The per-phase result: local steps per event.
+/// The per-phase result: local steps per event. Results come back
+/// from the ordering fan-out already in phase-id order
+/// ([`crate::pool::Pool::try_map_indexed`]), so the phase id itself is
+/// not carried along.
 pub(crate) struct PhaseResult {
-    pub id: u32,
     pub local: Vec<(EventId, u64)>,
     pub max_local: u64,
     /// True if the reordered assignment hit a dependency cycle and the
@@ -80,7 +82,7 @@ fn try_assign(
         events.extend(ag.atoms[a as usize].events.iter().copied());
     }
     if events.is_empty() {
-        return Ok(PhaseResult { id: input.id, local: Vec::new(), max_local: 0, fallback: false });
+        return Ok(PhaseResult { local: Vec::new(), max_local: 0, fallback: false });
     }
     let local_of: HashMap<EventId, u32> =
         events.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
@@ -219,7 +221,7 @@ fn try_assign(
     }
     let max_local = steps.iter().copied().max().unwrap_or(0);
     let local = events.iter().zip(&steps).map(|(&e, &s)| (e, s)).collect();
-    Ok(PhaseResult { id: input.id, local, max_local, fallback: false })
+    Ok(PhaseResult { local, max_local, fallback: false })
 }
 
 /// Computes the `w` clock for every event of the phase (§3.2.1).
@@ -341,6 +343,7 @@ fn invoking_chare(trace: &Trace, own: ChareId, first: EventId) -> ChareId {
 mod tests {
     use super::*;
     use crate::atoms::build_atoms;
+    use crate::pool::Pool;
     use lsr_trace::{Kind, PeId, Time, TraceBuilder};
 
     /// Build a one-phase scenario: two producers (c0, c1) each send one
@@ -366,7 +369,7 @@ mod tests {
         b.end_task(r0, Time(13));
         let tr = b.build().unwrap();
         let ix = tr.index();
-        let ag = build_atoms(&tr, &ix, &Config::charm());
+        let ag = build_atoms(&tr, &ix, &Config::charm(), &Pool::serial());
         (tr, ag)
     }
 
@@ -487,7 +490,7 @@ mod tests {
         let tr = b.build().unwrap();
         let ix = tr.index();
         let cfg = Config::mpi();
-        let ag = build_atoms(&tr, &ix, &cfg);
+        let ag = build_atoms(&tr, &ix, &cfg, &Pool::serial());
         let (poe, input) = {
             let atoms: Vec<u32> = (0..ag.atoms.len() as u32).collect();
             (vec![0u32; ag.atom_of_event.len()], PhaseInput { id: 0, atoms })
@@ -549,7 +552,7 @@ mod tests {
 
         let ix = tr.index();
         let cfg = Config::mpi().with_process_order(false);
-        let ag = build_atoms(&tr, &ix, &cfg);
+        let ag = build_atoms(&tr, &ix, &cfg, &Pool::serial());
         let atoms: Vec<u32> = (0..ag.atoms.len() as u32).collect();
         let poe = vec![0u32; ag.atom_of_event.len()];
         let input = PhaseInput { id: 0, atoms };

@@ -358,19 +358,31 @@ pub(crate) fn stage_passes(snapshots: &[StageSnapshot]) -> Vec<Diagnostic> {
         .collect()
 }
 
-/// P002: the extraction pipeline aborted with a typed error instead of
-/// producing a structure.
+/// P002/P003: the extraction pipeline aborted with a typed error
+/// instead of producing a structure.
 pub(crate) fn extract_error_diag(e: &ExtractError) -> Diagnostic {
-    let ExtractError::StepCycle { phase, .. } = *e;
-    Diagnostic {
-        code: "P002",
-        name: "ExtractAborted",
-        severity: Severity::Error,
-        location: Location::Phase { phase },
-        message: e.to_string(),
-        explanation: "step assignment needs a replay order, which exists only \
-                      when timestamps respect causality; validated traces \
-                      cannot trigger this, unchecked or salvaged ones can",
+    match *e {
+        ExtractError::StepCycle { phase, .. } => Diagnostic {
+            code: "P002",
+            name: "ExtractAborted",
+            severity: Severity::Error,
+            location: Location::Phase { phase },
+            message: e.to_string(),
+            explanation: "step assignment needs a replay order, which exists only \
+                          when timestamps respect causality; validated traces \
+                          cannot trigger this, unchecked or salvaged ones can",
+        },
+        ExtractError::PhaseCycle { ref cycle } => Diagnostic {
+            code: "P003",
+            name: "PhaseGraphCycle",
+            severity: Severity::Error,
+            location: Location::Phase { phase: cycle.first().copied().unwrap_or(0) },
+            message: e.to_string(),
+            explanation: "every merge stage ends with a cycle merge, so the phase \
+                          graph must be a DAG when leaps are assigned; a typed \
+                          PhaseCycle witness (instead of the old panic) means the \
+                          partition state is internally inconsistent",
+        },
     }
 }
 
@@ -439,6 +451,15 @@ mod tests {
         assert_eq!(d.severity, Severity::Error);
         assert_eq!(d.location, Location::Phase { phase: 3 });
         assert!(d.message.contains("phase 3"), "{}", d.message);
+    }
+
+    #[test]
+    fn p003_names_a_cycle_member_and_the_witness() {
+        let d = extract_error_diag(&ExtractError::PhaseCycle { cycle: vec![5, 2, 9] });
+        assert_eq!(d.code, "P003");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Phase { phase: 5 });
+        assert!(d.message.contains("5 -> 2 -> 9"), "{}", d.message);
     }
 
     #[test]
