@@ -74,6 +74,41 @@ impl Grid2D {
         out
     }
 
+    /// In-edges of cell `k` for a down-right wavefront sweep: the up and
+    /// left neighbors, i.e. the cells that must fire before `k` may.
+    /// Empty exactly for the (0, 0) corner that seeds the sweep.
+    pub fn sweep_preds(&self, k: u32) -> Vec<u32> {
+        let (i, j) = self.coords(k);
+        let mut out = Vec::with_capacity(2);
+        if i > 0 {
+            out.push(self.index(i - 1, j));
+        }
+        if j > 0 {
+            out.push(self.index(i, j - 1));
+        }
+        out
+    }
+
+    /// Out-edges of cell `k` for a down-right wavefront sweep: the right
+    /// and down neighbors `k` releases once it has fired.
+    pub fn sweep_succs(&self, k: u32) -> Vec<u32> {
+        let (i, j) = self.coords(k);
+        let mut out = Vec::with_capacity(2);
+        if i + 1 < self.x {
+            out.push(self.index(i + 1, j));
+        }
+        if j + 1 < self.y {
+            out.push(self.index(i, j + 1));
+        }
+        out
+    }
+
+    /// Total number of edges in the down-right sweep DAG.
+    pub fn sweep_edges(&self) -> u64 {
+        // Horizontal edges: (x-1) per row; vertical edges: (y-1) per column.
+        u64::from(self.x - 1) * u64::from(self.y) + u64::from(self.y - 1) * u64::from(self.x)
+    }
+
     /// The 4-connected neighbors with periodic (torus) wrap-around.
     pub fn neighbors4_periodic(&self, k: u32) -> Vec<u32> {
         let (i, j) = self.coords(k);
@@ -202,6 +237,21 @@ mod tests {
         let g = Grid2D::new(2, 1);
         let n = g.neighbors4_periodic(0);
         assert_eq!(n, vec![1], "tiny torus collapses duplicates and self");
+    }
+
+    #[test]
+    fn sweep_edges_match_pred_and_succ_counts() {
+        let g = Grid2D::new(4, 3);
+        let preds: u64 = (0..g.len()).map(|k| g.sweep_preds(k).len() as u64).sum();
+        let succs: u64 = (0..g.len()).map(|k| g.sweep_succs(k).len() as u64).sum();
+        assert_eq!(preds, g.sweep_edges());
+        assert_eq!(succs, g.sweep_edges());
+        assert!(g.sweep_preds(0).is_empty(), "the corner seeds the sweep");
+        for k in 0..g.len() {
+            for s in g.sweep_succs(k) {
+                assert!(g.sweep_preds(s).contains(&k));
+            }
+        }
     }
 
     #[test]

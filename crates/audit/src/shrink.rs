@@ -6,7 +6,8 @@
 //! degrade instead of erroring, so probes never abort).
 //!
 //! The oracle is the full diagnostic stack: ingestion (`I` codes),
-//! lint (`T`/`H`/`S`/`P`), and — for `A` codes — a fresh extraction
+//! lint (`T`/`H`/`S`/`P`), race enumeration (`R` codes), skeleton
+//! conformance (`M` codes), and — for `A` codes — a fresh extraction
 //! with provenance followed by the certificate check. Only the pass
 //! family that can produce the target code runs per probe, which keeps
 //! probe cost proportional to what is being reproduced.
@@ -19,8 +20,9 @@
 //! then reaches 1-minimality.
 
 use crate::check::{audit, AuditOptions};
-use lsr_core::{try_extract_with_provenance, Config};
-use lsr_lint::{ingest_diagnostics, lint_trace, LintOptions};
+use lsr_core::{try_extract, try_extract_with_provenance, Config};
+use lsr_lint::{analyze_races, ingest_diagnostics, lint_trace, model_diagnostics, LintOptions};
+use lsr_model::SkeletonModel;
 use lsr_trace::logfmt::{read_log_salvage, to_log_string};
 
 /// Options for [`shrink_log`].
@@ -105,6 +107,24 @@ fn fires(text: &str, code: &str, cfg: &Config) -> bool {
                     .diagnostics
                     .iter()
                     .any(|d| d.code == code),
+                Err(_) => false,
+            }
+        }
+        Some(b'M') => {
+            let cfg = cfg.clone().with_verify(false);
+            match try_extract(&trace, &cfg) {
+                Ok(ls) => {
+                    let model = SkeletonModel::build(&trace.declarations());
+                    let report = lsr_model::check(&model, &trace, &ls);
+                    model_diagnostics(&report, 256).iter().any(|d| d.code == code)
+                }
+                Err(_) => false,
+            }
+        }
+        Some(b'R') => {
+            let cfg = cfg.clone().with_verify(false);
+            match analyze_races(&trace, &cfg, 256) {
+                Ok(report) => report.diagnostics.iter().any(|d| d.code == code),
                 Err(_) => false,
             }
         }

@@ -12,7 +12,9 @@ use crate::config::{QueuePolicy, SimConfig};
 use crate::ctx::{Action, Ctx};
 use crate::msg::{Payload, QMsg, RedOp, RedTarget};
 use crate::placement::Placement;
-use lsr_trace::{ArrayId, ChareId, Dur, EntryId, Kind, PeId, TaskId, Time, Trace, TraceBuilder};
+use lsr_trace::{
+    ArrayId, ChareId, CommPattern, Dur, EntryId, Kind, PeId, TaskId, Time, Trace, TraceBuilder,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -251,6 +253,30 @@ impl Sim {
         id
     }
 
+    /// Declares a message-type signature on the underlying trace
+    /// builder: the static statement that `src_entry` on chares of
+    /// `src_array` may invoke `dst_entry` on chares of `dst_array`,
+    /// with the given pattern and registered message volume.
+    ///
+    /// Declaring any signature switches [`Sim::run`] into supplement
+    /// mode: traffic the application did not declare (notably the
+    /// `CkReductionMgr` runtime reductions) gets derived signatures
+    /// appended at build time, while the declared entries are kept
+    /// verbatim — including deliberately wrong ones, so conformance
+    /// checking retains its teeth.
+    #[allow(clippy::too_many_arguments)]
+    pub fn declare_sig(
+        &mut self,
+        src_array: ArrayId,
+        src_entry: EntryId,
+        dst_array: ArrayId,
+        dst_entry: EntryId,
+        pattern: CommPattern,
+        msgs: u64,
+    ) {
+        self.builder.declare_sig(src_array, src_entry, dst_array, dst_entry, pattern, msgs);
+    }
+
     /// The chare ids of an array's elements, in index order.
     pub fn elements(&self, array: ArrayId) -> &[ChareId] {
         &self.arrays[array.index()].elems
@@ -364,6 +390,13 @@ impl Sim {
             }
         }
         let report = SimReport { migrations: self.migrations };
+        if !self.builder.trace().sigs.is_empty() {
+            // The application declared (part of) the signature table;
+            // supplement it with derived entries for the runtime traffic
+            // so build()'s declared-table short-circuit never leaves
+            // reduction messages unadmitted.
+            self.builder.supplement_derived_sigs();
+        }
         let trace = self.builder.build().expect("simulator must produce a valid trace");
         (trace, report)
     }

@@ -1,0 +1,74 @@
+//! The communication-motif catalog.
+
+use std::fmt;
+
+/// One communication motif: a reusable exchange pattern a scenario
+/// step instantiates on the whole chare array (or rank set). Each
+/// motif knows how to emit itself through both backends and declares
+/// the `SIG` signatures that make the skeleton model derivable for
+/// the traffic it generates (see `docs/fuzz.md` for the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Motif {
+    /// Nearest-neighbor boundary exchange on the 2D grid (Jacobi-like).
+    Halo,
+    /// Down-right dependency sweep from the (0, 0) corner (LU-like).
+    Wavefront,
+    /// Global tree reduction + result broadcast (allreduce-like).
+    Tree,
+    /// Dense exchange: every element messages every other element.
+    AllToAll,
+    /// Work stealing: thieves request from a victim, which grants.
+    Steal,
+    /// Every chare migrates one PE over, then passes a ring token
+    /// (exercises forwarding to moved chares). The MPI analogue is a
+    /// ring rotation (ranks cannot move).
+    Migration,
+}
+
+impl Motif {
+    /// Every motif, in catalog order.
+    pub const ALL: [Motif; 6] = [
+        Motif::Halo,
+        Motif::Wavefront,
+        Motif::Tree,
+        Motif::AllToAll,
+        Motif::Steal,
+        Motif::Migration,
+    ];
+
+    /// The catalog name (also the `--motifs` token and entry-name stem).
+    pub fn name(self) -> &'static str {
+        match self {
+            Motif::Halo => "halo",
+            Motif::Wavefront => "wavefront",
+            Motif::Tree => "tree",
+            Motif::AllToAll => "alltoall",
+            Motif::Steal => "steal",
+            Motif::Migration => "migration",
+        }
+    }
+
+    /// Parses a `--motifs` token.
+    pub fn parse(s: &str) -> Option<Motif> {
+        Motif::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for m in Motif::ALL {
+            assert_eq!(Motif::parse(m.name()), Some(m));
+        }
+        assert_eq!(Motif::parse("nope"), None);
+    }
+}

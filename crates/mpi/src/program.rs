@@ -1,6 +1,6 @@
 //! Rank programs: per-rank scripts of message-passing operations.
 
-use lsr_trace::Dur;
+use lsr_trace::{CommPattern, Dur};
 
 /// The label an operation gets in the trace (the entry-method name).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,6 +11,34 @@ pub enum OpLabel {
     Recv,
     /// Part of an abstracted collective (`MPI_Allreduce`).
     Allreduce,
+    /// A program-defined label registered with [`Program::add_label`]
+    /// or [`Program::add_collective_label`]; the payload indexes the
+    /// program's label table. Custom labels let a scenario give each
+    /// communication motif its own entry name, so the declaration
+    /// layer (`SIG` records) can describe motifs separately instead of
+    /// lumping all point-to-point traffic under `MPI_Send`/`MPI_Recv`.
+    Custom(u32),
+}
+
+/// A program-defined trace label (entry-method name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LabelDef {
+    pub(crate) name: String,
+    /// Registered as a collective entry (derived signatures then
+    /// classify its traffic as a tree, like `MPI_Allreduce`).
+    pub(crate) collective: bool,
+}
+
+/// A declared message-type signature over op labels: traffic sent under
+/// `src` arriving under label `dst` follows `pattern` with `msgs`
+/// registered messages. Resolved against the rank array when the
+/// simulator builds the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SigDecl {
+    pub(crate) src: OpLabel,
+    pub(crate) dst: OpLabel,
+    pub(crate) pattern: CommPattern,
+    pub(crate) msgs: u64,
 }
 
 /// One operation in a rank's script.
@@ -49,16 +77,62 @@ pub enum MpiOp {
     },
 }
 
-/// A complete message-passing program: one script per rank.
+/// A complete message-passing program: one script per rank, plus the
+/// program-defined label table and declared signatures.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
     scripts: Vec<Vec<MpiOp>>,
+    labels: Vec<LabelDef>,
+    sigs: Vec<SigDecl>,
 }
 
 impl Program {
     /// An empty program on `ranks` ranks.
     pub fn new(ranks: u32) -> Program {
-        Program { scripts: vec![Vec::new(); ranks as usize] }
+        Program { scripts: vec![Vec::new(); ranks as usize], labels: Vec::new(), sigs: Vec::new() }
+    }
+
+    /// Registers a program-defined trace label (an entry-method name in
+    /// the produced trace) and returns the [`OpLabel`] to tag ops with.
+    pub fn add_label(&mut self, name: &str) -> OpLabel {
+        self.labels.push(LabelDef { name: name.to_owned(), collective: false });
+        OpLabel::Custom(self.labels.len() as u32 - 1)
+    }
+
+    /// Like [`Program::add_label`], but the label is registered as a
+    /// collective entry: derived signatures classify its traffic as a
+    /// tree, the way `MPI_Allreduce` traffic is classified.
+    pub fn add_collective_label(&mut self, name: &str) -> OpLabel {
+        self.labels.push(LabelDef { name: name.to_owned(), collective: true });
+        OpLabel::Custom(self.labels.len() as u32 - 1)
+    }
+
+    /// Declares a message-type signature: messages recorded under the
+    /// `src` label (the send op's label, which is also what the message
+    /// invokes) follow `pattern` over rank indices with `msgs`
+    /// registered messages. Declaring any signature switches the
+    /// simulator into supplement mode: undeclared traffic (for example
+    /// the `MPI_Allreduce` tree) still gets derived signatures, while
+    /// declared entries are kept verbatim — even deliberately wrong
+    /// ones.
+    pub fn declare_sig(&mut self, src: OpLabel, dst: OpLabel, pattern: CommPattern, msgs: u64) {
+        self.assert_label(src);
+        self.assert_label(dst);
+        self.sigs.push(SigDecl { src, dst, pattern, msgs });
+    }
+
+    fn assert_label(&self, label: OpLabel) {
+        if let OpLabel::Custom(i) = label {
+            assert!((i as usize) < self.labels.len(), "unregistered custom label {i}");
+        }
+    }
+
+    pub(crate) fn label_defs(&self) -> &[LabelDef] {
+        &self.labels
+    }
+
+    pub(crate) fn sig_decls(&self) -> &[SigDecl] {
+        &self.sigs
     }
 
     /// Number of ranks.
@@ -79,22 +153,41 @@ impl Program {
 
     /// Appends a send on `rank`.
     pub fn send(&mut self, rank: u32, to: u32, tag: i64) -> &mut Self {
+        self.send_as(rank, to, tag, OpLabel::Send)
+    }
+
+    /// Appends a send on `rank` recorded under `label`.
+    pub fn send_as(&mut self, rank: u32, to: u32, tag: i64, label: OpLabel) -> &mut Self {
         assert!(to < self.ranks() && to != rank, "bad send target {to}");
-        self.scripts[rank as usize].push(MpiOp::Send { to, tag, label: OpLabel::Send });
+        self.assert_label(label);
+        self.scripts[rank as usize].push(MpiOp::Send { to, tag, label });
         self
     }
 
     /// Appends a blocking receive on `rank`.
     pub fn recv(&mut self, rank: u32, from: u32, tag: i64) -> &mut Self {
+        self.recv_as(rank, from, tag, OpLabel::Recv)
+    }
+
+    /// Appends a blocking receive on `rank` recorded under `label`.
+    pub fn recv_as(&mut self, rank: u32, from: u32, tag: i64, label: OpLabel) -> &mut Self {
         assert!(from < self.ranks() && from != rank, "bad recv source {from}");
-        self.scripts[rank as usize].push(MpiOp::Recv { from, tag, label: OpLabel::Recv });
+        self.assert_label(label);
+        self.scripts[rank as usize].push(MpiOp::Recv { from, tag, label });
         self
     }
 
     /// Appends a blocking wildcard receive on `rank`, matching arrival
     /// order.
     pub fn recv_any(&mut self, rank: u32, tag: i64) -> &mut Self {
-        self.scripts[rank as usize].push(MpiOp::RecvAny { tag, label: OpLabel::Recv });
+        self.recv_any_as(rank, tag, OpLabel::Recv)
+    }
+
+    /// Appends a blocking wildcard receive on `rank` recorded under
+    /// `label`.
+    pub fn recv_any_as(&mut self, rank: u32, tag: i64, label: OpLabel) -> &mut Self {
+        self.assert_label(label);
+        self.scripts[rank as usize].push(MpiOp::RecvAny { tag, label });
         self
     }
 
@@ -104,8 +197,16 @@ impl Program {
     /// collective. Leaf ranks see exactly two operations (the paper's
     /// "two steps": the call up and the result back).
     pub fn allreduce(&mut self, tag: i64) -> &mut Self {
-        self.gather_tree(tag, OpLabel::Allreduce);
-        self.bcast_tree(tag + 1, OpLabel::Allreduce);
+        self.allreduce_as(tag, OpLabel::Allreduce)
+    }
+
+    /// [`Program::allreduce`] recorded under `label` (usually one from
+    /// [`Program::add_collective_label`], so derived or declared
+    /// signatures see a distinct collective per call site).
+    pub fn allreduce_as(&mut self, tag: i64, label: OpLabel) -> &mut Self {
+        self.assert_label(label);
+        self.gather_tree(tag, label);
+        self.bcast_tree(tag + 1, label);
         self
     }
 

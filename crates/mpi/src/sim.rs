@@ -116,6 +116,8 @@ struct Runner<'p> {
     e_send: EntryId,
     e_recv: EntryId,
     e_allred: EntryId,
+    /// Entries of the program-defined labels, in registration order.
+    e_custom: Vec<EntryId>,
     /// Last arrival time per (src, dst): enforces non-overtaking.
     last_arrival: HashMap<(u32, u32), Time>,
 }
@@ -138,7 +140,18 @@ impl<'p> Runner<'p> {
         let e_send = builder.add_entry("MPI_Send", None);
         let e_recv = builder.add_entry("MPI_Recv", None);
         let e_allred = builder.add_collective_entry("MPI_Allreduce");
-        Runner {
+        let e_custom: Vec<EntryId> = program
+            .label_defs()
+            .iter()
+            .map(|l| {
+                if l.collective {
+                    builder.add_collective_entry(&l.name)
+                } else {
+                    builder.add_entry(&l.name, None)
+                }
+            })
+            .collect();
+        let mut runner = Runner {
             cfg: cfg.clone(),
             program,
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -149,8 +162,14 @@ impl<'p> Runner<'p> {
             e_send,
             e_recv,
             e_allred,
+            e_custom,
             last_arrival: HashMap::new(),
+        };
+        for d in program.sig_decls() {
+            let (src, dst) = (runner.entry_for(d.src), runner.entry_for(d.dst));
+            runner.builder.declare_sig(arr, src, arr, dst, d.pattern, d.msgs);
         }
+        runner
     }
 
     fn jit(&mut self, d: Dur) -> Dur {
@@ -166,6 +185,7 @@ impl<'p> Runner<'p> {
             OpLabel::Send => self.e_send,
             OpLabel::Recv => self.e_recv,
             OpLabel::Allreduce => self.e_allred,
+            OpLabel::Custom(i) => self.e_custom[i as usize],
         }
     }
 
@@ -288,6 +308,12 @@ impl<'p> Runner<'p> {
             .filter(|&r| self.ranks[r as usize].pc < self.program.script(r).len())
             .collect();
         assert!(stuck.is_empty(), "message-passing program deadlocked; stuck ranks: {stuck:?}");
+        if !self.builder.trace().sigs.is_empty() {
+            // Declared signatures disable automatic derivation; derive
+            // supplemental entries for the undeclared traffic so it
+            // stays admitted by the signature table.
+            self.builder.supplement_derived_sigs();
+        }
         self.builder.build().expect("MPI simulator must produce a valid trace")
     }
 }

@@ -248,6 +248,22 @@ impl TraceBuilder {
         &self.trace
     }
 
+    /// Derives signatures for every message group whose (source array,
+    /// source entry, destination array, destination entry) key has no
+    /// declared signature yet, appending them to the declared table.
+    ///
+    /// This is the simulator-side complement of [`TraceBuilder::declare_sig`]:
+    /// an application (or fuzzer motif) declares the signatures of the
+    /// traffic it understands, and the runtime supplements the table
+    /// with derived entries for its internal traffic (reduction
+    /// managers, collectives) so [`TraceBuilder::build`]'s
+    /// declared-table short-circuit does not leave that traffic
+    /// unadmitted. Declared keys are never overridden — a deliberately
+    /// wrong declaration stays wrong.
+    pub fn supplement_derived_sigs(&mut self) {
+        derive_sigs(&mut self.trace);
+    }
+
     /// Finishes the trace: derives the signature table when none was
     /// declared, sorts idle spans, and validates all invariants.
     pub fn build(mut self) -> Result<Trace, ValidationError> {
@@ -280,7 +296,9 @@ impl TraceBuilder {
 /// application array becomes a [`CommPattern::Neighbor`] with the widest
 /// observed index distance; anything else is [`CommPattern::Any`].
 /// Derived patterns therefore admit every recorded message by
-/// construction.
+/// construction. Groups whose key already carries a declared signature
+/// are skipped, so derivation also works as a supplement to a partial
+/// hand-declared table.
 fn derive_sigs(trace: &mut Trace) {
     use std::collections::{BTreeMap, BTreeSet};
 
@@ -292,12 +310,18 @@ fn derive_sigs(trace: &mut Trace) {
         fan_out: BTreeMap<ChareId, BTreeSet<ChareId>>,
     }
 
+    let declared: BTreeSet<(ArrayId, EntryId, ArrayId, EntryId)> =
+        trace.sigs.iter().map(|s| (s.src_array, s.src_entry, s.dst_array, s.dst_entry)).collect();
     let mut groups: BTreeMap<(ArrayId, EntryId, ArrayId, EntryId), Group> = BTreeMap::new();
     for m in &trace.msgs {
         let sender = &trace.tasks[trace.events[m.send_event.index()].task.index()];
         let src = &trace.chares[sender.chare.index()];
         let dst = &trace.chares[m.dst_chare.index()];
-        let g = groups.entry((src.array, sender.entry, dst.array, m.dst_entry)).or_default();
+        let key = (src.array, sender.entry, dst.array, m.dst_entry);
+        if declared.contains(&key) {
+            continue;
+        }
+        let g = groups.entry(key).or_default();
         g.msgs += 1;
         g.radius = g.radius.max(src.index.abs_diff(dst.index));
         g.fan_in.entry(dst.id).or_default().insert(src.id);

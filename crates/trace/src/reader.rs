@@ -1041,6 +1041,22 @@ impl Loader {
                         ),
                     );
                     diags.downgraded += 1;
+                } else if tasks[tmap[&t.0] as usize].0.sink.is_none() {
+                    // The receive task survived but lost its sink event
+                    // above: a matched message must point at a task
+                    // with a sink, so the match degrades with it.
+                    m.recv_task = None;
+                    m.recv_time = None;
+                    diags.push(
+                        IngestCode::DowngradedLink,
+                        file_of(&files, src),
+                        src.line as usize,
+                        format!(
+                            "MSG {}: receive task {} lost its sink event; match cleared",
+                            m.id.0, t.0
+                        ),
+                    );
+                    diags.downgraded += 1;
                 }
             }
         }

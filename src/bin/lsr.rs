@@ -66,6 +66,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "gen" => done(cmd_gen(rest)),
+        "fuzz" => cmd_fuzz(rest),
         "stats" => done(cmd_stats(rest)),
         "quality" => done(cmd_quality(rest)),
         "extract" => done(cmd_extract(rest)),
@@ -93,6 +94,8 @@ fn print_help() {
          \u{20}  gen <preset> [--out FILE]   generate a proxy-app trace\n\
          \u{20}      presets: jacobi-fig8 jacobi-fig15 lulesh-charm lulesh-mpi\n\
          \u{20}               lassen8 lassen64 lassen-mpi pdes mergetree bt divcon\n\
+         \u{20}  fuzz [flags]                seeded motif-composition fuzzing with a\n\
+         \u{20}                              differential oracle per generated trace\n\
          \u{20}  stats <trace>               table sizes, span, utilization\n\
          \u{20}  quality <trace>             trace-quality report (paper §7.1)\n\
          \u{20}  extract <trace> [flags]     recover phases + logical steps\n\
@@ -135,8 +138,17 @@ fn print_help() {
          \u{20}  --json                   machine-readable report\n\
          \u{20}  --limit N                cap findings (default 64); exits nonzero\n\
          \u{20}                           on any error-severity A code\n\n\
+         FUZZ FLAGS\n\
+         \u{20}  --seed S                 master seed (default 0)\n\
+         \u{20}  --count N                scenarios to generate (default 16)\n\
+         \u{20}  --motifs LIST            comma-separated motif pool (default all):\n\
+         \u{20}                           halo wavefront tree alltoall steal migration\n\
+         \u{20}  --backend charm|mpi      restrict to one backend (default both)\n\
+         \u{20}  --export DIR             write every generated trace into DIR\n\
+         \u{20}                           (failures are always written, plus a ddmin\n\
+         \u{20}                           reproducer when a diagnostic code fired)\n\n\
          SHRINK FLAGS (plus the extraction flags, which shape the oracle)\n\
-         \u{20}  --code CODE              diagnostic to preserve (I/T/H/S/P/A code)\n\
+         \u{20}  --code CODE              diagnostic to preserve (I/T/H/S/P/A/M/R code)\n\
          \u{20}  --out FILE               reproducer path (default <trace>.min.lsrtrace)\n\
          \u{20}  --max-probes N           oracle probe budget (default 4096)\n\n\
          INGESTION (any command that reads a trace)\n\
@@ -175,6 +187,11 @@ fn parse_opts(
         "deny",
         "bottleneck-share",
         "threads",
+        "seed",
+        "count",
+        "motifs",
+        "backend",
+        "export",
     ];
     const BOOL_FLAGS: &[&str] = &[
         "profile",
@@ -496,6 +513,118 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     );
     drop(sp_write);
     obs.finish("gen")
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    use lsr::fuzz::{emit, run_fuzz, Backend, FuzzParams, Motif, Scenario};
+    let (pos, opts) = parse_opts(args)?;
+    if let Some(p) = pos.first() {
+        return Err(format!("fuzz takes no positional arguments, got {p:?}"));
+    }
+    let obs = Obs::from_opts(&opts);
+    let mut params = FuzzParams::default();
+    if let Some(v) = opts.get("seed") {
+        params.seed =
+            v.parse().map_err(|_| format!("--seed wants a non-negative integer, got {v:?}"))?;
+    }
+    if let Some(v) = opts.get("count") {
+        params.count = v.parse().map_err(|_| format!("--count wants a number, got {v:?}"))?;
+        if params.count == 0 {
+            return Err("--count must be at least 1".into());
+        }
+    }
+    if let Some(v) = opts.get("motifs") {
+        let mut motifs: Vec<Motif> = Vec::new();
+        for tok in v.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let m = Motif::parse(tok).ok_or_else(|| {
+                format!(
+                    "unknown motif {tok:?} (catalog: halo wavefront tree alltoall steal migration)"
+                )
+            })?;
+            if !motifs.contains(&m) {
+                motifs.push(m);
+            }
+        }
+        if motifs.is_empty() {
+            return Err("--motifs needs at least one motif".into());
+        }
+        params.motifs = motifs;
+    }
+    if let Some(v) = opts.get("backend") {
+        let b = Backend::parse(v)
+            .ok_or_else(|| format!("unknown backend {v:?} (expected charm or mpi)"))?;
+        params.backends = vec![b];
+    }
+    let export = opts.get("export").map(std::path::PathBuf::from);
+    if let Some(dir) = &export {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+
+    let sp = obs.rec.span("fuzz");
+    let outcomes = run_fuzz(&params, &obs.rec);
+    drop(sp);
+
+    // A failing scenario is always written out (reproducers must
+    // outlive the run); passing scenarios only under --export.
+    let write_trace = |sc: &Scenario, backend: Backend| -> Result<String, String> {
+        let name = format!("fuzz-{}-{:04}.{backend}.lsrtrace", params.seed, sc.id);
+        let path =
+            export.as_deref().map(|d| d.join(&name).to_string_lossy().into_owned()).unwrap_or(name);
+        let trace = emit(sc, backend);
+        let f = std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        logfmt::write_log(&trace, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+        obs.rec.add("fuzz.exported", 1);
+        Ok(path)
+    };
+
+    let mut failures = 0usize;
+    for o in &outcomes {
+        match &o.failure {
+            None => {
+                if export.is_some() {
+                    write_trace(&o.scenario, o.backend)?;
+                }
+            }
+            Some(f) => {
+                failures += 1;
+                let path = write_trace(&o.scenario, o.backend)?;
+                print!("FAIL scenario {} ({}): {f} — wrote {path}", o.scenario.id, o.backend);
+                if let Some(code) = f.shrink_code() {
+                    let log = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+                    let shrink_opts = lsr::audit::ShrinkOptions {
+                        config: o.backend.config(),
+                        ..Default::default()
+                    };
+                    match lsr::audit::shrink_log(&log, code, &shrink_opts) {
+                        Ok(r) => {
+                            let min = format!("{path}.min.lsrtrace");
+                            std::fs::write(&min, r.log.as_bytes())
+                                .map_err(|e| format!("cannot write {min}: {e}"))?;
+                            obs.rec.add("fuzz.shrunk", 1);
+                            print!(
+                                " (+ {min}: {} -> {} records, {code} still fires)",
+                                r.original_records, r.final_records
+                            );
+                        }
+                        Err(e) => print!(" (shrink failed: {e})"),
+                    }
+                }
+                println!();
+            }
+        }
+    }
+
+    println!(
+        "fuzzed {} scenario(s) x {} backend(s) from seed {}: {} trace(s), {} failure(s)",
+        params.count,
+        params.backends.len(),
+        params.seed,
+        outcomes.len(),
+        failures
+    );
+    obs.finish("fuzz")?;
+    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

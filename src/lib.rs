@@ -17,6 +17,8 @@
 //!   the M diagnostics and the fuzzer's equivalence oracle).
 //! * [`audit`] — certificate checking of merge provenance and ddmin
 //!   counterexample minimization ([`lsr_audit`]).
+//! * [`fuzz`] — seeded scenario fuzzing: motif composition through
+//!   both backends plus the differential oracle stack ([`lsr_fuzz`]).
 //! * [`metrics`] — idle experienced, differential duration, imbalance.
 //! * [`obs`] — span/counter observability for the pipeline
 //!   ([`lsr_obs`], the `--profile` machinery).
@@ -32,6 +34,7 @@ pub use lsr_audit as audit;
 pub use lsr_charm as charm;
 pub use lsr_core as core;
 pub use lsr_flow as flow;
+pub use lsr_fuzz as fuzz;
 pub use lsr_lint as lint;
 pub use lsr_metrics as metrics;
 pub use lsr_model as model;

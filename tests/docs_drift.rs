@@ -69,6 +69,100 @@ fn documented_codes(lints_md: &str) -> BTreeSet<String> {
     out
 }
 
+/// Extracts counter names from `add("family.name"` call sites. Names
+/// built with `format!` (e.g. `core.parallel.<stage>`) are invisible
+/// to this scan and are documented with a placeholder row instead.
+fn counters_in(text: &str, out: &mut BTreeSet<String>) {
+    for (i, _) in text.match_indices("add(\"") {
+        let rest = &text[i + 5..];
+        let Some(end) = rest.find('"') else { continue };
+        let name = &rest[..end];
+        if name.contains('.')
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_')
+        {
+            out.insert(name.to_string());
+        }
+    }
+}
+
+/// Recursively collects counter-name literals from `.rs` files.
+fn scan_counters(dir: &Path, out: &mut BTreeSet<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            scan_counters(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&path) {
+                counters_in(&text, out);
+            }
+        }
+    }
+}
+
+/// Every counter the pipeline increments has a reference-page mention:
+/// `docs/observability.md` carries the inventory table, `docs/audit.md`
+/// documents the audit/shrink counters alongside their subcommands.
+#[test]
+fn every_emitted_counter_is_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut emitted = BTreeSet::new();
+    for dir in ["src", "crates"] {
+        scan_counters(&root.join(dir), &mut emitted);
+    }
+    // The fuzz sweep counters must be part of the scan (guards both
+    // the scanner and the instrumentation against silent renames).
+    for name in [
+        "fuzz.scenarios",
+        "fuzz.motifs",
+        "fuzz.traces",
+        "fuzz.tasks",
+        "fuzz.msgs",
+        "fuzz.failures",
+        "fuzz.exported",
+        "fuzz.shrunk",
+    ] {
+        assert!(emitted.contains(name), "counter {name} is no longer incremented anywhere");
+    }
+    assert!(emitted.len() >= 20, "counter scan looks broken: only found {emitted:?}");
+
+    let docs: String =
+        ["docs/observability.md", "docs/audit.md", "docs/analyze.md", "docs/model.md"]
+            .iter()
+            .map(|p| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}")))
+            .collect();
+    // The inventory table groups siblings (`core.edges.inferred` /
+    // `.ordering`), uses `<stage>` placeholders, and `family.*` globs;
+    // accept those spellings alongside the literal name.
+    let documented = |name: &str| -> bool {
+        if docs.contains(name) {
+            return true;
+        }
+        if let Some((parent, last)) = name.rsplit_once('.') {
+            if docs.contains(parent)
+                && (docs.contains(&format!(".{last}")) || docs.contains(&format!("{parent}.<")))
+            {
+                return true;
+            }
+        }
+        let family = name.split('.').next().unwrap_or(name);
+        docs.contains(&format!("{family}.*"))
+    };
+    let undocumented: Vec<&String> = emitted.iter().filter(|n| !documented(n)).collect();
+    assert!(
+        undocumented.is_empty(),
+        "counters incremented in source but absent from the docs/ reference pages: {undocumented:?}"
+    );
+}
+
 #[test]
 fn every_emitted_code_is_documented_and_vice_versa() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
