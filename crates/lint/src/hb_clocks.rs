@@ -1,0 +1,123 @@
+//! The sparse epoch-clock engine ([`crate::HbEngine::Clocks`]) — the
+//! baseline the dynamic engine is differentially checked against.
+//!
+//! A task's clock is a sorted vector of `(lane, epoch)` pairs, where
+//! epoch `e` summarizes the ancestor *interval* `[0, e)` of that lane:
+//! the first `e` tasks of the lane happen before (or are) the owner.
+//! Three tricks keep the store at O(tasks + edges) words instead of
+//! the dense O(tasks × lanes) matrix:
+//!
+//! * lanes the owner has no ancestors in are simply absent;
+//! * the owner's own lane is never stored — its epoch is implied by
+//!   the owner's position in the lane;
+//! * a task whose only generating predecessor is its lane predecessor
+//!   *shares* that predecessor's clock (the own-lane epoch, the only
+//!   difference, is implied). New clocks are allocated only at joins —
+//!   tasks with message (or cross-lane) in-edges — so the pool holds
+//!   at most one clock per generating edge plus one shared empty
+//!   clock.
+//!
+//! A cross-lane query binary-searches one lane in one clock: O(log c)
+//! for a clock with c entries. The cost this engine pays — and the
+//! dynamic engine does not — is the clock *materialization*: every
+//! join merges and re-sorts its predecessors' clocks into a fresh pool
+//! entry, so build time and memory carry an O(depth) factor per join.
+
+use crate::hb::{HbBase, HbStats};
+
+/// The clock pool and per-task pool index.
+#[derive(Debug)]
+pub(crate) struct ClockStore {
+    /// Clock pool index per task. Many tasks share one pool entry.
+    clock_of: Vec<u32>,
+    /// Sparse clocks: sorted `(lane, epoch)` pairs, own lane excluded.
+    clocks: Vec<Vec<(u32, u32)>>,
+    /// Tasks that shared a predecessor's clock.
+    shared_tasks: usize,
+}
+
+impl ClockStore {
+    /// An inert store for cyclic relations (never queried; the facade
+    /// short-circuits on a non-empty cycle witness).
+    pub(crate) fn empty(n: usize) -> ClockStore {
+        ClockStore { clock_of: vec![0; n], clocks: Vec::new(), shared_tasks: 0 }
+    }
+
+    /// Materializes the clock pool in topological order.
+    pub(crate) fn build(base: &HbBase) -> ClockStore {
+        let n = base.n;
+        let mut clocks: Vec<Vec<(u32, u32)>> = vec![Vec::new()]; // id 0: empty
+        let mut clock_of = vec![0u32; n];
+        let mut shared_tasks = 0usize;
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for &t in &base.topo {
+            let ti = t as usize;
+            let ps = base.preds(t);
+            if ps.is_empty() {
+                shared_tasks += 1; // shares the empty clock
+                continue;
+            }
+            if let [p] = ps[..] {
+                let pi = p as usize;
+                if base.lane_of[pi] == base.lane_of[ti] && base.pos[pi] + 1 == base.pos[ti] {
+                    // Sole predecessor is the lane predecessor: the own
+                    // lane epoch is implied, everything else is equal.
+                    clock_of[ti] = clock_of[pi];
+                    shared_tasks += 1;
+                    continue;
+                }
+            }
+            // Join: merge predecessor clocks, taking the max epoch per
+            // lane; each predecessor additionally contributes its own
+            // implied epoch.
+            scratch.clear();
+            for &p in ps {
+                let pi = p as usize;
+                scratch.extend_from_slice(&clocks[clock_of[pi] as usize]);
+                scratch.push((base.lane_of[pi], base.pos[pi] + 1));
+            }
+            scratch.sort_unstable();
+            scratch.dedup_by(|later, earlier| {
+                if later.0 == earlier.0 {
+                    earlier.1 = later.1; // ascending sort: keep the max
+                    true
+                } else {
+                    false
+                }
+            });
+            // The own-lane epoch can only be ≤ pos + 1 on a DAG (a
+            // later chain member reaching back would be a cycle), so
+            // it stays implied.
+            scratch.retain(|&(l, _)| l != base.lane_of[ti]);
+            clock_of[ti] = clocks.len() as u32;
+            clocks.push(scratch.clone());
+        }
+        ClockStore { clock_of, clocks, shared_tasks }
+    }
+
+    /// Cross-lane query: is lane `la` at position `pos_a` summarized as
+    /// an ancestor by task `bi`'s clock?
+    pub(crate) fn cross_query(&self, la: u32, pos_a: u32, bi: usize) -> bool {
+        let clock = &self.clocks[self.clock_of[bi] as usize];
+        match clock.binary_search_by_key(&la, |&(l, _)| l) {
+            Ok(at) => clock[at].1 > pos_a,
+            Err(_) => false,
+        }
+    }
+
+    /// Measured bytes: pool entries (8 B each) plus pool vector
+    /// headers plus the per-task pool index.
+    pub(crate) fn size_bytes(&self) -> usize {
+        let entries: usize = self.clocks.iter().map(Vec::len).sum();
+        entries * 8
+            + self.clocks.len() * std::mem::size_of::<Vec<(u32, u32)>>()
+            + self.clock_of.len() * 4
+    }
+
+    /// Fills the clock-family counters of [`HbStats`].
+    pub(crate) fn fill_stats(&self, st: &mut HbStats) {
+        st.clocks = self.clocks.len();
+        st.clock_entries = self.clocks.iter().map(Vec::len).sum();
+        st.shared_tasks = self.shared_tasks;
+    }
+}

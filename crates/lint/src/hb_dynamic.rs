@@ -1,0 +1,389 @@
+//! The dynamic partial-order engine ([`crate::HbEngine::Dynamic`]) —
+//! order-maintenance labels plus a collective sparse segment store of
+//! exception intervals, with no clock materialization. `docs/hb.md`
+//! gives the full design and complexity argument; the short form:
+//!
+//! * **Levels.** `level[u]` is the longest-path depth of `u`. An edge
+//!   `u → v` implies `level[v] > level[u]`, so most negative queries
+//!   die on one integer compare.
+//! * **Spanning forest + interval labels.** Each task picks its
+//!   deepest predecessor as forest parent (smallest id on ties). A DFS
+//!   of the forest assigns each task the half-open entry counter
+//!   `low[u]` and its own post-order number `post[u]`; the subtree of
+//!   `u` — all of it reachable from `u` — is exactly the tasks whose
+//!   post number lies in `[low[u], post[u]]`. One containment check
+//!   answers every tree-covered positive query.
+//! * **Exception segments.** Reachability that flows through non-tree
+//!   edges is stored as sorted, disjoint post-number intervals — the
+//!   *exceptions* to the subtree interval. `reach(u)` is exactly
+//!   `[low[u], post[u]] ∪ extras(u)`; a query is one binary search in
+//!   `extras(a)`, O(log k) for k exception intervals. Segments live in
+//!   a shared arena: a task whose only successor is its own forest
+//!   child points at the child's segment (no allocation — the CSST-
+//!   style collective store), so forest-shaped relations (the merge
+//!   tree, rings, wavefronts without joins) store **zero** exception
+//!   entries and the whole engine is five u32 arrays.
+//!
+//! Insertion is incremental in trace order: [`DynStore::push_node`]
+//! appends a task whose predecessors are already present (levels,
+//! parents, and lane positions are final immediately — the DePa-style
+//! half), and [`DynStore::seal`] finalizes the interval labels in one
+//! backward sweep. An online mode would re-seal lazily; batch analysis
+//! seals once.
+
+use crate::hb::{HbBase, HbStats};
+
+/// The label arrays and the shared exception-segment arena.
+#[derive(Debug)]
+pub(crate) struct DynStore {
+    /// Longest-path depth of each task.
+    level: Vec<u32>,
+    /// Forest parent (deepest predecessor; `u32::MAX` at roots).
+    parent: Vec<u32>,
+    /// DFS entry counter: smallest post number in the subtree.
+    low: Vec<u32>,
+    /// Post-order number; `[low, post]` is the subtree interval.
+    post: Vec<u32>,
+    /// Exception segment of each task (segment id; segment `k` spans
+    /// `pool[seg_off[k]..seg_off[k + 1]]`).
+    seg_of: Vec<u32>,
+    /// Segment extents in `pool`; segment 0 is the shared empty
+    /// segment. One flat arena instead of per-segment allocations —
+    /// the collective store is a single slab.
+    seg_off: Vec<u32>,
+    /// All exception intervals, segment by segment. Each segment is a
+    /// sorted list of disjoint `(lo, hi)` post-number intervals, both
+    /// ends inclusive.
+    pool: Vec<(u32, u32)>,
+    /// Tasks that pointed at an existing segment instead of
+    /// allocating.
+    shared_tasks: usize,
+}
+
+impl DynStore {
+    /// An inert store for cyclic relations (never queried; the facade
+    /// short-circuits on a non-empty cycle witness).
+    pub(crate) fn empty(n: usize) -> DynStore {
+        DynStore {
+            level: Vec::new(),
+            parent: Vec::new(),
+            low: Vec::new(),
+            post: Vec::new(),
+            seg_of: vec![0; n],
+            seg_off: vec![0, 0],
+            pool: Vec::new(),
+            shared_tasks: 0,
+        }
+    }
+
+    /// Builds the store by streaming every task through
+    /// [`DynStore::push_node`] in topological order, then sealing.
+    /// When task ids are already topological (`HbBase::forward_ids` —
+    /// every generator), the passes stream the label arrays
+    /// sequentially instead of hopping through `topo`'s indirection.
+    pub(crate) fn build(base: &HbBase) -> DynStore {
+        let mut store = DynStore::empty(base.n);
+        store.level = vec![0; base.n];
+        store.parent = vec![u32::MAX; base.n];
+        store.low = vec![0; base.n];
+        store.post = vec![0; base.n];
+        if base.forward_ids {
+            store.fill(base, 0..base.n as u32);
+        } else {
+            store.fill(base, base.topo.iter().copied());
+        }
+        store
+    }
+
+    /// Runs the insertion stream and the seal over one topological
+    /// visit order (sequential ids on forward traces, Kahn order
+    /// otherwise).
+    fn fill<I>(&mut self, base: &HbBase, order: I)
+    where
+        I: Iterator<Item = u32> + DoubleEndedIterator + Clone,
+    {
+        for t in order.clone() {
+            self.push_node(t, base.preds(t));
+        }
+        self.seal(base, order);
+    }
+
+    /// Inserts one task whose predecessors are already present: its
+    /// level and forest parent are final immediately. O(in-degree).
+    pub(crate) fn push_node(&mut self, t: u32, preds: &[u32]) {
+        let mut level = 0u32;
+        let mut parent = u32::MAX;
+        for &p in preds {
+            // Strict `>` keeps the smallest id among equally deep
+            // predecessors (preds come in ascending id order).
+            if self.level[p as usize] + 1 > level {
+                level = self.level[p as usize] + 1;
+                parent = p;
+            }
+        }
+        self.level[t as usize] = level;
+        self.parent[t as usize] = parent;
+    }
+
+    /// Finalizes the interval labels: one reverse-topological pass for
+    /// subtree sizes, one forward pass allocating each subtree its
+    /// post-number interval (an implicit DFS post-order with children
+    /// visited in topological order — a pure function of the
+    /// relation), then one reverse-topological sweep building the
+    /// exception segments. O(n + m + total exception entries·log).
+    pub(crate) fn seal<I>(&mut self, base: &HbBase, order: I)
+    where
+        I: Iterator<Item = u32> + DoubleEndedIterator + Clone,
+    {
+        let n = base.n;
+
+        // Subtree sizes: parents precede children in topological
+        // order, so one backward pass accumulates them.
+        let mut lab = vec![1u32; n];
+        for t in order.clone().rev() {
+            let p = self.parent[t as usize];
+            if p != u32::MAX {
+                lab[p as usize] += lab[t as usize];
+            }
+        }
+
+        // Interval allocation: node u owns [low, low + size - 1] and
+        // exits last (post = the top end); its children pack disjoint
+        // subranges from low upward in visit order. `lab[u]` holds the
+        // subtree size until u is visited, then becomes u's child
+        // cursor — each entry is read exactly once in each role.
+        let mut counter = 0u32;
+        for t in order.clone() {
+            let ti = t as usize;
+            let sz = lab[ti];
+            let p = self.parent[ti];
+            let lo = if p == u32::MAX {
+                let lo = counter;
+                counter += sz;
+                lo
+            } else {
+                let lo = lab[p as usize];
+                lab[p as usize] += sz;
+                lo
+            };
+            self.low[ti] = lo;
+            self.post[ti] = lo + sz - 1;
+            lab[ti] = lo;
+        }
+
+        // Exception segments in reverse topological order (descendants
+        // sealed first). A task inherits through the forest for free;
+        // everything else in its successors' reach sets that falls
+        // outside its own subtree interval becomes an exception,
+        // written straight into the shared pool.
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for t in order.rev() {
+            let ti = t as usize;
+            let succs = base.succs(t);
+            if succs.is_empty() {
+                self.shared_tasks += 1; // shares the empty segment
+                continue;
+            }
+            if let [s] = succs[..] {
+                let si = s as usize;
+                if self.parent[si] == t {
+                    // Sole successor is the own forest child: subtree(t)
+                    // = {t} ∪ subtree(s), and no exception of s can name
+                    // t (that would be a cycle), so the segment is
+                    // shared verbatim — the collective store at work.
+                    self.seg_of[ti] = self.seg_of[s as usize];
+                    self.shared_tasks += 1;
+                    continue;
+                }
+                // Sole non-tree successor: reach(t) = subtree(s) ∪
+                // extras(s), and the latter is already a sorted
+                // disjoint list, so splice `[low(s), post(s)]` into it
+                // and subtract the own subtree interval in one linear
+                // emit — no scratch, no sort. This is the hot case on
+                // chain-heavy traces (every task sends at most once).
+                let k = self.seg_of[si] as usize;
+                let (sk0, sk1) = (self.seg_off[k] as usize, self.seg_off[k + 1] as usize);
+                let mark = self.pool.len();
+                let (lo_t, hi_t) = (self.low[ti], self.post[ti]);
+                let mut pending = (self.low[si], self.post[si]);
+                let mut placed = false;
+                for idx in sk0..sk1 {
+                    let (lo, hi) = self.pool[idx];
+                    let (lo, hi) = if placed {
+                        (lo, hi)
+                    } else if hi.saturating_add(1) < pending.0 {
+                        // Entirely before the spliced interval.
+                        (lo, hi)
+                    } else if pending.1.saturating_add(1) < lo {
+                        // The spliced interval lands here; emit it
+                        // first, then this entry.
+                        placed = true;
+                        Self::push_outside(&mut self.pool, pending, lo_t, hi_t);
+                        (lo, hi)
+                    } else {
+                        // Overlapping or adjacent: absorb and keep
+                        // scanning.
+                        pending.0 = pending.0.min(lo);
+                        pending.1 = pending.1.max(hi);
+                        continue;
+                    };
+                    Self::push_outside(&mut self.pool, (lo, hi), lo_t, hi_t);
+                }
+                if !placed {
+                    Self::push_outside(&mut self.pool, pending, lo_t, hi_t);
+                }
+                if self.pool.len() == mark {
+                    self.shared_tasks += 1; // tree-covered: empty segment
+                    continue;
+                }
+                self.seg_of[ti] = (self.seg_off.len() - 1) as u32;
+                self.seg_off.push(self.pool.len() as u32);
+                continue;
+            }
+            scratch.clear();
+            for &s in succs {
+                let si = s as usize;
+                if self.parent[si] != t {
+                    // Non-tree successor: its whole subtree interval is
+                    // reachable. (Tree children are inside [low, post]
+                    // already.)
+                    scratch.push((self.low[si], self.post[si]));
+                }
+                let k = self.seg_of[si] as usize;
+                scratch.extend_from_slice(
+                    &self.pool[self.seg_off[k] as usize..self.seg_off[k + 1] as usize],
+                );
+            }
+            match scratch.len() {
+                // Join scratches are tiny; skip the sort machinery for
+                // the overwhelmingly common one- and two-entry cases.
+                0 | 1 => {}
+                2 => {
+                    if scratch[0] > scratch[1] {
+                        scratch.swap(0, 1);
+                    }
+                }
+                _ => scratch.sort_unstable(),
+            }
+            // Coalesce overlapping or adjacent intervals and subtract
+            // the own subtree interval (exceptions are exceptions),
+            // appending survivors directly to the pool.
+            let mark = self.pool.len();
+            let (lo_t, hi_t) = (self.low[ti], self.post[ti]);
+            let mut cur: Option<(u32, u32)> = None;
+            for &(lo, hi) in &scratch {
+                match &mut cur {
+                    Some((_, chi)) if lo <= chi.saturating_add(1) => *chi = (*chi).max(hi),
+                    _ => {
+                        if let Some(c) = cur {
+                            Self::push_outside(&mut self.pool, c, lo_t, hi_t);
+                        }
+                        cur = Some((lo, hi));
+                    }
+                }
+            }
+            if let Some(c) = cur {
+                Self::push_outside(&mut self.pool, c, lo_t, hi_t);
+            }
+            if self.pool.len() == mark {
+                self.shared_tasks += 1; // tree-covered: empty segment
+                continue;
+            }
+            self.seg_of[ti] = (self.seg_off.len() - 1) as u32;
+            self.seg_off.push(self.pool.len() as u32);
+        }
+        // The forest is now fully encoded in the interval labels;
+        // queries never look at parents again, so the array is
+        // released rather than kept on the sealed store's footprint.
+        self.parent = Vec::new();
+    }
+
+    /// Appends the parts of `(lo, hi)` lying outside the subtree
+    /// interval `[lo_t, hi_t]` to the pool — exceptions are
+    /// exceptions; a task's own subtree is covered by its interval
+    /// label.
+    #[inline]
+    fn push_outside(pool: &mut Vec<(u32, u32)>, (lo, hi): (u32, u32), lo_t: u32, hi_t: u32) {
+        if hi < lo_t || lo > hi_t {
+            pool.push((lo, hi));
+        } else {
+            if lo < lo_t {
+                pool.push((lo, lo_t - 1));
+            }
+            if hi > hi_t {
+                pool.push((hi_t + 1, hi));
+            }
+        }
+    }
+
+    /// Cross-lane query: does `a` reach `b`? One level compare, one
+    /// interval containment, and at most one binary search.
+    pub(crate) fn cross_query(&self, ai: usize, bi: usize) -> bool {
+        if self.level.is_empty() || self.level[bi] <= self.level[ai] {
+            return false;
+        }
+        let pb = self.post[bi];
+        if self.low[ai] <= pb && pb <= self.post[ai] {
+            return true;
+        }
+        let k = self.seg_of[ai] as usize;
+        let seg = &self.pool[self.seg_off[k] as usize..self.seg_off[k + 1] as usize];
+        let at = seg.partition_point(|&(lo, _)| lo <= pb);
+        at > 0 && seg[at - 1].1 >= pb
+    }
+
+    /// Measured bytes: the per-task label arrays plus the flat
+    /// segment arena (interval entries and segment extents). The
+    /// parent array is build-only and freed by `seal`, but counted
+    /// here while it lives so a pre-seal measurement stays honest.
+    pub(crate) fn size_bytes(&self) -> usize {
+        (self.level.len() + self.parent.len() + self.low.len() + self.post.len()) * 4
+            + self.seg_of.len() * 4
+            + self.pool.len() * 8
+            + self.seg_off.len() * 4
+    }
+
+    /// Fills the label-family counters of [`HbStats`].
+    pub(crate) fn fill_stats(&self, st: &mut HbStats) {
+        st.segments = self.seg_off.len() - 1;
+        st.interval_entries = self.pool.len();
+        st.shared_tasks = self.shared_tasks;
+    }
+
+    /// Mutation hook: drop the last interval of the first non-empty
+    /// segment, as if a cross-lane edge insertion had been lost.
+    pub(crate) fn corrupt_drop_interval(&mut self) -> bool {
+        for k in 1..self.seg_off.len() - 1 {
+            if self.seg_off[k + 1] > self.seg_off[k] {
+                self.pool.remove(self.seg_off[k + 1] as usize - 1);
+                for off in &mut self.seg_off[k + 1..] {
+                    *off -= 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mutation hook: swap the full labels (level, low, post) of two
+    /// tasks.
+    pub(crate) fn corrupt_swap_labels(&mut self, a: usize, b: usize) -> bool {
+        if a == b || a >= self.level.len() || b >= self.level.len() {
+            return false;
+        }
+        self.level.swap(a, b);
+        self.low.swap(a, b);
+        self.post.swap(a, b);
+        true
+    }
+
+    /// Mutation hook: point a task at the empty segment, as if its
+    /// segment had gone stale after an insertion.
+    pub(crate) fn corrupt_stale_segment(&mut self, t: usize) -> bool {
+        if t >= self.seg_of.len() || self.seg_of[t] == 0 {
+            return false;
+        }
+        self.seg_of[t] = 0;
+        true
+    }
+}

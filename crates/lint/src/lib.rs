@@ -38,17 +38,25 @@
 mod analyze;
 mod diag;
 mod hb;
+mod hb_clocks;
+mod hb_dynamic;
 mod model;
 mod passes;
 mod race;
 
 pub use analyze::analyze_structure;
 pub use diag::{Diagnostic, Location, Severity};
-pub use hb::{HbIndex, HbMode, HbQuery, HbStats, ScheduleOracle};
+#[doc(hidden)]
+pub use hb::HbBase;
+#[doc(hidden)]
+pub use hb::HbCorruption;
+pub use hb::{HbEngine, HbIndex, HbMode, HbQuery, HbStats, ScheduleOracle};
 pub use model::{model_diagnostics, model_report_json};
+#[doc(hidden)]
+pub use race::analyze_races_with_index;
 pub use race::{
-    analyze_races, causal_mode, classify, swap_adjacent_delivery, swappable_races, Race, RaceClass,
-    RaceReport, RaceScope, UntracedPair,
+    analyze_races, analyze_races_with, causal_mode, classify, swap_adjacent_delivery,
+    swappable_races, Race, RaceClass, RaceReport, RaceScope, UntracedPair,
 };
 
 use lsr_core::{Config, LogicalStructure, StageSnapshot};

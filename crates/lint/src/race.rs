@@ -34,7 +34,7 @@
 //! to H003 candidates), R005 enumeration truncated.
 
 use crate::diag::{Diagnostic, Location, Severity};
-use crate::hb::{HbIndex, HbMode, HbStats};
+use crate::hb::{HbEngine, HbIndex, HbMode, HbStats};
 use crate::passes;
 use lsr_core::{Config, MergeProvenance, TraceModel};
 use lsr_trace::{ChareId, PeId, TaskId, Time, Trace, TraceIndex};
@@ -124,7 +124,11 @@ pub struct RaceReport {
     pub scanned_pairs: usize,
     /// True when enumeration stopped at the limit (R005 reported).
     pub truncated: bool,
-    /// Clock-store statistics of the causal happened-before index.
+    /// Store statistics of the causal happened-before index (engine-
+    /// versioned: clock-family or label-family counters, depending on
+    /// the [`HbEngine`] used). Deliberately absent from
+    /// [`RaceReport::to_json`], which stays engine-agnostic so both
+    /// engines produce byte-identical reports.
     pub hb_stats: HbStats,
 }
 
@@ -242,9 +246,46 @@ fn message_triggered(trace: &Trace, t: TaskId) -> bool {
 /// causal cycle witness as `Err` when the causal relation is not a
 /// partial order (a corrupt trace — run [`crate::lint_trace`] first).
 pub fn analyze_races(trace: &Trace, cfg: &Config, limit: usize) -> Result<RaceReport, Vec<TaskId>> {
-    let limit = limit.max(1);
+    analyze_races_with(trace, cfg, limit, HbEngine::default())
+}
+
+/// [`analyze_races`] with an explicit happened-before engine (`lsr
+/// races --engine`). Both engines answer every query identically, so
+/// the report — diagnostics, JSON, counts — is byte-identical across
+/// engines; only [`RaceReport::hb_stats`] differs.
+pub fn analyze_races_with(
+    trace: &Trace,
+    cfg: &Config,
+    limit: usize,
+    engine: HbEngine,
+) -> Result<RaceReport, Vec<TaskId>> {
     let ix = trace.index();
-    let causal = HbIndex::build_with_mode(trace, &ix, causal_mode(cfg));
+    let causal = HbIndex::build_with_engine(trace, &ix, causal_mode(cfg), engine);
+    analyze_with_index(trace, &ix, cfg, limit, &causal)
+}
+
+/// [`analyze_races`] over a pre-built causal index. Mutation tests use
+/// this to feed a deliberately corrupted engine through the real scan
+/// and watch the verdict flip; it is not API.
+#[doc(hidden)]
+pub fn analyze_races_with_index(
+    trace: &Trace,
+    cfg: &Config,
+    limit: usize,
+    causal: &HbIndex,
+) -> Result<RaceReport, Vec<TaskId>> {
+    let ix = trace.index();
+    analyze_with_index(trace, &ix, cfg, limit, causal)
+}
+
+fn analyze_with_index(
+    trace: &Trace,
+    ix: &TraceIndex,
+    cfg: &Config,
+    limit: usize,
+    causal: &HbIndex,
+) -> Result<RaceReport, Vec<TaskId>> {
+    let limit = limit.max(1);
     if !causal.cycle().is_empty() {
         return Err(causal.cycle().to_vec());
     }
@@ -257,7 +298,7 @@ pub fn analyze_races(trace: &Trace, cfg: &Config, limit: usize) -> Result<RaceRe
     let mut untraced = Vec::new();
     let mut scanned = 0usize;
     let mut truncated = false;
-    'streams: for (scope, stream) in streams(trace, &ix) {
+    'streams: for (scope, stream) in streams(trace, ix) {
         for w in stream.windows(2) {
             scanned += 1;
             let (a, b) = (w[0], w[1]);
@@ -278,17 +319,17 @@ pub fn analyze_races(trace: &Trace, cfg: &Config, limit: usize) -> Result<RaceRe
     }
 
     let diagnostics =
-        race_diagnostics(trace, &ix, &cfg.recorder, &races, &untraced, truncated, limit);
+        race_diagnostics(trace, ix, &cfg.recorder, &races, &untraced, truncated, limit);
+    let hb_stats = causal.stats();
     cfg.recorder.add("lint.hb.queries", causal.query_count());
     cfg.recorder.add("lint.races.scanned_pairs", scanned as u64);
-    Ok(RaceReport {
-        races,
-        untraced,
-        diagnostics,
-        scanned_pairs: scanned,
-        truncated,
-        hb_stats: causal.stats(),
-    })
+    // Engine-store counters. The recorder drops zero deltas, so only
+    // the active engine's family shows up in a profile.
+    cfg.recorder.add("lint.hb.bytes", hb_stats.bytes as u64);
+    cfg.recorder.add("lint.hb.clock_entries", hb_stats.clock_entries as u64);
+    cfg.recorder.add("lint.hb.segments", hb_stats.segments as u64);
+    cfg.recorder.add("lint.hb.interval_entries", hb_stats.interval_entries as u64);
+    Ok(RaceReport { races, untraced, diagnostics, scanned_pairs: scanned, truncated, hb_stats })
 }
 
 /// The serial streams race analysis scans: one per application chare

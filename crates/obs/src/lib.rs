@@ -35,7 +35,7 @@ use std::time::Instant;
 
 /// Schema identifier stamped into every [`Profile`] and its JSON form.
 /// Bump the `/1` suffix on any breaking change to the JSON shape.
-pub const PROFILE_SCHEMA: &str = "lsr-obs-profile/1";
+pub const PROFILE_SCHEMA: &str = "lsr-obs-profile/2";
 
 // ---------------------------------------------------------------------
 // Recorder
@@ -712,7 +712,7 @@ mod tests {
     fn json_matches_schema_shape() {
         let p = healthy_profile();
         let j = p.to_json();
-        assert!(j.contains("\"schema\": \"lsr-obs-profile/1\""));
+        assert!(j.contains("\"schema\": \"lsr-obs-profile/2\""));
         assert!(j.contains("\"command\": \"test\""));
         assert!(j.contains("\"spans\": ["));
         assert!(j.contains("\"counters\": {"));

@@ -92,7 +92,7 @@ mod tests {
         rec.add("ingest.bytes", 1000);
         let p = rec.profile("extract").unwrap();
         let r = profile_report(&p);
-        assert!(r.starts_with("profile: extract (lsr-obs-profile/1)\n"), "{r}");
+        assert!(r.starts_with("profile: extract (lsr-obs-profile/2)\n"), "{r}");
         assert!(r.contains("\n  extract "), "{r}");
         assert!(r.contains("\n    atoms "), "nested child indents: {r}");
         assert!(r.contains("core.atoms"), "{r}");

@@ -93,7 +93,8 @@ fn print_help() {
          COMMANDS\n\
          \u{20}  gen <preset> [--out FILE]   generate a proxy-app trace\n\
          \u{20}      presets: jacobi-fig8 jacobi-fig15 lulesh-charm lulesh-mpi\n\
-         \u{20}               lassen8 lassen64 lassen-mpi pdes mergetree bt divcon\n\
+         \u{20}               lassen8 lassen64 lassen-mpi pdes mergetree\n\
+         \u{20}               mergetree1024 bt divcon\n\
          \u{20}  fuzz [flags]                seeded motif-composition fuzzing with a\n\
          \u{20}                              differential oracle per generated trace\n\
          \u{20}  stats <trace>               table sizes, span, utilization\n\
@@ -133,7 +134,9 @@ fn print_help() {
          \u{20}  --json                       machine-readable report\n\
          \u{20}  --deny-structure-affecting   exit nonzero when a race can change\n\
          \u{20}                               the recovered structure (R002)\n\
-         \u{20}  --limit N                    cap reported races (default 64)\n\n\
+         \u{20}  --limit N                    cap reported races (default 64)\n\
+         \u{20}  --engine clocks|dynamic      happened-before engine (default dynamic);\n\
+         \u{20}                               both produce identical reports\n\n\
          AUDIT FLAGS (plus the extraction flags above)\n\
          \u{20}  --json                   machine-readable report\n\
          \u{20}  --limit N                cap findings (default 64); exits nonzero\n\
@@ -160,7 +163,7 @@ fn print_help() {
          \u{20}  --from NS --to NS        analyze only tasks inside [from, to]\n\n\
          OBSERVABILITY (every command; docs/observability.md)\n\
          \u{20}  --profile                span/counter report on stderr\n\
-         \u{20}  --profile-json FILE      JSON profile (schema lsr-obs-profile/1,\n\
+         \u{20}  --profile-json FILE      JSON profile (schema lsr-obs-profile/2,\n\
          \u{20}                           `-` for stdout)\n\n\
          RENDER FLAGS\n\
          \u{20}  --view logical|physical|migration   --format ascii|svg|dot\n\
@@ -192,6 +195,7 @@ fn parse_opts(
         "motifs",
         "backend",
         "export",
+        "engine",
     ];
     const BOOL_FLAGS: &[&str] = &[
         "profile",
@@ -473,6 +477,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "lassen-mpi" => lassen_mpi(&LassenParams::mpi(4, 2)),
         "pdes" => pdes_charm(&PdesParams::fig24()),
         "mergetree" => mergetree_mpi(&MergeTreeParams::small()),
+        "mergetree1024" => mergetree_mpi(&MergeTreeParams::fig10()),
         "bt" => bt_mpi(&BtParams::fig1()),
         "divcon" => divcon_charm(&DivConParams::small()),
         other => return Err(format!("unknown preset {other:?} (run `lsr help`)")),
@@ -952,8 +957,13 @@ fn cmd_races(args: &[String]) -> Result<ExitCode, String> {
         None => lsr::lint::DEFAULT_DIAG_LIMIT,
         Some(v) => v.parse().map_err(|_| format!("--limit wants a number, got {v:?}"))?,
     };
+    let engine = match opts.get("engine") {
+        None => lsr::lint::HbEngine::default(),
+        Some(v) => lsr::lint::HbEngine::parse(v)
+            .ok_or_else(|| format!("--engine wants `clocks` or `dynamic`, got {v:?}"))?,
+    };
     let sp_races = obs.rec.span("races");
-    let report = lsr::lint::analyze_races(&trace, &cfg, limit).map_err(|cyc| {
+    let report = lsr::lint::analyze_races_with(&trace, &cfg, limit, engine).map_err(|cyc| {
         let shown: Vec<String> = cyc.iter().take(8).map(|t| t.to_string()).collect();
         format!(
             "causal happened-before cycle through {} task(s): {} — run `lsr lint` first",

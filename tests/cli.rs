@@ -298,7 +298,7 @@ fn check_profile_schema(text: &str, command: &str) {
         .unwrap_or_else(|e| panic!("{command}: profile JSON parses: {e}"));
     assert_eq!(
         v.get("schema"),
-        Some(&serde::Value::Str("lsr-obs-profile/1".into())),
+        Some(&serde::Value::Str("lsr-obs-profile/2".into())),
         "{command}: schema tag"
     );
     assert_eq!(v.get("command"), Some(&serde::Value::Str(command.into())), "{command}: command");
@@ -352,7 +352,7 @@ fn profile_flag_reports_to_stderr_only() {
     assert_eq!(stdout(&out), plain, "--profile must not perturb stdout");
     // ...and the report lands on stderr: header, span tree, counters.
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("profile: extract (lsr-obs-profile/1)"), "{err}");
+    assert!(err.contains("profile: extract (lsr-obs-profile/2)"), "{err}");
     assert!(err.contains("spans:"), "{err}");
     assert!(err.contains("  ingest "), "{err}");
     assert!(err.contains("    atoms "), "ingest/extract stage spans nested: {err}");
@@ -493,5 +493,60 @@ fn shrink_minimizes_a_planted_corruption_to_a_replayable_reproducer() {
     let out = lsr(&["lint", "min.lsrtrace"], &dir);
     assert!(!out.status.success(), "reproducer must still fail the lint");
     assert!(stdout(&out).contains("T005"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection: `lsr races --engine {clocks,dynamic}`.
+
+/// Deprecation hygiene for the engine rebuild: on every generator
+/// preset, `--engine clocks` and `--engine dynamic` produce identical
+/// `--json` race reports (the engine is an implementation choice, not
+/// a semantic one), the default run matches both, and a bad value is
+/// rejected with the flag's vocabulary.
+#[test]
+fn races_engine_choice_never_changes_the_json_report() {
+    let dir = temp_dir("engine");
+    // Every preset with the extraction flags its app family needs.
+    let presets: &[(&str, &[&str])] = &[
+        ("jacobi-fig8", &[]),
+        ("jacobi-fig15", &[]),
+        ("lulesh-charm", &[]),
+        ("lulesh-mpi", &["--mpi"]),
+        ("lassen8", &[]),
+        ("lassen64", &[]),
+        ("lassen-mpi", &["--mpi"]),
+        ("pdes", &[]),
+        ("mergetree", &["--mpi", "--no-process-order"]),
+        ("bt", &["--mpi"]),
+        ("divcon", &[]),
+    ];
+    for (preset, flags) in presets {
+        let file = format!("{preset}.lsrtrace");
+        assert!(lsr(&["gen", preset, "--out", &file], &dir).status.success(), "{preset}");
+        let mut base: Vec<&str> = vec!["races", &file, "--json"];
+        base.extend_from_slice(flags);
+        let default = lsr(&base, &dir);
+        let mut reports = Vec::new();
+        for engine in ["clocks", "dynamic"] {
+            let mut args = base.clone();
+            args.extend_from_slice(&["--engine", engine]);
+            let out = lsr(&args, &dir);
+            assert_eq!(
+                out.status.code(),
+                default.status.code(),
+                "{preset}: --engine {engine} must not change the exit code"
+            );
+            reports.push(stdout(&out));
+        }
+        assert_eq!(reports[0], reports[1], "{preset}: engines must emit identical JSON");
+        assert_eq!(reports[0], stdout(&default), "{preset}: default engine matches");
+    }
+
+    // A bad value names the accepted vocabulary.
+    let out = lsr(&["races", "jacobi-fig8.lsrtrace", "--engine", "dense"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clocks") && err.contains("dynamic"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -118,8 +118,9 @@ fn every_emitted_counter_is_documented() {
     for dir in ["src", "crates"] {
         scan_counters(&root.join(dir), &mut emitted);
     }
-    // The fuzz sweep counters must be part of the scan (guards both
-    // the scanner and the instrumentation against silent renames).
+    // The fuzz sweep and happened-before engine counters must be part
+    // of the scan (guards both the scanner and the instrumentation
+    // against silent renames).
     for name in [
         "fuzz.scenarios",
         "fuzz.motifs",
@@ -129,6 +130,11 @@ fn every_emitted_counter_is_documented() {
         "fuzz.failures",
         "fuzz.exported",
         "fuzz.shrunk",
+        "lint.hb.queries",
+        "lint.hb.bytes",
+        "lint.hb.clock_entries",
+        "lint.hb.segments",
+        "lint.hb.interval_entries",
     ] {
         assert!(emitted.contains(name), "counter {name} is no longer incremented anywhere");
     }

@@ -162,7 +162,7 @@ fn profile_report_snapshot_is_stable() {
     let p = rec.profile("extract").unwrap();
     let got = scrub_profile(&lsr_render::profile_report(&p));
     let want = "\
-profile: extract (lsr-obs-profile/1)
+profile: extract (lsr-obs-profile/2)
 total: <T>
 spans:
   extract <T>  <P>

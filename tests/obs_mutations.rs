@@ -142,5 +142,5 @@ fn schema_tampering_is_caught() {
         has(&errs, |e| matches!(e, ProfileError::SchemaMismatch { .. })),
         "a foreign schema tag must be reported: {errs:?}"
     );
-    assert_eq!(PROFILE_SCHEMA, "lsr-obs-profile/1");
+    assert_eq!(PROFILE_SCHEMA, "lsr-obs-profile/2");
 }
